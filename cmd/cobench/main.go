@@ -1,0 +1,323 @@
+// Command cobench regenerates every table and figure of the paper's
+// evaluation. Each experiment prints one table in the shape of the
+// corresponding paper artifact; EXPERIMENTS.md records one run against
+// the paper's claims.
+//
+// Usage:
+//
+//	cobench                 # run everything
+//	cobench -exp fig8       # one experiment
+//	cobench -exp fig8 -quick
+//
+// Experiments: table1, services, fig8, acklat, buffer, pdulen, retx,
+// isis, msgs, ablate-window, ablate-defer, ablate-buffer, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cobcast/internal/experiments"
+	"cobcast/internal/metrics"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1|services|fig8|acklat|buffer|pdulen|retx|isis|msgs|ablate-window|ablate-defer|ablate-buffer|all)")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
+	flag.Parse()
+	if err := run(*exp, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "cobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, quick bool) error {
+	runners := map[string]func(bool) error{
+		"services":      services,
+		"table1":        table1,
+		"fig8":          fig8,
+		"acklat":        ackLatency,
+		"buffer":        bufferOccupancy,
+		"pdulen":        pduLength,
+		"retx":          retxComparison,
+		"isis":          isisComparison,
+		"msgs":          messageComplexity,
+		"ablate-window": ablateWindow,
+		"ablate-defer":  ablateDefer,
+		"ablate-buffer": ablateBuffer,
+	}
+	if exp == "all" {
+		order := []string{"table1", "services", "fig8", "acklat", "buffer", "pdulen",
+			"retx", "isis", "msgs", "ablate-window", "ablate-defer", "ablate-buffer"}
+		for _, name := range order {
+			if err := runners[name](quick); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return r(quick)
+}
+
+func sizes(quick bool) []int {
+	if quick {
+		return []int{2, 4, 6}
+	}
+	return []int{2, 4, 6, 8, 10, 12, 16}
+}
+
+func services(bool) error {
+	rows, err := experiments.ServiceComparison()
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[§2.3] Service taxonomy on one reordered scenario: LO ⊂ CO ⊂ TO",
+		"service", "local order", "causal order", "total order")
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Service, yn(r.Local), yn(r.Causal), yn(r.Total))
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func table1(bool) error {
+	res, err := experiments.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("[E2] Example 4.1 / Figure 7 exchange")
+	fmt.Print(res.Render())
+	return nil
+}
+
+func fig8(quick bool) error {
+	per := 8
+	if quick {
+		per = 4
+	}
+	rows, err := experiments.Fig8(sizes(quick), per)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[E1] Figure 8: per-PDU processing time (Tco) and app-to-app delay (Tap) vs n",
+		"n", "Tco (ns/PDU)", "Tap (wall)")
+	for _, r := range rows {
+		tbl.AddRow(r.N, fmt.Sprintf("%.0f", r.TcoNsPerPDU), r.TapMean.Round(time.Microsecond))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("paper: both series grow O(n); Tap well above Tco (SPARC2 msec-scale).")
+	return nil
+}
+
+func ackLatency(quick bool) error {
+	rows, err := experiments.AckLatency(sizes(quick), 2*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[E3] Acknowledgment latency after acceptance (paper: 2R)",
+		"n", "R", "accept→deliver", "ratio to R")
+	for _, r := range rows {
+		tbl.AddRow(r.N, r.R, r.MeanAcceptToDeliver.Round(10*time.Microsecond),
+			fmt.Sprintf("%.2f", r.RatioToR))
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func bufferOccupancy(quick bool) error {
+	ws := []int{2, 8, 16}
+	per := 12
+	if quick {
+		ws = []int{2, 8}
+		per = 6
+	}
+	rows, err := experiments.BufferOccupancy(sizes(quick), ws, per)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[E4] Peak buffered PDUs vs the paper's O(n) guideline (≈2nW)",
+		"n", "W", "max resident", "2nW")
+	for _, r := range rows {
+		tbl.AddRow(r.N, r.W, r.MaxResident, r.Bound2nW)
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func pduLength(quick bool) error {
+	rows := experiments.PDULength(sizes(quick))
+	tbl := metrics.NewTable(
+		"[E5] Encoded PDU length is O(n): +8 bytes per entity (ACK field)",
+		"n", "empty PDU (bytes)", "64B payload (bytes)")
+	for _, r := range rows {
+		tbl.AddRow(r.N, r.HeaderBytes, r.Bytes64)
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func retxComparison(quick bool) error {
+	losses := []float64{0.01, 0.02, 0.05, 0.10}
+	msgs := 200
+	if quick {
+		losses = []float64{0.02, 0.10}
+		msgs = 60
+	}
+	rows, err := experiments.RetxComparison(4, msgs, losses, 42)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[E6] Selective retransmission (CO) vs go-back-n (TO protocol), n=4",
+		"loss", "msgs", "CO retx", "CO PDUs", "GBN retx", "GBN slots")
+	for _, r := range rows {
+		tbl.AddRow(fmt.Sprintf("%.0f%%", r.Loss*100), r.Messages,
+			r.CORetransmitted, r.COPDUsTotal, r.GBNRetransmissions, r.GBNTransmissions)
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("paper: CO retransmits only lost PDUs; go-back-n resends runs of delivered ones.")
+	return nil
+}
+
+func isisComparison(quick bool) error {
+	per := 8
+	if quick {
+		per = 4
+	}
+	rows, err := experiments.ISISCost(sizes(quick), per)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[E7a] Ordering cost per PDU: CO sequence numbers vs CBCAST vector clocks",
+		"n", "CO (ns/PDU, full pipeline)", "CBCAST (ns/msg, delivery test)")
+	for _, r := range rows {
+		tbl.AddRow(r.N, fmt.Sprintf("%.0f", r.CONsPerPDU), fmt.Sprintf("%.0f", r.CBCASTNsPerMsg))
+	}
+	fmt.Print(tbl.String())
+
+	prim := experiments.OrderingPrimitiveCost(sizes(quick), 2_000_000)
+	ptbl := metrics.NewTable(
+		"[E7b] One causality decision: Theorem 4.1 seq test (O(1)) vs vector-clock compare (O(n))",
+		"n", "seq test (ns)", "vclock compare (ns)")
+	for _, r := range prim {
+		ptbl.AddRow(r.N, fmt.Sprintf("%.1f", r.SeqTestNs), fmt.Sprintf("%.1f", r.VClockNs))
+	}
+	fmt.Println()
+	fmt.Print(ptbl.String())
+
+	res, err := experiments.ISISLossDemo()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n[E7c] Loss detection (m1 lost to one member, m2 follows):")
+	fmt.Printf("  CO protocol: %d RET request(s), lossy member delivered %d/2 — loss detected and repaired\n",
+		res.CORetRequests, res.CODelivered)
+	fmt.Printf("  ISIS CBCAST: %d delivered, %d held forever — vector clocks cannot detect the loss\n",
+		res.CBCASTDelivered, res.CBCASTHeld)
+	return nil
+}
+
+func messageComplexity(quick bool) error {
+	per := 10
+	if quick {
+		per = 5
+	}
+	rows, err := experiments.MessageComplexity(sizes(quick), per)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[E8] Cluster-wide PDUs per application message (paper: O(n), not O(n²))",
+		"n", "messages", "total PDUs", "PDUs/msg (saturated)", "PDUs for 1 solo msg", "n²")
+	for _, r := range rows {
+		tbl.AddRow(r.N, r.Messages, r.TotalPDUs,
+			fmt.Sprintf("%.1f", r.PerMessage), r.SoloPDUs, r.NSquared)
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("solo column: one message in an idle cluster costs O(n) PDUs; saturated")
+	fmt.Println("traffic amortizes confirmations via piggybacking (near-constant per msg).")
+	return nil
+}
+
+func ablateWindow(quick bool) error {
+	ws := []int{1, 2, 4, 8, 16, 32}
+	per := 16
+	if quick {
+		ws = []int{1, 4, 16}
+		per = 8
+	}
+	rows, err := experiments.AblationWindow(4, ws, per)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[A1] Ablation: flow-control window W (n=4, saturating workload)",
+		"W", "completion (virtual)", "Tap mean", "flow-blocked")
+	for _, r := range rows {
+		tbl.AddRow(r.W, r.CompletionVirtual.Round(time.Microsecond),
+			r.TapMean.Round(time.Microsecond), r.FlowBlocked)
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func ablateDefer(quick bool) error {
+	ivs := []time.Duration{time.Millisecond, 2 * time.Millisecond,
+		5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	msgs := 20
+	if quick {
+		ivs = []time.Duration{time.Millisecond, 10 * time.Millisecond}
+		msgs = 10
+	}
+	rows, err := experiments.AblationDeferredAck(4, ivs, msgs)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[A2] Ablation: deferred-ack interval (n=4, interactive workload)",
+		"interval", "total PDUs", "completion (virtual)")
+	for _, r := range rows {
+		tbl.AddRow(r.Interval, r.TotalPDUs, r.CompletionVirtual.Round(time.Millisecond))
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func ablateBuffer(quick bool) error {
+	caps := []int{4, 16, 64, 1024}
+	msgs := 60
+	if quick {
+		caps = []int{8, 1024}
+		msgs = 30
+	}
+	rows, err := experiments.AblationBuffer(3, caps, msgs)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[A3] Ablation: receive-inbox capacity → buffer-overrun loss (real time, n=3)",
+		"inbox", "overrun drops", "retransmitted", "wall time")
+	for _, r := range rows {
+		tbl.AddRow(r.InboxCap, r.Overruns, r.Retransmitted, r.Wall.Round(time.Millisecond))
+	}
+	fmt.Print(tbl.String())
+	return nil
+}

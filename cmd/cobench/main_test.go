@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if err := run("no-such-experiment", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestQuickExperiments exercises the fast experiment runners end to end
+// (output goes to stdout; correctness of the numbers is covered by the
+// experiments package tests).
+func TestQuickExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "services", "pdulen", "acklat", "msgs"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp, true); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAllExperimentsQuick runs the complete quick sweep — every runner —
+// to keep the harness end-to-end healthy. Skipped in -short.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	if err := run("all", true); err != nil {
+		t.Fatal(err)
+	}
+}

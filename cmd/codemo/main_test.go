@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunAutoLossless(t *testing.T) {
+	if err := run(3, 0, 1, 6, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAutoWithLossAndDelay(t *testing.T) {
+	if err := run(4, 0.2, 7, 8, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadCluster(t *testing.T) {
+	if err := run(1, 0, 1, 1, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Command coload is a load generator and soak tester for the CO protocol:
+// it drives a real-time in-process cluster at a configured rate and
+// reports delivery throughput, end-to-end latency percentiles, and
+// protocol counters.
+//
+//	coload -n 4 -msgs 2000 -rate 5000 -size 128 -loss 0.05
+//	coload -n 3 -msgs 500 -total        # total-order mode
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"cobcast"
+
+	"cobcast/internal/metrics"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 4, "cluster size")
+		msgs  = flag.Int("msgs", 1000, "total messages to broadcast")
+		rate  = flag.Float64("rate", 2000, "target submit rate, messages/second (0 = unthrottled)")
+		size  = flag.Int("size", 64, "payload bytes")
+		loss  = flag.Float64("loss", 0, "injected network loss rate")
+		seed  = flag.Int64("seed", 1, "loss RNG seed")
+		total = flag.Bool("total", false, "use total-order delivery")
+		wait  = flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+	if err := run(*n, *msgs, *rate, *size, *loss, *seed, *total, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "coload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bool, wait time.Duration) error {
+	opts := []cobcast.Option{
+		cobcast.WithLossRate(loss),
+		cobcast.WithSeed(seed),
+		cobcast.WithDeferredAckInterval(time.Millisecond),
+		cobcast.WithRetransmitTimeout(5 * time.Millisecond),
+	}
+	if total {
+		opts = append(opts, cobcast.WithTotalOrder())
+	}
+	cluster, err := cobcast.NewCluster(n, opts...)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	if size < 12 {
+		size = 12
+	}
+	var (
+		mu        sync.Mutex
+		sendTimes = make(map[uint64]time.Time, msgs)
+		lat       metrics.Histogram
+	)
+	key := func(src int, idx uint64) uint64 { return uint64(src)<<40 | idx }
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		nd := cluster.Node(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := 0
+			deadline := time.After(wait)
+			for seen < msgs {
+				select {
+				case m, ok := <-nd.Deliveries():
+					if !ok {
+						errs <- fmt.Errorf("node %d: closed at %d/%d", nd.ID(), seen, msgs)
+						return
+					}
+					now := time.Now()
+					idx := binary.BigEndian.Uint64(m.Data[4:])
+					mu.Lock()
+					if at, ok := sendTimes[key(m.Src, idx)]; ok {
+						lat.Record(float64(now.Sub(at).Microseconds()))
+					}
+					mu.Unlock()
+					seen++
+				case <-deadline:
+					errs <- fmt.Errorf("node %d: timeout at %d/%d (stats %+v)",
+						nd.ID(), seen, msgs, nd.Stats())
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+
+	payload := make([]byte, size)
+	start := time.Now()
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+	next := start
+	for i := 0; i < msgs; i++ {
+		src := i % n
+		binary.BigEndian.PutUint32(payload, uint32(src))
+		binary.BigEndian.PutUint64(payload[4:], uint64(i))
+		mu.Lock()
+		sendTimes[key(src, uint64(i))] = time.Now()
+		mu.Unlock()
+		if err := cluster.Broadcast(src, payload); err != nil {
+			return err
+		}
+		if interval > 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	submitted := time.Since(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+
+	mode := "causal order"
+	if total {
+		mode = "total order"
+	}
+	fmt.Printf("%d messages × %d nodes (%s, %.0f%% loss) in %v (submit phase %v)\n",
+		msgs, n, mode, loss*100, elapsed.Round(time.Millisecond), submitted.Round(time.Millisecond))
+	fmt.Printf("delivery throughput: %.0f msg/s per node (%.0f deliveries/s cluster-wide)\n",
+		float64(msgs)/elapsed.Seconds(), float64(msgs*n)/elapsed.Seconds())
+	fmt.Printf("end-to-end latency (µs): p50=%.0f p95=%.0f p99=%.0f max=%.0f (n=%d samples)\n",
+		lat.Percentile(50), lat.Percentile(95), lat.Percentile(99), lat.Max(), lat.Count())
+
+	var agg cobcast.Stats
+	for i := 0; i < n; i++ {
+		s := cluster.Node(i).Stats()
+		agg.DataSent += s.DataSent
+		agg.SyncSent += s.SyncSent
+		agg.AckOnlySent += s.AckOnlySent
+		agg.RetSent += s.RetSent
+		agg.Retransmitted += s.Retransmitted
+		agg.Duplicates += s.Duplicates
+		agg.FlowBlocked += s.FlowBlocked
+	}
+	fmt.Printf("protocol: data=%d sync=%d ackonly=%d ret=%d retx=%d dup=%d flow-blocked=%d\n",
+		agg.DataSent, agg.SyncSent, agg.AckOnlySent, agg.RetSent,
+		agg.Retransmitted, agg.Duplicates, agg.FlowBlocked)
+	ns := cluster.NetworkStats()
+	fmt.Printf("network: sent=%d delivered=%d lost=%d overrun=%d\n",
+		ns.Sent, ns.Delivered, ns.DroppedLoss, ns.DroppedOverrun)
+	return nil
+}

@@ -1,0 +1,259 @@
+// Package cobcast is a causally ordering broadcast library: a from-scratch
+// reproduction of the CO protocol of Nakamura & Takizawa, "Causally
+// Ordering Broadcast Protocol" (ICDCS 1994).
+//
+// A cluster of n nodes broadcasts messages to one another over a lossy,
+// high-speed "multi-channel" network. Every node delivers every message,
+// exactly once, in an order that respects causality: if message p was
+// (transitively) known to the sender of q when q was sent, every node
+// delivers p before q. Unlike vector-clock schemes (ISIS CBCAST), the
+// protocol orders messages with plain per-source sequence numbers and the
+// receipt-confirmation vectors piggybacked on every PDU, which also lets
+// it detect and selectively retransmit lost PDUs — no reliable transport
+// is assumed underneath.
+//
+// # Quick start
+//
+//	cluster, err := cobcast.NewCluster(3)
+//	if err != nil { ... }
+//	defer cluster.Close()
+//
+//	go func() {
+//		for msg := range cluster.Node(0).Deliveries() {
+//			fmt.Printf("from %d: %s\n", msg.Src, msg.Data)
+//		}
+//	}()
+//	cluster.Node(1).Broadcast([]byte("hello, group"))
+//
+// NewCluster wires the nodes through an in-process network whose loss
+// rate, latency and receive-buffer size are configurable — ideal for
+// tests and simulation. For real deployments, create each node with
+// NewNode and a Transport (see NewUDPTransport) on its own machine.
+package cobcast
+
+import (
+	"time"
+
+	"cobcast/internal/core"
+	"cobcast/internal/pdu"
+)
+
+// Message is one causally ordered delivery.
+type Message struct {
+	// Src is the node that broadcast the message.
+	Src int
+	// Seq is the per-source sequence number (starting at 1). Sequence
+	// numbers are shared with the protocol's internal confirmation PDUs,
+	// so consecutive application messages from one node may have gaps.
+	Seq uint64
+	// Data is the application payload.
+	Data []byte
+	// LTime is the message's cluster-wide logical time when the cluster
+	// runs in total-order mode (WithTotalOrder); 0 otherwise. Deliveries
+	// are then sorted by (LTime, Src, Seq), identically at every node.
+	LTime uint64
+}
+
+// Stats is a snapshot of one node's protocol counters. See the field
+// descriptions on the corresponding experiment metrics in EXPERIMENTS.md.
+type Stats struct {
+	// DataSent, SyncSent, AckOnlySent, RetSent count broadcast PDUs by
+	// kind: application data, deferred-confirmation syncs, unsequenced
+	// control acks, and retransmission requests.
+	DataSent    uint64
+	SyncSent    uint64
+	AckOnlySent uint64
+	RetSent     uint64
+	// Accepted counts in-order PDU acceptances; Duplicates and Parked
+	// count duplicate and out-of-order arrivals.
+	Accepted   uint64
+	Duplicates uint64
+	Parked     uint64
+	// Retransmitted counts own PDUs rebroadcast on request.
+	Retransmitted uint64
+	// Preacked, Acked and Delivered count pipeline progress.
+	Preacked  uint64
+	Acked     uint64
+	Delivered uint64
+	// FlowBlocked counts broadcasts that waited for the flow-control
+	// window.
+	FlowBlocked uint64
+	// MaxResident is the peak number of PDUs buffered by the node.
+	MaxResident int
+	// InvalidPDUs counts rejected datagrams.
+	InvalidPDUs uint64
+	// Evicted counts peers removed from this node's confirmation quorum;
+	// AutoSuspected counts those removed by the suspect timeout.
+	Evicted       uint64
+	AutoSuspected uint64
+}
+
+func fromCoreStats(s core.Stats) Stats {
+	return Stats{
+		DataSent:      s.DataSent,
+		SyncSent:      s.SyncSent,
+		AckOnlySent:   s.AckOnlySent,
+		RetSent:       s.RetSent,
+		Accepted:      s.Accepted,
+		Duplicates:    s.Duplicates,
+		Parked:        s.Parked,
+		Retransmitted: s.Retransmitted,
+		Preacked:      s.Preacked,
+		Acked:         s.Acked,
+		Delivered:     s.Delivered,
+		FlowBlocked:   s.FlowBlocked,
+		MaxResident:   s.MaxResident,
+		InvalidPDUs:   s.InvalidPDUs,
+		Evicted:       s.Evicted,
+		AutoSuspected: s.AutoSuspected,
+	}
+}
+
+// options collects configuration shared by clusters and nodes.
+type options struct {
+	clusterID           uint32
+	window              int
+	bufferUnits         uint32
+	unitsPerPDU         uint32
+	deferredAckInterval time.Duration
+	retransmitTimeout   time.Duration
+	tickInterval        time.Duration
+	totalOrder          bool
+	suspectAfter        time.Duration
+
+	// In-memory network knobs (NewCluster only).
+	netDelay    time.Duration
+	netLossRate float64
+	netSeed     int64
+	netInboxCap int
+}
+
+func defaultOptions() options {
+	return options{
+		window:      core.DefaultWindow,
+		bufferUnits: core.DefaultBufferUnits,
+		unitsPerPDU: core.DefaultUnitsPerPDU,
+		netSeed:     1,
+		netInboxCap: 1024,
+	}
+}
+
+func (o options) coreConfig(id, n int) core.Config {
+	return core.Config{
+		ClusterID:           o.clusterID,
+		ID:                  pdu.EntityID(id),
+		N:                   n,
+		Window:              pdu.Seq(o.window),
+		BufferUnits:         o.bufferUnits,
+		UnitsPerPDU:         o.unitsPerPDU,
+		DeferredAckInterval: o.deferredAckInterval,
+		RetransmitTimeout:   o.retransmitTimeout,
+		TotalOrder:          o.totalOrder,
+		SuspectAfter:        o.suspectAfter,
+	}
+}
+
+func (o options) tick() time.Duration {
+	if o.tickInterval > 0 {
+		return o.tickInterval
+	}
+	if o.deferredAckInterval > 0 {
+		return o.deferredAckInterval
+	}
+	return core.DefaultDeferredAckInterval
+}
+
+// Option configures a Cluster or Node.
+type Option interface {
+	apply(*options)
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithClusterID sets the cluster identifier stamped on every PDU; nodes
+// discard PDUs from other clusters. The default is 0.
+func WithClusterID(id uint32) Option {
+	return optionFunc(func(o *options) { o.clusterID = id })
+}
+
+// WithWindow sets the flow-control window W: the maximum number of a
+// node's PDUs that may be outstanding beyond the cluster-wide minimum
+// acknowledgment. The default is 16.
+func WithWindow(w int) Option {
+	return optionFunc(func(o *options) { o.window = w })
+}
+
+// WithBufferUnits sets the receive-buffer capacity advertised in the BUF
+// field and used by the flow condition. The default is 4096.
+func WithBufferUnits(units uint32) Option {
+	return optionFunc(func(o *options) { o.bufferUnits = units })
+}
+
+// WithUnitsPerPDU sets the paper's H constant: buffer units one PDU
+// occupies. The default is 1.
+func WithUnitsPerPDU(h uint32) Option {
+	return optionFunc(func(o *options) { o.unitsPerPDU = h })
+}
+
+// WithDeferredAckInterval sets how often an otherwise idle node emits
+// receipt confirmations. The default is 5ms.
+func WithDeferredAckInterval(d time.Duration) Option {
+	return optionFunc(func(o *options) { o.deferredAckInterval = d })
+}
+
+// WithRetransmitTimeout sets the spacing of retransmission requests and
+// rebroadcasts. The default is 20ms.
+func WithRetransmitTimeout(d time.Duration) Option {
+	return optionFunc(func(o *options) { o.retransmitTimeout = d })
+}
+
+// WithTickInterval sets the node's internal timer resolution. The default
+// is the deferred-ack interval.
+func WithTickInterval(d time.Duration) Option {
+	return optionFunc(func(o *options) { o.tickInterval = d })
+}
+
+// WithTotalOrder upgrades the service from causal order (CO) to total
+// order (TO): every node delivers the identical message sequence, still
+// causality-consistent, at the cost of extra delivery latency (a message
+// is held until every node's confirmations pass it). Message.LTime
+// carries the cluster-wide logical time.
+func WithTotalOrder() Option {
+	return optionFunc(func(o *options) { o.totalOrder = true })
+}
+
+// WithSuspectTimeout enables automatic eviction: a node that has owed the
+// cluster confirmations for d without hearing anything from a peer evicts
+// that peer from its confirmation quorum, so one crashed node cannot
+// freeze delivery forever. Idle peers are never suspected. See Node.Evict
+// for the extension's limitations.
+func WithSuspectTimeout(d time.Duration) Option {
+	return optionFunc(func(o *options) { o.suspectAfter = d })
+}
+
+// WithNetworkDelay sets the in-memory network's uniform propagation delay
+// (NewCluster only).
+func WithNetworkDelay(d time.Duration) Option {
+	return optionFunc(func(o *options) { o.netDelay = d })
+}
+
+// WithLossRate makes the in-memory network drop each transmission with
+// probability p (NewCluster only) — useful for demonstrating recovery.
+func WithLossRate(p float64) Option {
+	return optionFunc(func(o *options) { o.netLossRate = p })
+}
+
+// WithSeed seeds the in-memory network's loss randomness (NewCluster
+// only).
+func WithSeed(s int64) Option {
+	return optionFunc(func(o *options) { o.netSeed = s })
+}
+
+// WithInboxCapacity bounds each node's receive buffer on the in-memory
+// network; overflow is dropped, modelling the paper's buffer-overrun loss
+// (NewCluster only). The default is 1024.
+func WithInboxCapacity(n int) Option {
+	return optionFunc(func(o *options) { o.netInboxCap = n })
+}

@@ -1,0 +1,3 @@
+module cobcast
+
+go 1.22

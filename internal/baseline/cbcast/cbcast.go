@@ -1,0 +1,159 @@
+// Package cbcast implements the ISIS CBCAST causal broadcast of Birman,
+// Schiper and Stephenson ("Lightweight Causal and Atomic Group
+// Multicast"), the protocol the paper positions the CO protocol against.
+//
+// CBCAST stamps every message with a vector clock and delays delivery
+// until the CBCAST delivery condition holds. Two properties matter for
+// the comparison (Section 5 of the CO paper):
+//
+//   - it assumes a reliable transport: a lost message is never detected
+//     by the vector clocks themselves, the protocol simply stalls — the
+//     CO protocol's sequence numbers detect the loss instead;
+//   - delivery requires comparing whole vector clocks, which the CO paper
+//     argues costs more than its sequence-number test.
+//
+// The implementation is sans-IO like internal/core: Broadcast and Receive
+// return effects, callers move messages.
+package cbcast
+
+import (
+	"errors"
+	"fmt"
+
+	"cobcast/internal/pdu"
+	"cobcast/internal/vclock"
+)
+
+// Message is one CBCAST broadcast, stamped with the sender's vector clock
+// at send time (after ticking its own component).
+type Message struct {
+	Src  pdu.EntityID
+	VT   vclock.VC
+	Data []byte
+}
+
+// Delivery is a message handed to the application in causal order.
+type Delivery struct {
+	Src  pdu.EntityID
+	Seq  uint64 // the sender's component of the stamp: its per-source index
+	Data []byte
+}
+
+// Stats counts protocol events at one entity.
+type Stats struct {
+	Sent       uint64
+	Received   uint64
+	Delivered  uint64
+	Duplicates uint64
+	// Held counts messages that had to wait for causal predecessors.
+	Held uint64
+	// MaxHeld is the peak size of the hold-back queue.
+	MaxHeld int
+	// Comparisons counts vector-clock component comparisons performed by
+	// the delivery condition — the ordering-cost metric of experiment E7.
+	Comparisons uint64
+}
+
+// Entity is one CBCAST group member. Not safe for concurrent use.
+type Entity struct {
+	me    pdu.EntityID
+	n     int
+	vt    vclock.VC
+	held  []Message
+	stats Stats
+}
+
+// ErrBadID reports an out-of-range entity id.
+var ErrBadID = errors.New("cbcast: entity id out of range")
+
+// New creates a group member with a zero vector clock.
+func New(id pdu.EntityID, n int) (*Entity, error) {
+	if n < 2 || id < 0 || int(id) >= n {
+		return nil, fmt.Errorf("%w: id=%d n=%d", ErrBadID, id, n)
+	}
+	return &Entity{me: id, n: n, vt: vclock.New(n)}, nil
+}
+
+// ID returns the member's identifier.
+func (e *Entity) ID() pdu.EntityID { return e.me }
+
+// VT returns a copy of the member's current vector clock.
+func (e *Entity) VT() vclock.VC { return e.vt.Clone() }
+
+// Stats returns a snapshot of the counters.
+func (e *Entity) Stats() Stats { return e.stats }
+
+// Held returns the number of messages waiting for causal predecessors.
+func (e *Entity) Held() int { return len(e.held) }
+
+// Broadcast stamps data with the next vector time. The message is
+// considered delivered locally at send time (the sender's own component
+// ticks), matching BSS.
+func (e *Entity) Broadcast(data []byte) Message {
+	e.vt.Tick(int(e.me))
+	e.stats.Sent++
+	e.stats.Delivered++
+	return Message{Src: e.me, VT: e.vt.Clone(), Data: data}
+}
+
+// Receive processes a message from the group, returning any deliveries it
+// unlocks (including held messages that become deliverable).
+func (e *Entity) Receive(m Message) ([]Delivery, error) {
+	if len(m.VT) != e.n {
+		return nil, fmt.Errorf("cbcast: stamp length %d, want %d", len(m.VT), e.n)
+	}
+	if m.Src == e.me {
+		return nil, nil
+	}
+	e.stats.Received++
+	if m.VT[m.Src] <= e.vt[m.Src] {
+		e.stats.Duplicates++
+		return nil, nil
+	}
+	e.held = append(e.held, m)
+	if len(e.held) > e.stats.MaxHeld {
+		e.stats.MaxHeld = len(e.held)
+	}
+	out := e.drain()
+	undelivered := true
+	for _, d := range out {
+		if d.Src == m.Src && d.Seq == m.VT[m.Src] {
+			undelivered = false
+			break
+		}
+	}
+	if undelivered {
+		e.stats.Held++
+	}
+	return out, nil
+}
+
+// drain repeatedly delivers every held message whose delivery condition
+// holds, until a full pass makes no progress.
+func (e *Entity) drain() []Delivery {
+	var out []Delivery
+	for progress := true; progress; {
+		progress = false
+		for i := 0; i < len(e.held); i++ {
+			m := e.held[i]
+			e.stats.Comparisons += uint64(e.n)
+			if !vclock.CausalReady(m.VT, e.vt, int(m.Src)) {
+				if m.VT[m.Src] <= e.vt[m.Src] {
+					// A duplicate surfaced behind a repair; discard.
+					e.held = append(e.held[:i], e.held[i+1:]...)
+					i--
+					e.stats.Duplicates++
+					progress = true
+				}
+				continue
+			}
+			e.held = append(e.held[:i], e.held[i+1:]...)
+			i--
+			e.vt.Merge(m.VT)
+			e.stats.Delivered++
+			out = append(out, Delivery{Src: m.Src, Seq: m.VT[m.Src], Data: m.Data})
+			progress = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package fifo implements the LO (locally ordering broadcast) service
+// level of the paper's taxonomy — the PO protocol [16] ordering guarantee:
+// each receiver delivers every source's messages in sending order, with no
+// cross-source constraint. It is the cheapest of the three service levels
+// (LO < CO < TO) and serves as the lower baseline when measuring what
+// causal ordering costs on top of plain per-source FIFO.
+//
+// Loss handling is per-source selective: out-of-order messages wait in a
+// parking buffer until the gap closes (callers provide the retransmission
+// transport; this package only orders).
+package fifo
+
+import (
+	"errors"
+	"fmt"
+
+	"cobcast/internal/pdu"
+)
+
+// Message is a FIFO broadcast: a source-assigned sequence number plus
+// payload.
+type Message struct {
+	Src  pdu.EntityID
+	Seq  pdu.Seq
+	Data []byte
+}
+
+// Stats counts events at one entity.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Duplicates uint64
+	Parked     uint64
+}
+
+// Entity is one LO-service group member. Not safe for concurrent use.
+type Entity struct {
+	me     pdu.EntityID
+	n      int
+	seq    pdu.Seq
+	next   []pdu.Seq
+	parked []map[pdu.Seq]Message
+	stats  Stats
+}
+
+// ErrBadID reports an out-of-range entity id.
+var ErrBadID = errors.New("fifo: entity id out of range")
+
+// New creates a group member.
+func New(id pdu.EntityID, n int) (*Entity, error) {
+	if n < 2 || id < 0 || int(id) >= n {
+		return nil, fmt.Errorf("%w: id=%d n=%d", ErrBadID, id, n)
+	}
+	e := &Entity{me: id, n: n, seq: 1, next: make([]pdu.Seq, n),
+		parked: make([]map[pdu.Seq]Message, n)}
+	for i := range e.next {
+		e.next[i] = 1
+		e.parked[i] = make(map[pdu.Seq]Message)
+	}
+	return e, nil
+}
+
+// ID returns the member's identifier.
+func (e *Entity) ID() pdu.EntityID { return e.me }
+
+// Stats returns a snapshot of the counters.
+func (e *Entity) Stats() Stats { return e.stats }
+
+// Broadcast stamps data with the next sequence number. The sender
+// delivers its own message immediately.
+func (e *Entity) Broadcast(data []byte) Message {
+	m := Message{Src: e.me, Seq: e.seq, Data: data}
+	e.seq++
+	e.next[e.me] = e.seq
+	e.stats.Sent++
+	e.stats.Delivered++
+	return m
+}
+
+// Receive processes a message, returning the in-order deliveries it
+// unlocks for that source.
+func (e *Entity) Receive(m Message) ([]Message, error) {
+	if m.Src < 0 || int(m.Src) >= e.n {
+		return nil, fmt.Errorf("%w: src=%d", ErrBadID, m.Src)
+	}
+	if m.Src == e.me {
+		return nil, nil
+	}
+	switch {
+	case m.Seq < e.next[m.Src]:
+		e.stats.Duplicates++
+		return nil, nil
+	case m.Seq > e.next[m.Src]:
+		if _, dup := e.parked[m.Src][m.Seq]; !dup {
+			e.parked[m.Src][m.Seq] = m
+			e.stats.Parked++
+		}
+		return nil, nil
+	}
+	out := []Message{m}
+	e.next[m.Src]++
+	e.stats.Delivered++
+	for {
+		q, ok := e.parked[m.Src][e.next[m.Src]]
+		if !ok {
+			break
+		}
+		delete(e.parked[m.Src], q.Seq)
+		out = append(out, q)
+		e.next[m.Src]++
+		e.stats.Delivered++
+	}
+	return out, nil
+}
+
+// Missing returns, per source, the next sequence number this entity is
+// waiting for — what a transport would use to request retransmissions.
+func (e *Entity) Missing() []pdu.Seq {
+	out := make([]pdu.Seq, e.n)
+	copy(out, e.next)
+	return out
+}

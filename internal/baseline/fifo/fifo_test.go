@@ -1,0 +1,93 @@
+package fifo
+
+import (
+	"testing"
+
+	"cobcast/internal/pdu"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := New(2, 2); err == nil {
+		t.Error("id out of range accepted")
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	a, _ := New(0, 2)
+	b, _ := New(1, 2)
+	m1 := a.Broadcast([]byte("1"))
+	m2 := a.Broadcast([]byte("2"))
+	d, err := b.Receive(m1)
+	if err != nil || len(d) != 1 || string(d[0].Data) != "1" {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+	d, err = b.Receive(m2)
+	if err != nil || len(d) != 1 || string(d[0].Data) != "2" {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+}
+
+func TestGapParksAndDrains(t *testing.T) {
+	a, _ := New(0, 2)
+	b, _ := New(1, 2)
+	m1 := a.Broadcast(nil)
+	m2 := a.Broadcast(nil)
+	m3 := a.Broadcast(nil)
+	if d, _ := b.Receive(m3); len(d) != 0 {
+		t.Fatalf("out-of-order delivered: %v", d)
+	}
+	if d, _ := b.Receive(m2); len(d) != 0 {
+		t.Fatalf("still gapped: %v", d)
+	}
+	if got := b.Missing()[0]; got != 1 {
+		t.Errorf("Missing = %d, want 1", got)
+	}
+	d, _ := b.Receive(m1)
+	if len(d) != 3 || d[0].Seq != 1 || d[1].Seq != 2 || d[2].Seq != 3 {
+		t.Fatalf("drain: %v", d)
+	}
+	if st := b.Stats(); st.Parked != 2 || st.Delivered != 3 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestDuplicateAndSelfAndBadSrc(t *testing.T) {
+	a, _ := New(0, 2)
+	b, _ := New(1, 2)
+	m := a.Broadcast(nil)
+	if _, err := b.Receive(m); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := b.Receive(m); len(d) != 0 || b.Stats().Duplicates != 1 {
+		t.Error("duplicate not dropped")
+	}
+	own := b.Broadcast(nil)
+	if d, _ := b.Receive(own); len(d) != 0 {
+		t.Error("own message delivered twice")
+	}
+	if _, err := b.Receive(Message{Src: 9, Seq: 1}); err == nil {
+		t.Error("bad src accepted")
+	}
+}
+
+func TestCrossSourceUnconstrained(t *testing.T) {
+	// LO service: no causal constraint across sources — q (sent causally
+	// after p) may be delivered before p.
+	es := make([]*Entity, 3)
+	for i := range es {
+		es[i], _ = New(pdu.EntityID(i), 3)
+	}
+	p := es[0].Broadcast([]byte("p"))
+	if _, err := es[1].Receive(p); err != nil {
+		t.Fatal(err)
+	}
+	q := es[1].Broadcast([]byte("q"))
+	// Entity 2 receives q before p: FIFO delivers q immediately.
+	d, err := es[2].Receive(q)
+	if err != nil || len(d) != 1 {
+		t.Fatalf("LO should deliver q immediately: %v %v", d, err)
+	}
+}

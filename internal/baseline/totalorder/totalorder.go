@@ -1,0 +1,169 @@
+// Package totalorder models the TO (totally ordering broadcast) protocol
+// family of Takizawa that the CO paper compares against in Section 5: a
+// one-channel network (an Ethernet-like bus) on which every entity
+// observes the same global sequence of slots, with lossy receivers and a
+// go-back-n retransmission scheme — "all PDUs preceding the lost PDU are
+// retransmitted".
+//
+// The model is intentionally reduced to what the comparison needs: the
+// bus delivers PDUs in global sequence order; each receiver independently
+// loses each slot with some probability; a receiver discards every slot
+// above its next expected one (the defining go-back-n behaviour); the
+// sender rebroadcasts from the lowest next-expected slot across the
+// group. Experiment E6 counts bus transmissions against the CO protocol's
+// selective scheme under identical loss.
+package totalorder
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"cobcast/internal/pdu"
+)
+
+// Config parameterizes a bus simulation.
+type Config struct {
+	// N is the number of receivers on the bus.
+	N int
+	// LossRate is each receiver's independent per-slot loss probability.
+	LossRate float64
+	// Seed drives the loss RNG.
+	Seed int64
+	// Window is the go-back-n window: how many slots the sender
+	// broadcasts beyond the group's lowest next-expected slot per round.
+	Window int
+	// MaxRounds bounds the simulation (a safety net against loss rates
+	// close to 1). Zero means 1 << 20 rounds.
+	MaxRounds int
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	// Messages is the number of distinct application messages broadcast.
+	Messages int
+	// Transmissions counts bus slots used, including retransmissions.
+	Transmissions uint64
+	// Retransmissions is Transmissions minus the first broadcast of each
+	// message.
+	Retransmissions uint64
+	// Discarded counts in-window slots thrown away by receivers that had
+	// an earlier gap — the go-back-n waste.
+	Discarded uint64
+	// Rounds is the number of window rounds the bus needed.
+	Rounds int
+}
+
+// MsgID identifies a message by its original source and global slot.
+type MsgID struct {
+	Src  pdu.EntityID
+	Slot int
+}
+
+// Cluster is a TO-protocol bus with n receivers.
+type Cluster struct {
+	cfg Config
+	rng *rand.Rand
+	// log is the global bus history: every message in slot order.
+	log []MsgID
+	// next[r] is receiver r's next expected slot.
+	next []int
+	// delivered[r] is receiver r's delivery sequence (always a prefix of
+	// the global log, hence totally ordered).
+	delivered [][]MsgID
+	stats     Stats
+}
+
+// ErrBadConfig reports an unusable configuration.
+var ErrBadConfig = errors.New("totalorder: bad config")
+
+// New creates a bus simulation.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadConfig, cfg.N)
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return nil, fmt.Errorf("%w: loss=%v", ErrBadConfig, cfg.LossRate)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 16
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 1 << 20
+	}
+	return &Cluster{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		next:      make([]int, cfg.N),
+		delivered: make([][]MsgID, cfg.N),
+	}, nil
+}
+
+// Broadcast appends a message from src to the bus log. Messages are
+// transmitted by Run.
+func (c *Cluster) Broadcast(src pdu.EntityID, _ []byte) MsgID {
+	m := MsgID{Src: src, Slot: len(c.log)}
+	c.log = append(c.log, m)
+	c.stats.Messages++
+	return m
+}
+
+// Run drives window rounds until every receiver has delivered the whole
+// log, or MaxRounds passes. Each round broadcasts the window starting at
+// the group's lowest next-expected slot; every receiver independently
+// loses slots and discards anything past its first gap (go-back-n).
+func (c *Cluster) Run() (Stats, error) {
+	firstTx := make([]bool, len(c.log))
+	for round := 0; ; round++ {
+		base := len(c.log)
+		for _, nx := range c.next {
+			if nx < base {
+				base = nx
+			}
+		}
+		if base >= len(c.log) {
+			c.stats.Rounds = round
+			return c.stats, nil
+		}
+		if round >= c.cfg.MaxRounds {
+			return c.stats, fmt.Errorf("totalorder: no progress after %d rounds", round)
+		}
+		end := base + c.cfg.Window
+		if end > len(c.log) {
+			end = len(c.log)
+		}
+		for slot := base; slot < end; slot++ {
+			c.stats.Transmissions++
+			if firstTx[slot] {
+				c.stats.Retransmissions++
+			}
+			firstTx[slot] = true
+			for r := 0; r < c.cfg.N; r++ {
+				lost := c.cfg.LossRate > 0 && c.rng.Float64() < c.cfg.LossRate
+				if lost {
+					continue
+				}
+				if c.next[r] != slot {
+					if slot > c.next[r] {
+						// Go-back-n: the receiver cannot buffer past a
+						// gap; the slot is discarded.
+						c.stats.Discarded++
+					}
+					continue
+				}
+				c.delivered[r] = append(c.delivered[r], c.log[slot])
+				c.next[r]++
+			}
+		}
+	}
+}
+
+// Delivered returns receiver r's delivery sequence.
+func (c *Cluster) Delivered(r int) []MsgID {
+	out := make([]MsgID, len(c.delivered[r]))
+	copy(out, c.delivered[r])
+	return out
+}
+
+// Stats returns the counters accumulated so far.
+func (c *Cluster) Stats() Stats { return c.stats }

@@ -1,0 +1,123 @@
+package totalorder
+
+import (
+	"testing"
+
+	"cobcast/internal/pdu"
+)
+
+func load(c *Cluster, msgs int) {
+	for i := 0; i < msgs; i++ {
+		c.Broadcast(pdu.EntityID(i%3), nil)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N: 1}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := New(Config{N: 3, LossRate: 1.0}); err == nil {
+		t.Error("loss=1 accepted")
+	}
+	if _, err := New(Config{N: 3, LossRate: -0.1}); err == nil {
+		t.Error("negative loss accepted")
+	}
+}
+
+func TestLosslessDeliversEverythingOnce(t *testing.T) {
+	c, err := New(Config{N: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load(c, 20)
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Transmissions != 20 || st.Retransmissions != 0 {
+		t.Errorf("lossless: %+v", st)
+	}
+	for r := 0; r < 3; r++ {
+		if got := c.Delivered(r); len(got) != 20 {
+			t.Errorf("receiver %d delivered %d, want 20", r, len(got))
+		}
+	}
+}
+
+func TestTotalOrderIdenticalAcrossReceivers(t *testing.T) {
+	c, err := New(Config{N: 4, LossRate: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load(c, 50)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref := c.Delivered(0)
+	if len(ref) != 50 {
+		t.Fatalf("receiver 0 delivered %d, want 50", len(ref))
+	}
+	for r := 1; r < 4; r++ {
+		got := c.Delivered(r)
+		if len(got) != len(ref) {
+			t.Fatalf("receiver %d delivered %d, want %d", r, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("receiver %d slot %d = %v, want %v (total order broken)",
+					r, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestLossCausesGoBackNRetransmissions(t *testing.T) {
+	c, err := New(Config{N: 3, LossRate: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load(c, 100)
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retransmissions == 0 {
+		t.Error("20% loss produced no retransmissions")
+	}
+	if st.Discarded == 0 {
+		t.Error("go-back-n should discard in-window slots after a gap")
+	}
+	if st.Transmissions != uint64(st.Messages)+st.Retransmissions {
+		t.Errorf("accounting: %+v", st)
+	}
+}
+
+func TestRetransmissionsGrowWithLoss(t *testing.T) {
+	retx := func(loss float64) uint64 {
+		c, err := New(Config{N: 4, LossRate: loss, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		load(c, 200)
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Retransmissions
+	}
+	low, high := retx(0.02), retx(0.3)
+	if high <= low {
+		t.Errorf("retransmissions: loss 2%% -> %d, loss 30%% -> %d; want growth", low, high)
+	}
+}
+
+func TestMaxRoundsGuard(t *testing.T) {
+	c, err := New(Config{N: 2, LossRate: 0.99, Seed: 1, MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load(c, 50)
+	if _, err := c.Run(); err == nil {
+		t.Error("expected MaxRounds error at 99% loss")
+	}
+}

@@ -1,0 +1,199 @@
+// Package core implements the causally ordering broadcast (CO) protocol of
+// Nakamura & Takizawa as a deterministic, sans-IO state machine. An Entity
+// consumes three kinds of input — application submissions, PDUs from the
+// network, and clock ticks — and produces PDUs to broadcast plus
+// causally ordered deliveries. All goroutine, channel, timer and socket
+// concerns live in the callers (the root cobcast runtime, the discrete-
+// event simulator, and the benchmarks), so the identical protocol code
+// runs in every environment.
+//
+// Protocol summary (paper sections in parentheses):
+//
+//   - Every sequenced PDU carries SEQ and the vector ACK of next-expected
+//     sequence numbers (§4.1). Acceptance is strictly in-order per source
+//     (§4.2). Gaps are detected by the failure conditions F1/F2 and
+//     repaired by selective retransmission via RET PDUs (§4.3).
+//   - A PDU p from source k is pre-acknowledged once min_j AL[k][j] — the
+//     minimum of everyone's reported next-expected-from-k — passes p.SEQ;
+//     it then moves into the causality-ordered PRL via the CPI operation,
+//     ordered by the sequence-number causality test of Theorem 4.1 (§4.4).
+//   - p is acknowledged (and delivered) once min_j PAL[k][j] passes p.SEQ,
+//     where PAL folds the ACK vectors of pre-acknowledged PDUs (§4.5).
+//   - Flow control: minAL_i ≤ SEQ < minAL_i + min(W, minBUF/(H·2n)) (§4.2).
+//   - Deferred confirmation: an idle entity emits an empty SYNC PDU after
+//     hearing from every peer or after a timeout, keeping confirmation
+//     traffic at O(n) PDUs (§5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cobcast/internal/pdu"
+	"cobcast/internal/trace"
+)
+
+// Default protocol parameters; see Config.
+const (
+	DefaultWindow              = 16
+	DefaultBufferUnits         = 4096
+	DefaultUnitsPerPDU         = 1
+	DefaultDeferredAckInterval = 5 * time.Millisecond
+	DefaultRetransmitTimeout   = 20 * time.Millisecond
+)
+
+// Config parameterizes an Entity. The zero value is not valid; use
+// Validate (called by New) to check a hand-built Config.
+type Config struct {
+	// ClusterID is the CID stamped on every PDU; PDUs with a different
+	// CID are rejected.
+	ClusterID uint32
+	// ID is this entity's index, 0 ≤ ID < N.
+	ID pdu.EntityID
+	// N is the cluster size (≥ 2).
+	N int
+	// Window is the paper's W: the maximum number of own PDUs between
+	// one's SEQ and the cluster-wide minimum acknowledgment minAL.
+	Window pdu.Seq
+	// BufferUnits is the receive-buffer capacity advertised in BUF. The
+	// flow condition divides the cluster minimum by UnitsPerPDU·2n, so
+	// BufferUnits must be at least UnitsPerPDU·2·N for any credit at all.
+	BufferUnits uint32
+	// UnitsPerPDU is the paper's H: buffer units one PDU occupies.
+	UnitsPerPDU uint32
+	// DeferredAckInterval is the "predefined time" of the deferred
+	// confirmation rule: an entity with confirmations owed sends a SYNC
+	// at least this often.
+	DeferredAckInterval time.Duration
+	// RetransmitTimeout is how long to wait before re-issuing an RET for
+	// a gap that has not closed, and the minimum spacing between
+	// rebroadcasts of the same PDU.
+	RetransmitTimeout time.Duration
+	// SuspectAfter, when positive, auto-evicts a peer that has stayed
+	// silent for this long while this entity owed the cluster
+	// confirmations (see evict.go). Zero disables automatic suspicion;
+	// Evict remains available for manual membership decisions.
+	SuspectAfter time.Duration
+	// Tracer, if non-nil, records send/accept/deliver/retransmit events
+	// for the trace checkers.
+	Tracer *trace.Recorder
+	// DisableDeferredConfirm turns off automatic SYNC/ACKONLY emission.
+	// Scripted tests (such as the Table 1 golden test) use it to control
+	// every PDU on the wire; production configurations leave it false.
+	DisableDeferredConfirm bool
+	// TotalOrder upgrades the service level from CO to TO (§2.3): all
+	// entities deliver the identical sequence, still consistent with
+	// causality. Implemented as a deterministic logical-time release
+	// stage on top of the CO pipeline (see totalorder.go); it adds
+	// delivery latency because a message is held until every source has
+	// confirmed past it.
+	TotalOrder bool
+}
+
+// Configuration errors.
+var (
+	ErrBadCluster = errors.New("core: cluster must have at least 2 entities")
+	ErrBadID      = errors.New("core: entity id out of range")
+	ErrBadWindow  = errors.New("core: window must be at least 1")
+	ErrNoCredit   = errors.New("core: BufferUnits below UnitsPerPDU*2*N leaves no flow-control credit")
+)
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.BufferUnits == 0 {
+		c.BufferUnits = DefaultBufferUnits
+	}
+	if c.UnitsPerPDU == 0 {
+		c.UnitsPerPDU = DefaultUnitsPerPDU
+	}
+	if c.DeferredAckInterval == 0 {
+		c.DeferredAckInterval = DefaultDeferredAckInterval
+	}
+	if c.RetransmitTimeout == 0 {
+		c.RetransmitTimeout = DefaultRetransmitTimeout
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("%w: n=%d", ErrBadCluster, c.N)
+	}
+	if c.ID < 0 || int(c.ID) >= c.N {
+		return fmt.Errorf("%w: id=%d n=%d", ErrBadID, c.ID, c.N)
+	}
+	if c.Window < 1 {
+		return ErrBadWindow
+	}
+	if c.BufferUnits < c.UnitsPerPDU*2*uint32(c.N) {
+		return fmt.Errorf("%w: units=%d need >= %d", ErrNoCredit,
+			c.BufferUnits, c.UnitsPerPDU*2*uint32(c.N))
+	}
+	return nil
+}
+
+// Delivery is one causally ordered message handed to the application.
+type Delivery struct {
+	// Src is the original broadcaster.
+	Src pdu.EntityID
+	// SEQ is the source-assigned sequence number.
+	SEQ pdu.Seq
+	// Data is the application payload.
+	Data []byte
+	// LTime is the message's logical time in TotalOrder mode (0 in CO
+	// mode). Deliveries are totally ordered by (LTime, Src, SEQ) and the
+	// order is identical at every entity.
+	LTime uint64
+}
+
+// Output collects the externally visible effects of one input: PDUs to
+// broadcast (in order) and deliveries to the application (in causal
+// order).
+type Output struct {
+	PDUs       []*pdu.PDU
+	Deliveries []Delivery
+}
+
+// Empty reports whether the input produced no effects.
+func (o *Output) Empty() bool { return len(o.PDUs) == 0 && len(o.Deliveries) == 0 }
+
+// Stats counts protocol events at one entity since creation.
+type Stats struct {
+	// DataSent, SyncSent, AckOnlySent and RetSent count broadcast PDUs by
+	// kind.
+	DataSent    uint64
+	SyncSent    uint64
+	AckOnlySent uint64
+	RetSent     uint64
+	// Accepted counts in-order acceptances (including self-acceptances
+	// and retransmitted PDUs accepted after repair).
+	Accepted uint64
+	// Duplicates counts sequenced PDUs discarded as already accepted.
+	Duplicates uint64
+	// Parked counts out-of-order sequenced PDUs buffered pending repair.
+	Parked uint64
+	// Retransmitted counts own PDUs rebroadcast in response to RET.
+	Retransmitted uint64
+	// Preacked and Acked count pipeline progress; Delivered counts DATA
+	// PDUs handed to the application.
+	Preacked  uint64
+	Acked     uint64
+	Delivered uint64
+	// FlowBlocked counts submissions that had to wait for the window.
+	FlowBlocked uint64
+	// MaxResident is the peak number of PDUs simultaneously held in the
+	// receive-side logs (pending + RRL + PRL) — the O(n) buffer claim of
+	// Section 5 (experiment E4).
+	MaxResident int
+	// InvalidPDUs counts received PDUs rejected by validation.
+	InvalidPDUs uint64
+	// Evicted counts entities removed from the confirmation quorum here;
+	// AutoSuspected counts those removed by the suspicion timer.
+	Evicted       uint64
+	AutoSuspected uint64
+}

@@ -1,0 +1,726 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"cobcast/internal/msglog"
+	"cobcast/internal/pdu"
+	"cobcast/internal/trace"
+)
+
+// never is the "has not happened" timestamp for rate-limit bookkeeping.
+const never = time.Duration(math.MinInt64 / 2)
+
+// Receive errors.
+var (
+	ErrNilPDU       = errors.New("core: nil PDU")
+	ErrWrongCluster = errors.New("core: PDU for a different cluster")
+)
+
+// Entity is one system entity E_i of the cluster. It is a pure state
+// machine: not safe for concurrent use, with no internal goroutines or
+// timers. Callers must serialize Submit/Receive/Tick and pass a
+// monotonically non-decreasing now.
+type Entity struct {
+	cfg Config
+	n   int
+	me  pdu.EntityID
+
+	// §4.1 variables.
+	seq pdu.Seq     // next sequence number to broadcast
+	req []pdu.Seq   // req[j]: next sequence number expected from j
+	al  [][]pdu.Seq // al[k][j]: what j expects next from k, as known here
+	pal [][]pdu.Seq // like al, but folded from pre-acknowledged PDUs only
+	buf []uint32    // buf[j]: advertised free buffer units at j
+
+	// Receipt logs (§4.2, §4.4, §4.5).
+	rrl    []msglog.Log           // accepted, awaiting pre-acknowledgment
+	prl    msglog.Log             // pre-acknowledged, causality-ordered
+	parked []map[pdu.Seq]*pdu.PDU // out-of-order arrivals awaiting repair
+	// Send log: own sequenced PDUs retained for selective retransmission
+	// until pre-acknowledged here (i.e. accepted everywhere).
+	sendlog map[pdu.Seq]*pdu.PDU
+	sendLo  pdu.Seq // no retained PDU has SEQ below this
+
+	// Loss bookkeeping (§4.3).
+	known      []pdu.Seq                 // strongest next-expected evidence per source
+	lastRetReq []time.Duration           // last RET issued per source
+	lastRetx   map[pdu.Seq]time.Duration // last rebroadcast per own SEQ
+
+	// Deferred confirmation state (§5 and DESIGN.md liveness amendment).
+	recvSince   []bool // sequenced PDU accepted from j since our last sequenced send
+	needRespond bool   // accepted a NeedAck PDU since our last send
+	// owed/speakDeadline implement the "or some predefined time units"
+	// half of the deferred confirmation rule: the deadline arms when an
+	// obligation appears and is pushed back by every send.
+	owed          bool
+	owedSince     time.Duration
+	speakDeadline time.Duration
+
+	// Commit stage (delivery-closure guard, DESIGN.md §2): PDUs that have
+	// passed the ACK condition wait here until every dependency named by
+	// their ACK vector has committed locally. committed[k] is the highest
+	// contiguously committed sequence number from source k.
+	ackedPending []*pdu.PDU
+	committed    []pdu.Seq
+
+	// to is the total-order release stage; nil unless Config.TotalOrder.
+	to *toState
+
+	// Failure handling (evict.go).
+	evicted   []bool
+	lastHeard []time.Duration
+	heardOnce []bool
+
+	pendingSubmits [][]byte
+	parkedTotal    int
+	parkedData     int
+	rrlTotal       int
+	dataResident   int
+
+	stats Stats
+}
+
+// New creates an entity in its initial state (SEQ = 1, every REQ/AL/PAL
+// entry 1, empty logs).
+func New(cfg Config) (*Entity, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	e := &Entity{
+		cfg:        cfg,
+		n:          n,
+		me:         cfg.ID,
+		seq:        1,
+		req:        make([]pdu.Seq, n),
+		al:         make([][]pdu.Seq, n),
+		pal:        make([][]pdu.Seq, n),
+		buf:        make([]uint32, n),
+		rrl:        make([]msglog.Log, n),
+		parked:     make([]map[pdu.Seq]*pdu.PDU, n),
+		sendlog:    make(map[pdu.Seq]*pdu.PDU),
+		sendLo:     1,
+		known:      make([]pdu.Seq, n),
+		lastRetReq: make([]time.Duration, n),
+		lastRetx:   make(map[pdu.Seq]time.Duration),
+		recvSince:  make([]bool, n),
+		committed:  make([]pdu.Seq, n),
+		evicted:    make([]bool, n),
+		lastHeard:  make([]time.Duration, n),
+		heardOnce:  make([]bool, n),
+	}
+	for j := 0; j < n; j++ {
+		e.req[j] = 1
+		e.known[j] = 1
+		e.buf[j] = cfg.BufferUnits
+		e.lastRetReq[j] = never
+		e.parked[j] = make(map[pdu.Seq]*pdu.PDU)
+		e.al[j] = make([]pdu.Seq, n)
+		e.pal[j] = make([]pdu.Seq, n)
+		for k := 0; k < n; k++ {
+			e.al[j][k] = 1
+			e.pal[j][k] = 1
+		}
+	}
+	if cfg.TotalOrder {
+		e.to = newTOState(n)
+	}
+	return e, nil
+}
+
+// ID returns this entity's identifier.
+func (e *Entity) ID() pdu.EntityID { return e.me }
+
+// Stats returns a snapshot of the entity's counters.
+func (e *Entity) Stats() Stats { return e.stats }
+
+// Submit queues application data for broadcast. The data is copied. If the
+// flow condition (§4.2) holds the PDU is broadcast immediately; otherwise
+// it drains as acknowledgments open the window.
+func (e *Entity) Submit(data []byte, now time.Duration) Output {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	e.pendingSubmits = append(e.pendingSubmits, buf)
+	if !e.windowOpen() {
+		e.stats.FlowBlocked++
+	}
+	var out Output
+	e.finish(now, &out)
+	return out
+}
+
+// Receive processes one PDU from the network.
+func (e *Entity) Receive(p *pdu.PDU, now time.Duration) (Output, error) {
+	var out Output
+	if p == nil {
+		e.stats.InvalidPDUs++
+		return out, ErrNilPDU
+	}
+	if err := p.Validate(e.n); err != nil {
+		e.stats.InvalidPDUs++
+		return out, fmt.Errorf("receive at %d: %w", e.me, err)
+	}
+	if p.CID != e.cfg.ClusterID {
+		e.stats.InvalidPDUs++
+		return out, fmt.Errorf("%w: got %d want %d", ErrWrongCluster, p.CID, e.cfg.ClusterID)
+	}
+
+	e.noteHeard(p.Src, now)
+	e.foldInfo(p)
+	e.detectGaps(p)
+	// Any PDU flagged NeedAck solicits a confirmation round — including
+	// control PDUs from window-blocked entities, which cannot emit
+	// sequenced PDUs to ask for help.
+	if p.NeedAck && p.Src != e.me {
+		e.needRespond = true
+	}
+
+	switch p.Kind {
+	case pdu.KindRet:
+		if p.LSrc == e.me {
+			e.handleRetForMe(p, now, &out)
+		}
+	case pdu.KindAckOnly:
+		// Knowledge already folded; nothing sequenced to do.
+	case pdu.KindData, pdu.KindSync:
+		e.receiveSequenced(p, now)
+	}
+
+	e.maybeRequestRetx(now, &out)
+	e.finish(now, &out)
+	return out, nil
+}
+
+// Tick drives the entity's timers: RET retries and deferred confirmation.
+// Call it roughly every DeferredAckInterval.
+func (e *Entity) Tick(now time.Duration) Output {
+	var out Output
+	e.maybeSuspect(now, &out)
+	e.maybeRequestRetx(now, &out)
+	e.finish(now, &out)
+	return out
+}
+
+// finish runs the pipeline stages common to every input: drain blocked
+// submissions, pre-acknowledge, acknowledge/deliver, and emit deferred
+// confirmations.
+func (e *Entity) finish(now time.Duration, out *Output) {
+	e.drainSubmits(now, out)
+	e.runPack()
+	e.runAck(now, out)
+	e.maybeConfirm(now, out)
+}
+
+// foldInfo merges the PDU's receipt confirmations into AL and BUF. ACK
+// vectors are truthful snapshots of the sender's REQ, so folding them from
+// every PDU kind (including control PDUs and parked out-of-order PDUs)
+// only strengthens knowledge; delivery safety rests on PAL, which folds
+// strictly from pre-acknowledged sequenced PDUs as in the paper.
+func (e *Entity) foldInfo(p *pdu.PDU) {
+	if p.Src == e.me {
+		return
+	}
+	for k := 0; k < e.n; k++ {
+		if p.ACK[k] > e.al[k][p.Src] {
+			e.al[k][p.Src] = p.ACK[k]
+		}
+	}
+	e.buf[p.Src] = p.BUF
+}
+
+// detectGaps applies the failure conditions of §4.3: F1 (a sequenced PDU
+// beyond REQ reveals a gap at its own source) and F2 (an ACK entry beyond
+// REQ reveals a gap at another source). Evidence is recorded in known;
+// maybeRequestRetx turns it into RET PDUs.
+func (e *Entity) detectGaps(p *pdu.PDU) {
+	for j := 0; j < e.n; j++ {
+		if pdu.EntityID(j) == p.Src || pdu.EntityID(j) == e.me {
+			continue
+		}
+		if p.ACK[j] > e.known[j] {
+			e.known[j] = p.ACK[j] // F2
+		}
+	}
+	if p.Kind.Sequenced() && p.Src != e.me && p.SEQ+1 > e.known[p.Src] {
+		e.known[p.Src] = p.SEQ + 1 // F1
+	}
+	// The sender's own ACK entry equals its next sequence number (it has
+	// self-accepted everything it sent), so it is F1-grade evidence for
+	// the sender's own stream. Without this, a window-blocked sender
+	// whose last sequenced PDU was lost everywhere could gossip ACKONLYs
+	// forever without anyone learning the PDU exists.
+	if p.Src != e.me && p.ACK[p.Src] > e.known[p.Src] {
+		e.known[p.Src] = p.ACK[p.Src]
+	}
+}
+
+// receiveSequenced applies the acceptance condition p.SEQ == REQ (§4.2),
+// parking out-of-order PDUs and draining repairs in order.
+func (e *Entity) receiveSequenced(p *pdu.PDU, now time.Duration) {
+	src := p.Src
+	switch {
+	case p.SEQ < e.req[src]:
+		e.stats.Duplicates++
+	case p.SEQ > e.req[src]:
+		if _, dup := e.parked[src][p.SEQ]; !dup {
+			e.parked[src][p.SEQ] = p
+			e.parkedTotal++
+			if p.Kind == pdu.KindData {
+				e.parkedData++
+			}
+			e.stats.Parked++
+			e.noteResident()
+		}
+	default:
+		e.accept(p, now)
+		for {
+			q, ok := e.parked[src][e.req[src]]
+			if !ok {
+				break
+			}
+			delete(e.parked[src], q.SEQ)
+			e.parkedTotal--
+			if q.Kind == pdu.KindData {
+				e.parkedData--
+			}
+			e.accept(q, now)
+		}
+	}
+}
+
+// accept performs the acceptance action (§4.2): advance REQ, enqueue into
+// RRL, and update deferred-confirmation state. Callers guarantee
+// p.SEQ == req[p.Src].
+func (e *Entity) accept(p *pdu.PDU, now time.Duration) {
+	src := p.Src
+	e.req[src] = p.SEQ + 1
+	// Own column of AL is direct knowledge: we just accepted through SEQ.
+	e.al[src][e.me] = e.req[src]
+	if e.req[src] > e.known[src] {
+		e.known[src] = e.req[src]
+	}
+	e.rrl[src].Enqueue(p)
+	e.rrlTotal++
+	if e.to != nil {
+		e.to.lastAcc[src] = p.ACK
+	}
+	if p.Kind == pdu.KindData {
+		e.dataResident++
+	}
+	if src != e.me {
+		e.recvSince[src] = true
+	}
+	e.stats.Accepted++
+	e.noteResident()
+	e.trace(trace.Accept, src, p.SEQ, p.Kind, now)
+}
+
+// runPack applies the PACK condition and action (§4.4): the head of each
+// RRL whose SEQ is below minAL of its source moves, in order, into the
+// causality-ordered PRL, folding its ACK vector into PAL.
+func (e *Entity) runPack() {
+	for k := 0; k < e.n; k++ {
+		minAL := e.MinAL(pdu.EntityID(k))
+		for {
+			top := e.rrl[k].Top()
+			if top == nil || top.SEQ >= minAL {
+				break
+			}
+			p := e.rrl[k].Dequeue()
+			e.rrlTotal--
+			// Fold the ACK vector into PAL exactly as the paper's PACK
+			// action does — and only here. Updating PAL from anything
+			// other than a pre-acknowledged (hence in-order accepted)
+			// PDU breaks delivery safety: the proof that a causal
+			// predecessor p from source j is delivered before q leans on
+			// column j of PAL advancing past q.SEQ only via a PDU from j
+			// that sits behind p in RRL_j's FIFO.
+			for m := 0; m < e.n; m++ {
+				if p.ACK[m] > e.pal[m][k] {
+					e.pal[m][k] = p.ACK[m]
+				}
+			}
+			e.prl.InsertCPI(p)
+			e.stats.Preacked++
+			if pdu.EntityID(k) == e.me {
+				// Everyone has accepted our PDU: it can never be asked
+				// for again, so release it from the retransmission log.
+				e.trimSendLog(p.SEQ)
+			}
+		}
+	}
+}
+
+// runAck applies the ACK condition and action (§4.5): while the top of PRL
+// has been pre-acknowledged everywhere (SEQ below minPAL of its source),
+// dequeue it into the commit stage, which enforces full causal closure
+// before delivery.
+func (e *Entity) runAck(now time.Duration, out *Output) {
+	for {
+		top := e.prl.Top()
+		if top == nil || top.SEQ >= e.MinPAL(top.Src) {
+			break
+		}
+		e.ackedPending = append(e.ackedPending, e.prl.Dequeue())
+		e.stats.Acked++
+	}
+	e.commitReady(now, out)
+}
+
+// commitReady delivers acknowledged PDUs in true causal order. The paper
+// orders PRL with pairwise Theorem 4.1 tests, but that relation captures
+// only direct causality (q's sender accepted p) — a transitive chain
+// through a third PDU the local entity saw in a different order can be
+// invisible to it. Reading each PDU's ACK vector as a dependency vector
+// closes the hole: commit p only once its own stream's prefix and every
+// prefix named by p.ACK have committed. Dependencies always point to
+// PDUs sent strictly earlier in real time, so the graph is acyclic and
+// the stage cannot deadlock.
+func (e *Entity) commitReady(now time.Duration, out *Output) {
+	for progress := true; progress; {
+		progress = false
+		for i := 0; i < len(e.ackedPending); i++ {
+			p := e.ackedPending[i]
+			if !e.depsCommitted(p) {
+				continue
+			}
+			e.ackedPending = append(e.ackedPending[:i], e.ackedPending[i+1:]...)
+			i--
+			e.committed[p.Src] = p.SEQ
+			progress = true
+			if e.to != nil {
+				// TO mode: stamp the logical time and hand DATA to the
+				// stable-release stage instead of delivering directly.
+				e.onCommitTotal(p)
+				continue
+			}
+			if p.Kind == pdu.KindData {
+				e.dataResident--
+				e.stats.Delivered++
+				out.Deliveries = append(out.Deliveries, Delivery{Src: p.Src, SEQ: p.SEQ, Data: p.Data})
+				e.trace(trace.Deliver, p.Src, p.SEQ, p.Kind, now)
+			}
+		}
+	}
+	if e.to != nil {
+		e.releaseTotal(now, out)
+	}
+}
+
+// depsCommitted reports whether every causal dependency of p has been
+// committed locally.
+func (e *Entity) depsCommitted(p *pdu.PDU) bool {
+	if e.committed[p.Src] != p.SEQ-1 {
+		return false
+	}
+	for k := 0; k < e.n; k++ {
+		if pdu.EntityID(k) == p.Src {
+			continue
+		}
+		if e.committed[k]+1 < p.ACK[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// drainSubmits broadcasts queued application data while the flow condition
+// holds.
+func (e *Entity) drainSubmits(now time.Duration, out *Output) {
+	for len(e.pendingSubmits) > 0 && e.windowOpen() {
+		data := e.pendingSubmits[0]
+		e.pendingSubmits[0] = nil
+		e.pendingSubmits = e.pendingSubmits[1:]
+		e.broadcastSequenced(pdu.KindData, data, now, out)
+	}
+}
+
+// maybeConfirm implements deferred confirmation (§5): once we have heard
+// from every peer since our last sequenced send — or the deferred-ack
+// timer expires — and we have a reason to speak (undelivered data
+// anywhere we can see, or a NeedAck PDU to answer), emit a SYNC. If the
+// flow window is closed, fall back to an unsequenced ACKONLY so
+// confirmations still flow (liveness amendment, DESIGN.md §2).
+func (e *Entity) maybeConfirm(now time.Duration, out *Output) {
+	if e.cfg.DisableDeferredConfirm {
+		return
+	}
+	if !e.needsToSpeak() {
+		e.owed = false
+		return
+	}
+	if !e.owed {
+		e.owed = true
+		e.owedSince = now
+		e.speakDeadline = now + e.cfg.DeferredAckInterval
+	}
+	allHeard := true
+	for j := 0; j < e.n; j++ {
+		if pdu.EntityID(j) != e.me && !e.evicted[j] && !e.recvSince[j] {
+			allHeard = false
+			break
+		}
+	}
+	if !allHeard && now < e.speakDeadline {
+		return
+	}
+	if e.windowOpen() {
+		e.broadcastSequenced(pdu.KindSync, nil, now, out)
+		return
+	}
+	e.sendAckOnly(now, out)
+}
+
+// needsToSpeak reports whether this entity owes the cluster confirmations:
+// it holds undelivered data, has data waiting to send, or was asked for
+// help by a NeedAck PDU.
+func (e *Entity) needsToSpeak() bool {
+	return e.dataResident > 0 || e.parkedData > 0 ||
+		len(e.pendingSubmits) > 0 || e.needRespond
+}
+
+// broadcastSequenced performs the transmission action of §4.2: stamp SEQ
+// and the ACK vector, retain for retransmission, self-accept, broadcast.
+// The ACK vector is captured before self-acceptance, so the own entry
+// equals SEQ — matching Table 1 of the paper.
+func (e *Entity) broadcastSequenced(kind pdu.Kind, data []byte, now time.Duration, out *Output) {
+	ack := make([]pdu.Seq, e.n)
+	copy(ack, e.req)
+	p := &pdu.PDU{
+		Kind:    kind,
+		CID:     e.cfg.ClusterID,
+		Src:     e.me,
+		SEQ:     e.seq,
+		ACK:     ack,
+		BUF:     e.availBuf(),
+		NeedAck: kind == pdu.KindData || e.dataResident > 0 || e.parkedData > 0 || len(e.pendingSubmits) > 0,
+		LSrc:    pdu.NoEntity,
+		Data:    data,
+	}
+	e.seq++
+	e.sendlog[p.SEQ] = p
+	if kind == pdu.KindData {
+		e.stats.DataSent++
+	} else {
+		e.stats.SyncSent++
+	}
+	e.trace(trace.Send, e.me, p.SEQ, kind, now)
+	e.accept(p, now)
+	for j := range e.recvSince {
+		e.recvSince[j] = false
+	}
+	e.needRespond = false
+	e.speakDeadline = now + e.cfg.DeferredAckInterval
+	out.PDUs = append(out.PDUs, p)
+}
+
+// sendAckOnly emits the unsequenced control PDU that keeps receipt
+// confirmations moving when the flow window is closed.
+func (e *Entity) sendAckOnly(now time.Duration, out *Output) {
+	ack := make([]pdu.Seq, e.n)
+	copy(ack, e.req)
+	p := &pdu.PDU{
+		Kind:    pdu.KindAckOnly,
+		CID:     e.cfg.ClusterID,
+		Src:     e.me,
+		ACK:     ack,
+		BUF:     e.availBuf(),
+		NeedAck: e.dataResident > 0 || e.parkedData > 0 || len(e.pendingSubmits) > 0,
+		LSrc:    pdu.NoEntity,
+	}
+	e.stats.AckOnlySent++
+	// The ACKONLY's ACK vector discharges the confirmation obligation of
+	// everything received so far, exactly like a sequenced send — without
+	// clearing recvSince here, a window-blocked entity with allHeard true
+	// would emit one ACKONLY per incoming PDU.
+	for j := range e.recvSince {
+		e.recvSince[j] = false
+	}
+	e.needRespond = false
+	e.speakDeadline = now + e.cfg.DeferredAckInterval
+	out.PDUs = append(out.PDUs, p)
+}
+
+// maybeRequestRetx issues RET PDUs (retransmission action (1), §4.3) for
+// every source with outstanding gap evidence, rate-limited per source by
+// RetransmitTimeout.
+func (e *Entity) maybeRequestRetx(now time.Duration, out *Output) {
+	for j := 0; j < e.n; j++ {
+		src := pdu.EntityID(j)
+		if src == e.me || e.evicted[j] || e.known[j] <= e.req[j] {
+			continue
+		}
+		if now-e.lastRetReq[j] < e.cfg.RetransmitTimeout {
+			continue
+		}
+		// Request only up to the first PDU we already hold parked: the
+		// paper's F1 sets LSEQ to the SEQ of the revealing PDU, never
+		// asking for PDUs the requester has.
+		lseq := e.known[j]
+		for s := range e.parked[j] {
+			if s >= e.req[j] && s < lseq {
+				lseq = s
+			}
+		}
+		if lseq <= e.req[j] {
+			continue
+		}
+		e.lastRetReq[j] = now
+		ack := make([]pdu.Seq, e.n)
+		copy(ack, e.req)
+		out.PDUs = append(out.PDUs, &pdu.PDU{
+			Kind: pdu.KindRet,
+			CID:  e.cfg.ClusterID,
+			Src:  e.me,
+			ACK:  ack,
+			BUF:  e.availBuf(),
+			LSrc: src,
+			LSeq: lseq,
+		})
+		e.stats.RetSent++
+	}
+}
+
+// handleRetForMe performs retransmission action (2) of §4.3: rebroadcast
+// the PDUs the requester is missing, bit-identical to the originals, with
+// per-PDU rate limiting so a burst of RETs does not amplify traffic.
+func (e *Entity) handleRetForMe(r *pdu.PDU, now time.Duration, out *Output) {
+	from := r.ACK[e.me]
+	if from < e.sendLo {
+		from = e.sendLo
+	}
+	for s := from; s < r.LSeq && s < e.seq; s++ {
+		p, ok := e.sendlog[s]
+		if !ok {
+			continue
+		}
+		if last, sent := e.lastRetx[s]; sent && now-last < e.cfg.RetransmitTimeout {
+			continue
+		}
+		e.lastRetx[s] = now
+		e.stats.Retransmitted++
+		e.trace(trace.Retransmit, e.me, s, p.Kind, now)
+		out.PDUs = append(out.PDUs, p)
+	}
+}
+
+// trimSendLog drops own PDUs with SEQ ≤ upTo from the retransmission log.
+func (e *Entity) trimSendLog(upTo pdu.Seq) {
+	for s := e.sendLo; s <= upTo; s++ {
+		delete(e.sendlog, s)
+		delete(e.lastRetx, s)
+	}
+	if upTo+1 > e.sendLo {
+		e.sendLo = upTo + 1
+	}
+}
+
+// windowOpen evaluates the flow condition of §4.2:
+//
+//	minAL_i ≤ SEQ < minAL_i + min(W, minBUF/(H·2n))
+func (e *Entity) windowOpen() bool {
+	credit := e.flowCredit()
+	return e.seq < e.MinAL(e.me)+credit
+}
+
+// flowCredit returns min(W, minBUF/(H·2n)).
+func (e *Entity) flowCredit() pdu.Seq {
+	minBuf := e.availBuf()
+	for j := 0; j < e.n; j++ {
+		if pdu.EntityID(j) != e.me && !e.evicted[j] && e.buf[j] < minBuf {
+			minBuf = e.buf[j]
+		}
+	}
+	credit := pdu.Seq(minBuf / (e.cfg.UnitsPerPDU * 2 * uint32(e.n)))
+	if credit > e.cfg.Window {
+		credit = e.cfg.Window
+	}
+	return credit
+}
+
+// availBuf returns this entity's free receive-buffer units: capacity minus
+// resident PDUs (parked + RRL + PRL) times H.
+func (e *Entity) availBuf() uint32 {
+	used := uint64(e.Resident()) * uint64(e.cfg.UnitsPerPDU)
+	if used >= uint64(e.cfg.BufferUnits) {
+		return 0
+	}
+	return e.cfg.BufferUnits - uint32(used)
+}
+
+// noteResident updates the peak-occupancy statistic.
+func (e *Entity) noteResident() {
+	if r := e.Resident(); r > e.stats.MaxResident {
+		e.stats.MaxResident = r
+	}
+}
+
+func (e *Entity) trace(t trace.EventType, src pdu.EntityID, seq pdu.Seq, kind pdu.Kind, now time.Duration) {
+	if e.cfg.Tracer == nil {
+		return
+	}
+	e.cfg.Tracer.Record(trace.Event{
+		Type:   t,
+		Entity: e.me,
+		Msg:    trace.MsgID{Src: src, Seq: seq},
+		Kind:   kind,
+		At:     now,
+	})
+}
+
+// --- Introspection (tests, benchmarks, tools) ---
+
+// Seq returns the next sequence number this entity will assign.
+func (e *Entity) Seq() pdu.Seq { return e.seq }
+
+// REQ returns a copy of the next-expected vector.
+func (e *Entity) REQ() []pdu.Seq {
+	out := make([]pdu.Seq, e.n)
+	copy(out, e.req)
+	return out
+}
+
+// MinAL returns min over non-evicted j of AL[k][j]: every PDU from k
+// below this is known accepted by the whole quorum (the PACK threshold).
+func (e *Entity) MinAL(k pdu.EntityID) pdu.Seq { return e.quorumMin(e.al[k]) }
+
+// MinPAL returns min over non-evicted j of PAL[k][j]: every PDU from k
+// below this is known pre-acknowledged by the whole quorum (the ACK
+// threshold).
+func (e *Entity) MinPAL(k pdu.EntityID) pdu.Seq { return e.quorumMin(e.pal[k]) }
+
+// Resident returns the number of PDUs currently held in the receive-side
+// logs (parked + RRL + PRL + commit stage + total-order release stage).
+func (e *Entity) Resident() int {
+	r := e.parkedTotal + e.rrlTotal + e.prl.Len() + len(e.ackedPending)
+	if e.to != nil {
+		r += e.to.pending.Len()
+	}
+	return r
+}
+
+// Committed returns the highest contiguously delivered (committed)
+// sequence number from source k.
+func (e *Entity) Committed(k pdu.EntityID) pdu.Seq { return e.committed[k] }
+
+// PRLSnapshot returns the current pre-acknowledged log in causal order.
+func (e *Entity) PRLSnapshot() []*pdu.PDU { return e.prl.Slice() }
+
+// RRLLen returns the number of accepted-but-not-preacknowledged PDUs from
+// source k.
+func (e *Entity) RRLLen(k pdu.EntityID) int { return e.rrl[k].Len() }
+
+// SendLogLen returns the number of own PDUs retained for retransmission.
+func (e *Entity) SendLogLen() int { return len(e.sendlog) }
+
+// PendingSubmits returns the number of flow-blocked submissions.
+func (e *Entity) PendingSubmits() int { return len(e.pendingSubmits) }
+
+// Quiescent reports whether this entity owes the cluster nothing: no
+// undelivered data, no queued submissions, no unanswered NeedAck.
+func (e *Entity) Quiescent() bool { return !e.needsToSpeak() }

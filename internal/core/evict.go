@@ -1,0 +1,112 @@
+package core
+
+// Entity-failure extension. The paper assumes all n entities stay up: a
+// crashed or partitioned entity stops confirming, minAL/minPAL freeze,
+// and no PDU in the whole cluster can ever be acknowledged again. This
+// extension lets an entity be evicted from the confirmation quorum:
+//
+//   - evicted entities no longer participate in the minAL/minPAL
+//     minimums, the flow-control buffer minimum, the deferred-
+//     confirmation "heard from everyone" rule, or total-order stability;
+//   - no retransmission requests are addressed to them;
+//   - PDUs already accepted from them continue through the pipeline.
+//
+// Limitations (documented, inherent to the paper's source-only
+// retransmission): eviction is NOT virtual synchrony. PDUs the evicted
+// entity broadcast that some survivors lost can only be repaired by the
+// evicted source itself, so a dependent delivery can stall at those
+// survivors; and there is no rejoin — recovery of a crashed entity is a
+// membership problem outside the paper's scope.
+//
+// Suspicion can be driven manually (Evict) or automatically: with
+// Config.SuspectAfter > 0, an entity that has owed the cluster
+// confirmations for that long without hearing anything from a peer
+// evicts it. Quiescent peers are never suspected — silence is only
+// suspicious while help is being asked for.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cobcast/internal/pdu"
+)
+
+// ErrSelfEvict is returned when an entity is asked to evict itself.
+var ErrSelfEvict = errors.New("core: cannot evict self")
+
+// Evict removes entity k from the confirmation quorum. It is idempotent.
+// The returned output may contain deliveries unblocked by the shrunken
+// quorum and fresh confirmation PDUs.
+func (e *Entity) Evict(k pdu.EntityID, now time.Duration) (Output, error) {
+	var out Output
+	if k == e.me {
+		return out, ErrSelfEvict
+	}
+	if k < 0 || int(k) >= e.n {
+		return out, fmt.Errorf("%w: evict %d", ErrBadID, k)
+	}
+	if !e.evicted[k] {
+		e.evicted[k] = true
+		e.stats.Evicted++
+		// Re-evaluate everything that was waiting on k's confirmations.
+		e.finish(now, &out)
+	}
+	return out, nil
+}
+
+// Evicted reports whether entity k has been evicted here.
+func (e *Entity) Evicted(k pdu.EntityID) bool { return e.evicted[k] }
+
+// aliveColumns iterates the entities that still count toward quorums.
+func (e *Entity) quorumMin(row []pdu.Seq) pdu.Seq {
+	m := pdu.Seq(0)
+	first := true
+	for j := 0; j < e.n; j++ {
+		if e.evicted[j] {
+			continue
+		}
+		if first || row[j] < m {
+			m = row[j]
+			first = false
+		}
+	}
+	if first {
+		// Everyone else evicted: only our own view remains.
+		return row[e.me]
+	}
+	return m
+}
+
+// noteHeard records liveness evidence for the suspicion timer.
+func (e *Entity) noteHeard(j pdu.EntityID, now time.Duration) {
+	e.lastHeard[j] = now
+	e.heardOnce[j] = true
+}
+
+// maybeSuspect auto-evicts peers that stayed silent while we owed the
+// cluster confirmations. Runs from Tick.
+func (e *Entity) maybeSuspect(now time.Duration, out *Output) {
+	if e.cfg.SuspectAfter <= 0 || !e.owed {
+		return
+	}
+	for j := 0; j < e.n; j++ {
+		id := pdu.EntityID(j)
+		if id == e.me || e.evicted[j] {
+			continue
+		}
+		last := e.lastHeard[j]
+		if !e.heardOnce[j] || last < e.owedSince {
+			// Silence only counts while help is being asked for: measure
+			// from when the obligation arose if the peer was last heard
+			// before it.
+			last = e.owedSince
+		}
+		if now-last >= e.cfg.SuspectAfter {
+			e.evicted[j] = true
+			e.stats.Evicted++
+			e.stats.AutoSuspected++
+			_ = out // finish runs after maybeSuspect in Tick
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+// White-box invariant checks. A cluster of entities is driven through a
+// random but causally consistent schedule (submissions, per-sender-order
+// deliveries with loss and duplication, ticks), and after every single
+// step each entity's internal state is checked against the protocol's
+// structural invariants.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cobcast/internal/msglog"
+	"cobcast/internal/pdu"
+)
+
+// checkInvariants asserts the structural invariants of one entity.
+func checkInvariants(t *testing.T, e *Entity, step int) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("step %d entity %d: "+format, append([]any{step, e.me}, args...)...)
+	}
+
+	// SEQ is always one past the last self-accepted PDU.
+	if e.req[e.me] != e.seq {
+		fail("req[self]=%d != seq=%d", e.req[e.me], e.seq)
+	}
+	for k := 0; k < e.n; k++ {
+		// Own AL column is exactly REQ (direct knowledge).
+		if e.al[k][e.me] != e.req[k] {
+			fail("al[%d][self]=%d != req=%d", k, e.al[k][e.me], e.req[k])
+		}
+		// known is at least REQ (we know what we accepted).
+		if e.known[k] < e.req[k] {
+			fail("known[%d]=%d < req=%d", k, e.known[k], e.req[k])
+		}
+		for j := 0; j < e.n; j++ {
+			// PAL folds a subset of AL's folds: PAL ≤ AL pointwise.
+			if e.pal[k][j] > e.al[k][j] {
+				fail("pal[%d][%d]=%d > al=%d", k, j, e.pal[k][j], e.al[k][j])
+			}
+			// Nobody can expect more from k than k has sent — and we can
+			// only know as much as we have seen.
+			if e.al[k][j] < 1 {
+				fail("al[%d][%d]=%d < 1", k, j, e.al[k][j])
+			}
+		}
+		// Committed never outruns the pre-acknowledgment pipeline:
+		// commit requires ack requires preack requires acceptance.
+		if e.committed[k] >= e.req[k] {
+			fail("committed[%d]=%d >= req=%d", k, e.committed[k], e.req[k])
+		}
+		// RRL holds a contiguous run ending at req-1.
+		if l := e.rrl[k].Len(); l > 0 {
+			last := e.rrl[k].At(l - 1)
+			if last.SEQ != e.req[k]-1 {
+				fail("rrl[%d] tail seq %d, want %d", k, last.SEQ, e.req[k]-1)
+			}
+			for i := 1; i < l; i++ {
+				if e.rrl[k].At(i).SEQ != e.rrl[k].At(i-1).SEQ+1 {
+					fail("rrl[%d] not contiguous at %d", k, i)
+				}
+			}
+			// Everything still in RRL is at or above the PACK threshold.
+			if top := e.rrl[k].Top(); top.SEQ < e.MinAL(pdu.EntityID(k)) {
+				fail("rrl[%d] top %d below minAL %d (pack not drained)",
+					k, top.SEQ, e.MinAL(pdu.EntityID(k)))
+			}
+		}
+		// Parked PDUs are strictly beyond REQ.
+		for s := range e.parked[k] {
+			if s < e.req[k] {
+				fail("parked[%d] holds stale seq %d < req %d", k, s, e.req[k])
+			}
+		}
+	}
+	// PRL is causality-preserved under the Theorem 4.1 relation.
+	if prl := e.prl.Slice(); !msglog.IsCausalityPreserved(prl) {
+		fail("PRL not causality-preserved: %v", prl)
+	}
+	// Send log only holds PDUs we actually sent, above the trim mark.
+	for s, p := range e.sendlog {
+		if s < e.sendLo || s >= e.seq {
+			fail("sendlog seq %d outside [%d,%d)", s, e.sendLo, e.seq)
+		}
+		if p.Src != e.me {
+			fail("sendlog holds foreign PDU %v", p)
+		}
+	}
+	// Cached counters agree with the structures they cache.
+	parkedTotal := 0
+	for k := 0; k < e.n; k++ {
+		parkedTotal += len(e.parked[k])
+	}
+	if parkedTotal != e.parkedTotal {
+		fail("parkedTotal cache %d != %d", e.parkedTotal, parkedTotal)
+	}
+	rrlTotal := 0
+	for k := 0; k < e.n; k++ {
+		rrlTotal += e.rrl[k].Len()
+	}
+	if rrlTotal != e.rrlTotal {
+		fail("rrlTotal cache %d != %d", e.rrlTotal, rrlTotal)
+	}
+	toPending := 0
+	if e.to != nil {
+		toPending = e.to.pending.Len()
+		// Logical times per source are contiguous with commits.
+		for k := 0; k < e.n; k++ {
+			if got := e.to.base[k] + pdu.Seq(len(e.to.ltimes[k])); got != e.committed[k]+1 {
+				fail("ltime history for %d covers to %d, committed %d", k, got-1, e.committed[k])
+			}
+		}
+	}
+	if e.Resident() != parkedTotal+rrlTotal+e.prl.Len()+len(e.ackedPending)+toPending {
+		fail("Resident() inconsistent")
+	}
+}
+
+// TestInvariantsRandomWalk drives random schedules and checks invariants
+// after every step, in both CO and TO modes, with occasional evictions.
+func TestInvariantsRandomWalk(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		totalOrder := seed%3 == 0
+		allowEvict := n > 2 && seed%4 == 0
+		ents := make([]*Entity, n)
+		for i := range ents {
+			e, err := New(Config{
+				ID: pdu.EntityID(i), N: n,
+				Window:              pdu.Seq(1 + rng.Intn(6)),
+				DeferredAckInterval: time.Millisecond,
+				RetransmitTimeout:   2 * time.Millisecond,
+				TotalOrder:          totalOrder,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ents[i] = e
+		}
+		// Per-channel FIFO queues (the MC service), with loss and
+		// duplication applied at dequeue.
+		queues := make([][]*pdu.PDU, n*n) // queues[from*n+to]
+		now := time.Duration(0)
+		route := func(from int, out Output) {
+			for _, p := range out.PDUs {
+				for to := 0; to < n; to++ {
+					if to != from {
+						queues[from*n+to] = append(queues[from*n+to], p.Clone())
+					}
+				}
+			}
+		}
+		const steps = 400
+		for step := 0; step < steps; step++ {
+			now += time.Duration(rng.Intn(500)) * time.Microsecond
+			i := rng.Intn(n)
+			switch rng.Intn(10) {
+			case 0, 1: // submit
+				route(i, ents[i].Submit([]byte{byte(step)}, now))
+			case 2: // tick
+				route(i, ents[i].Tick(now))
+				// Occasionally evict the last entity at everyone.
+				if allowEvict && step > 300 && !ents[i].Evicted(pdu.EntityID(n-1)) &&
+					pdu.EntityID(i) != pdu.EntityID(n-1) {
+					out, err := ents[i].Evict(pdu.EntityID(n-1), now)
+					if err != nil {
+						t.Fatal(err)
+					}
+					route(i, out)
+				}
+			default: // deliver the head of a random incoming channel
+				from := rng.Intn(n)
+				q := &queues[from*n+i]
+				if len(*q) == 0 {
+					continue
+				}
+				p := (*q)[0]
+				switch rng.Intn(10) {
+				case 0: // lose it
+					*q = (*q)[1:]
+				case 1: // duplicate: deliver without popping
+					out, err := ents[i].Receive(p, now)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					route(i, out)
+				default:
+					*q = (*q)[1:]
+					out, err := ents[i].Receive(p, now)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					route(i, out)
+				}
+			}
+			checkInvariants(t, ents[i], step)
+		}
+		// Final pass over every entity.
+		for _, e := range ents {
+			checkInvariants(t, e, steps)
+		}
+	}
+}
+
+// TestInvariantsUnderTargetedReplay aims duplication at retransmissions:
+// a lost PDU is repaired twice and the repair itself is duplicated.
+func TestInvariantsUnderTargetedReplay(t *testing.T) {
+	ents := make([]*Entity, 2)
+	for i := range ents {
+		e, err := New(Config{ID: pdu.EntityID(i), N: 2, DisableDeferredConfirm: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents[i] = e
+	}
+	out := ents[0].Submit([]byte("m1"), 0)
+	p1 := out.PDUs[0]
+	out = ents[0].Submit([]byte("m2"), 0)
+	p2 := out.PDUs[0]
+
+	// p1 lost; p2 reveals the gap.
+	rout, err := ents[1].Receive(p2.Clone(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := rout.PDUs[0]
+	// The RET arrives twice (delayed duplicate) after the timeout.
+	r1, err := ents[0].Receive(ret.Clone(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ents[0].Receive(ret.Clone(), 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Both repair copies arrive, plus the original p1 very late, plus p2
+	// again.
+	for _, p := range []*pdu.PDU{r1.PDUs[0], r1.PDUs[0], p1, p2} {
+		if _, err := ents[1].Receive(p.Clone(), 0); err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, ents[1], 0)
+	}
+	if got := ents[1].REQ()[0]; got != 3 {
+		t.Fatalf("REQ after replay storm = %d, want 3", got)
+	}
+	if ents[1].Stats().Accepted != 2 {
+		t.Fatalf("Accepted = %d, want 2", ents[1].Stats().Accepted)
+	}
+}

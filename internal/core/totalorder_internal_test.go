@@ -1,0 +1,116 @@
+package core
+
+// White-box tests for the total-order release stage internals.
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+
+	"cobcast/internal/pdu"
+)
+
+func TestToKeyOrdering(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b toKey
+		less bool
+	}{
+		{"by ltime", toKey{lt: 1, src: 9, seq: 9}, toKey{lt: 2, src: 0, seq: 0}, true},
+		{"ltime tie by src", toKey{lt: 5, src: 0, seq: 9}, toKey{lt: 5, src: 1, seq: 0}, true},
+		{"full tie by seq", toKey{lt: 5, src: 1, seq: 1}, toKey{lt: 5, src: 1, seq: 2}, true},
+		{"equal", toKey{lt: 5, src: 1, seq: 1}, toKey{lt: 5, src: 1, seq: 1}, false},
+		{"greater", toKey{lt: 6, src: 0, seq: 0}, toKey{lt: 5, src: 9, seq: 9}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.less(tt.b); got != tt.less {
+				t.Errorf("less(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.less)
+			}
+		})
+	}
+}
+
+func TestToHeapPopsInKeyOrder(t *testing.T) {
+	var h toHeap
+	keys := []toKey{
+		{lt: 3, src: 1, seq: 1},
+		{lt: 1, src: 2, seq: 1},
+		{lt: 2, src: 0, seq: 1},
+		{lt: 1, src: 0, seq: 1},
+	}
+	for _, k := range keys {
+		heap.Push(&h, toItem{key: k})
+	}
+	var prev *toKey
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(toItem)
+		if prev != nil && it.key.less(*prev) {
+			t.Fatalf("heap popped %v after %v", it.key, *prev)
+		}
+		k := it.key
+		prev = &k
+	}
+}
+
+// TestLTimePruning forces the pruning pass with a tiny threshold and
+// verifies referenced entries survive while history shrinks.
+func TestLTimePruning(t *testing.T) {
+	old := ltimePruneThreshold
+	ltimePruneThreshold = 8
+	defer func() { ltimePruneThreshold = old }()
+
+	// Two entities exchanging continuously in TO mode.
+	mk := func(id pdu.EntityID) *Entity {
+		e, err := New(Config{ID: id, N: 2, TotalOrder: true,
+			DeferredAckInterval: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e0, e1 := mk(0), mk(1)
+	now := time.Duration(0)
+	pending := e0.Submit([]byte("kick"), now).PDUs
+	deliveries := 0
+	for round := 0; round < 400; round++ {
+		now += time.Millisecond
+		var next []*pdu.PDU
+		for _, p := range pending {
+			dst := e1
+			if p.Src == 1 {
+				dst = e0
+			}
+			out, err := dst.Receive(p.Clone(), now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			deliveries += len(out.Deliveries)
+			next = append(next, out.PDUs...)
+		}
+		o0, o1 := e0.Tick(now), e1.Tick(now)
+		deliveries += len(o0.Deliveries) + len(o1.Deliveries)
+		next = append(next, o0.PDUs...)
+		next = append(next, o1.PDUs...)
+		pending = next
+		// Feed more data every few rounds to keep commits flowing.
+		if round%4 == 0 && round < 300 {
+			out := e0.Submit([]byte{byte(round)}, now)
+			pending = append(pending, out.PDUs...)
+			deliveries += len(out.Deliveries)
+		}
+	}
+	if deliveries == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Pruning must have moved the base forward on the busy source.
+	if e1.to.base[0] <= 1 {
+		t.Errorf("ltime history never pruned: base=%v len=%d",
+			e1.to.base[0], len(e1.to.ltimes[0]))
+	}
+	for k := 0; k < 2; k++ {
+		if len(e1.to.ltimes[k]) > 8*ltimePruneThreshold {
+			t.Errorf("source %d history %d entries despite pruning", k, len(e1.to.ltimes[k]))
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cobcast"
+
+	"cobcast/internal/core"
+	"cobcast/internal/pdu"
+	"cobcast/internal/sim"
+	"cobcast/internal/simrun"
+	"cobcast/internal/workload"
+)
+
+// WindowRow is one point of ablation A1: the effect of the flow-control
+// window W on throughput and latency.
+type WindowRow struct {
+	W int
+	// CompletionVirtual is the virtual time to deliver the whole
+	// workload everywhere.
+	CompletionVirtual time.Duration
+	// TapMean is the mean broadcast-to-delivery delay.
+	TapMean time.Duration
+	// FlowBlocked counts submissions that waited for the window.
+	FlowBlocked uint64
+}
+
+// AblationWindow sweeps the window size under a saturating workload.
+func AblationWindow(n int, ws []int, perSender int) ([]WindowRow, error) {
+	rows := make([]WindowRow, 0, len(ws))
+	for _, w := range ws {
+		c, err := simrun.New(simrun.Options{
+			N:    n,
+			Core: core.Config{Window: pdu.Seq(w)},
+			Net:  []sim.NetOption{sim.NetUniformDelay(time.Millisecond)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.LoadWorkload(workload.NewContinuous(n, perSender, 32))
+		done, err := c.RunToQuiescence(deadline)
+		if err != nil {
+			return nil, fmt.Errorf("ablation window=%d: %w", w, err)
+		}
+		samples := c.TapSamples()
+		var sum time.Duration
+		for _, d := range samples {
+			sum += d
+		}
+		var mean time.Duration
+		if len(samples) > 0 {
+			mean = sum / time.Duration(len(samples))
+		}
+		rows = append(rows, WindowRow{
+			W:                 w,
+			CompletionVirtual: done,
+			TapMean:           mean,
+			FlowBlocked:       c.TotalStats().FlowBlocked,
+		})
+	}
+	return rows, nil
+}
+
+// DeferRow is one point of ablation A2: the deferred-ack interval trades
+// confirmation traffic against acknowledgment latency.
+type DeferRow struct {
+	Interval time.Duration
+	// TotalPDUs counts every PDU broadcast during the run.
+	TotalPDUs uint64
+	// CompletionVirtual is the virtual time to quiescence.
+	CompletionVirtual time.Duration
+}
+
+// AblationDeferredAck sweeps the deferred confirmation interval with a
+// sparse workload, where confirmation timing dominates.
+func AblationDeferredAck(n int, intervals []time.Duration, msgs int) ([]DeferRow, error) {
+	rows := make([]DeferRow, 0, len(intervals))
+	for _, iv := range intervals {
+		c, err := simrun.New(simrun.Options{
+			N:    n,
+			Core: core.Config{DeferredAckInterval: iv},
+			Net:  []sim.NetOption{sim.NetUniformDelay(time.Millisecond)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.LoadWorkload(workload.NewInteractive(n, msgs, 32, 10*time.Millisecond, 1))
+		done, err := c.RunToQuiescence(deadline)
+		if err != nil {
+			return nil, fmt.Errorf("ablation defer=%v: %w", iv, err)
+		}
+		st := c.TotalStats()
+		rows = append(rows, DeferRow{
+			Interval:          iv,
+			TotalPDUs:         st.DataSent + st.SyncSent + st.AckOnlySent + st.RetSent,
+			CompletionVirtual: done,
+		})
+	}
+	return rows, nil
+}
+
+// BufferAblRow is one point of ablation A3: shrinking the receive inbox
+// on the real-time in-memory network induces buffer-overrun loss, which
+// the protocol repairs at the cost of retransmissions.
+type BufferAblRow struct {
+	InboxCap int
+	// Overruns counts PDUs dropped at full inboxes; Retransmitted counts
+	// the repairs.
+	Overruns      uint64
+	Retransmitted uint64
+	// Wall is the real time the cluster needed to deliver everything.
+	Wall time.Duration
+}
+
+// AblationBuffer runs the public real-time cluster with varying inbox
+// capacities. Unlike the virtual-time experiments this measures wall
+// clock, so absolute numbers vary run to run; the shape (smaller inbox →
+// more overruns → more retransmissions) is the result.
+func AblationBuffer(n int, caps []int, msgs int) ([]BufferAblRow, error) {
+	rows := make([]BufferAblRow, 0, len(caps))
+	for _, cap := range caps {
+		c, err := cobcast.NewCluster(n,
+			cobcast.WithInboxCapacity(cap),
+			cobcast.WithDeferredAckInterval(time.Millisecond),
+			cobcast.WithRetransmitTimeout(5*time.Millisecond),
+		)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < msgs; i++ {
+			if err := c.Broadcast(i%n, make([]byte, 32)); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		ok := make(chan error, n)
+		for i := 0; i < n; i++ {
+			nd := c.Node(i)
+			go func() {
+				count := 0
+				timeout := time.After(60 * time.Second)
+				for count < msgs {
+					select {
+					case _, open := <-nd.Deliveries():
+						if !open {
+							ok <- fmt.Errorf("deliveries closed at %d/%d", count, msgs)
+							return
+						}
+						count++
+					case <-timeout:
+						ok <- fmt.Errorf("timeout at %d/%d (stats %+v)", count, msgs, nd.Stats())
+						return
+					}
+				}
+				ok <- nil
+			}()
+		}
+		for i := 0; i < n; i++ {
+			if err := <-ok; err != nil {
+				c.Close()
+				return nil, fmt.Errorf("ablation inbox=%d: %w", cap, err)
+			}
+		}
+		wall := time.Since(start)
+		var retx uint64
+		for i := 0; i < n; i++ {
+			retx += c.Node(i).Stats().Retransmitted
+		}
+		net := c.NetworkStats()
+		c.Close()
+		rows = append(rows, BufferAblRow{
+			InboxCap:      cap,
+			Overruns:      net.DroppedOverrun,
+			Retransmitted: retx,
+			Wall:          wall,
+		})
+	}
+	return rows, nil
+}

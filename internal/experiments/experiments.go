@@ -1,0 +1,607 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5, plus the worked example of Section 4). Each
+// experiment is a plain function returning structured rows so that both
+// the cmd/cobench harness (which renders them as tables) and the root
+// benchmark suite (which asserts their shapes) share one implementation.
+// The experiment identifiers (E1..E8, A1..A3) are indexed in DESIGN.md
+// and the results are recorded against the paper in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cobcast/internal/baseline/cbcast"
+	"cobcast/internal/baseline/totalorder"
+	"cobcast/internal/core"
+	"cobcast/internal/pdu"
+	"cobcast/internal/sim"
+	"cobcast/internal/simrun"
+	"cobcast/internal/trace"
+	"cobcast/internal/vclock"
+	"cobcast/internal/workload"
+)
+
+// deadline bounds every simulated run's virtual time.
+const deadline = 120 * time.Second
+
+// stream is a captured sequence of PDUs arriving at one entity during a
+// realistic protocol run, used to replay-measure pure processing cost.
+type stream struct {
+	n    int
+	pdus []*pdu.PDU
+}
+
+// captureStream runs an n-entity continuous workload and records every
+// PDU arriving at entity 0.
+func captureStream(n, perSender int) (*stream, error) {
+	st := &stream{n: n}
+	c, err := simrun.New(simrun.Options{
+		N:   n,
+		Net: []sim.NetOption{sim.NetUniformDelay(time.Millisecond)},
+		PDUTap: func(to, _ pdu.EntityID, p *pdu.PDU) {
+			if to == 0 {
+				st.pdus = append(st.pdus, p.Clone())
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.LoadWorkload(workload.NewContinuous(n, perSender, 64))
+	if _, err := c.RunToQuiescence(deadline); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// replayTco times Receive over the captured stream against fresh
+// entities, returning nanoseconds of protocol processing per PDU (the
+// paper's Tco, Figure 8). The minimum over repetitions is reported — the
+// standard noise-robust estimator for short wall-clock measurements.
+func (st *stream) replayTco(reps int) (float64, error) {
+	if len(st.pdus) == 0 {
+		return 0, fmt.Errorf("experiments: empty stream")
+	}
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		ent, err := core.New(core.Config{ID: 0, N: st.n})
+		if err != nil {
+			return 0, err
+		}
+		now := time.Duration(0)
+		start := time.Now()
+		for _, p := range st.pdus {
+			now += 10 * time.Microsecond
+			_, _ = ent.Receive(p, now)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(len(st.pdus)), nil
+}
+
+// Fig8Row is one point of Figure 8: protocol processing time per PDU
+// (Tco) and application-to-application delivery delay (Tap) at cluster
+// size N.
+type Fig8Row struct {
+	N int
+	// TcoNsPerPDU is the measured per-PDU protocol processing cost.
+	TcoNsPerPDU float64
+	// TapMean is the mean wall-clock delay from Broadcast at the source
+	// to delivery at a destination, measured on the real-time in-process
+	// cluster — the same methodology as the paper's workstation
+	// measurement (their Ethernet latency was negligible against
+	// processing; our in-memory network likewise).
+	TapMean time.Duration
+}
+
+// Fig8 regenerates Figure 8 for the given cluster sizes. The paper plots
+// wall-clock milliseconds on 1992 SPARC2 hardware; the reproduction
+// claims the shape — Tco grows O(n) (the ACK/AL/PAL vectors are length
+// n) and Tap, dominated by the two confirmation rounds each of which
+// costs O(n) PDUs of O(n) processing, grows with n and sits well above
+// Tco.
+func Fig8(ns []int, perSender int) ([]Fig8Row, error) {
+	rows := make([]Fig8Row, 0, len(ns))
+	for _, n := range ns {
+		st, err := captureStream(n, perSender)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 n=%d: %w", n, err)
+		}
+		tco, err := st.replayTco(5)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 n=%d: %w", n, err)
+		}
+		tap, err := MeasureTapRealtime(n, perSender)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 n=%d: %w", n, err)
+		}
+		rows = append(rows, Fig8Row{N: n, TcoNsPerPDU: tco, TapMean: tap})
+	}
+	return rows, nil
+}
+
+// MeasureTap runs a continuous workload at cluster size n with uniform
+// propagation delay r and returns the mean broadcast-to-delivery delay.
+func MeasureTap(n, perSender int, r time.Duration) (time.Duration, error) {
+	c, err := simrun.New(simrun.Options{
+		N:   n,
+		Net: []sim.NetOption{sim.NetUniformDelay(r)},
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.LoadWorkload(workload.NewContinuous(n, perSender, 64))
+	if _, err := c.RunToQuiescence(deadline); err != nil {
+		return 0, err
+	}
+	samples := c.TapSamples()
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("experiments: no Tap samples")
+	}
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	return sum / time.Duration(len(samples)), nil
+}
+
+// AckLatencyRow is one point of experiment E3 (the 2R claim of Section
+// 5): with propagation delay R, a PDU is pre-acknowledged R after
+// acceptance and acknowledged 2R after acceptance.
+type AckLatencyRow struct {
+	N int
+	R time.Duration
+	// MeanAcceptToDeliver is the mean delay between a remote entity
+	// accepting the probe message and delivering it.
+	MeanAcceptToDeliver time.Duration
+	// RatioToR is MeanAcceptToDeliver / R; the paper predicts ≈ 2.
+	RatioToR float64
+}
+
+// AckLatency measures accept-to-delivery latency for a single probe
+// message in otherwise idle clusters — the cleanest view of the
+// two-round acknowledgment structure.
+func AckLatency(ns []int, r time.Duration) ([]AckLatencyRow, error) {
+	rows := make([]AckLatencyRow, 0, len(ns))
+	for _, n := range ns {
+		// The paper's 2R analysis assumes confirmation PDUs are broadcast
+		// "in parallel" as soon as the PDU is accepted; a deferred-ack
+		// interval well below R approximates that.
+		c, err := simrun.New(simrun.Options{
+			N:     n,
+			Trace: true,
+			Core:  core.Config{DeferredAckInterval: r / 4},
+			Net:   []sim.NetOption{sim.NetUniformDelay(r)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.SubmitAt(0, []byte("probe"), 0)
+		if _, err := c.RunToQuiescence(deadline); err != nil {
+			return nil, fmt.Errorf("acklat n=%d: %w", n, err)
+		}
+		probe := trace.MsgID{Src: 0, Seq: 1}
+		accepts := make(map[pdu.EntityID]time.Duration)
+		var total time.Duration
+		var count int
+		for _, ev := range c.Recorder.Events() {
+			if ev.Msg != probe || ev.Entity == 0 {
+				continue
+			}
+			switch ev.Type {
+			case trace.Accept:
+				accepts[ev.Entity] = ev.At
+			case trace.Deliver:
+				if at, ok := accepts[ev.Entity]; ok {
+					total += ev.At - at
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("acklat n=%d: no samples", n)
+		}
+		mean := total / time.Duration(count)
+		rows = append(rows, AckLatencyRow{
+			N: n, R: r,
+			MeanAcceptToDeliver: mean,
+			RatioToR:            float64(mean) / float64(r),
+		})
+	}
+	return rows, nil
+}
+
+// BufferRow is one point of experiment E4 (Section 5's O(n) buffer
+// claim): peak resident PDUs against the paper's 2nW guideline.
+type BufferRow struct {
+	N, W int
+	// MaxResident is the peak number of PDUs simultaneously buffered by
+	// any entity.
+	MaxResident int
+	// Bound2nW is the paper's rule-of-thumb capacity 2·n·W.
+	Bound2nW int
+}
+
+// BufferOccupancy measures peak log occupancy across cluster sizes and
+// windows under a saturating continuous workload.
+func BufferOccupancy(ns, ws []int, perSender int) ([]BufferRow, error) {
+	var rows []BufferRow
+	for _, n := range ns {
+		for _, w := range ws {
+			c, err := simrun.New(simrun.Options{
+				N:    n,
+				Core: core.Config{Window: pdu.Seq(w)},
+				Net:  []sim.NetOption{sim.NetUniformDelay(time.Millisecond)},
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.LoadWorkload(workload.NewContinuous(n, perSender, 32))
+			if _, err := c.RunToQuiescence(deadline); err != nil {
+				return nil, fmt.Errorf("buffer n=%d w=%d: %w", n, w, err)
+			}
+			rows = append(rows, BufferRow{
+				N: n, W: w,
+				MaxResident: c.TotalStats().MaxResident,
+				Bound2nW:    2 * n * w,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PDULenRow is one point of experiment E5 (Section 5 / Figure 4): encoded
+// PDU length is O(n) because the ACK field carries n confirmations.
+type PDULenRow struct {
+	N int
+	// HeaderBytes is the encoded size of an empty-payload PDU.
+	HeaderBytes int
+	// Bytes64 is the encoded size with a 64-byte payload.
+	Bytes64 int
+}
+
+// PDULength computes encoded sizes across cluster sizes.
+func PDULength(ns []int) []PDULenRow {
+	rows := make([]PDULenRow, 0, len(ns))
+	for _, n := range ns {
+		mk := func(payload int) int {
+			p := &pdu.PDU{
+				Kind: pdu.KindData, Src: 0, SEQ: 1,
+				ACK: make([]pdu.Seq, n), LSrc: pdu.NoEntity,
+				Data: make([]byte, payload),
+			}
+			return p.EncodedSize()
+		}
+		rows = append(rows, PDULenRow{N: n, HeaderBytes: mk(0), Bytes64: mk(64)})
+	}
+	return rows
+}
+
+// RetxRow is one point of experiment E6 (Section 5): selective
+// retransmission (CO) against go-back-n (TO protocol) at one loss rate.
+type RetxRow struct {
+	Loss     float64
+	Messages int
+	// CORetransmitted counts PDUs the CO protocol rebroadcast;
+	// COPDUsTotal counts every sequenced and control PDU it sent.
+	CORetransmitted uint64
+	COPDUsTotal     uint64
+	// GBNRetransmissions counts bus slots re-sent by go-back-n;
+	// GBNTransmissions counts all bus slots used.
+	GBNRetransmissions uint64
+	GBNTransmissions   uint64
+}
+
+// RetxComparison runs both protocols over the same message count and loss
+// rates. The paper's claim: only lost PDUs are retransmitted by CO, while
+// go-back-n resends everything past a gap, so the gap widens with loss.
+func RetxComparison(n, msgs int, losses []float64, seed int64) ([]RetxRow, error) {
+	rows := make([]RetxRow, 0, len(losses))
+	for _, loss := range losses {
+		c, err := simrun.New(simrun.Options{
+			N: n,
+			Net: []sim.NetOption{
+				sim.NetUniformDelay(time.Millisecond),
+				sim.NetLossRate(loss),
+				sim.NetSeed(seed),
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.LoadWorkload(workload.NewContinuous(n, (msgs+n-1)/n, 32))
+		if _, err := c.RunToQuiescence(deadline); err != nil {
+			return nil, fmt.Errorf("retx loss=%v: %w", loss, err)
+		}
+		st := c.TotalStats()
+
+		bus, err := totalorder.New(totalorder.Config{N: n, LossRate: loss, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < c.Submitted(); i++ {
+			bus.Broadcast(pdu.EntityID(i%n), nil)
+		}
+		bst, err := bus.Run()
+		if err != nil {
+			return nil, fmt.Errorf("retx gbn loss=%v: %w", loss, err)
+		}
+		rows = append(rows, RetxRow{
+			Loss:               loss,
+			Messages:           c.Submitted(),
+			CORetransmitted:    st.Retransmitted,
+			COPDUsTotal:        st.DataSent + st.SyncSent + st.AckOnlySent + st.RetSent + st.Retransmitted,
+			GBNRetransmissions: bst.Retransmissions,
+			GBNTransmissions:   bst.Transmissions,
+		})
+	}
+	return rows, nil
+}
+
+// ISISCostRow is one point of experiment E7's cost half: per-PDU ordering
+// cost of the CO protocol (sequence numbers) against CBCAST (vector
+// clocks) at cluster size N.
+type ISISCostRow struct {
+	N int
+	// CONsPerPDU is the CO protocol's full per-PDU processing cost.
+	CONsPerPDU float64
+	// CBCASTNsPerMsg is CBCAST's per-message delivery-condition cost.
+	CBCASTNsPerMsg float64
+}
+
+// ISISCost replays identical continuous workloads through both protocols.
+func ISISCost(ns []int, perSender int) ([]ISISCostRow, error) {
+	rows := make([]ISISCostRow, 0, len(ns))
+	for _, n := range ns {
+		st, err := captureStream(n, perSender)
+		if err != nil {
+			return nil, err
+		}
+		coNs, err := st.replayTco(5)
+		if err != nil {
+			return nil, err
+		}
+		cbNs, err := cbcastCost(n, perSender, 5)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ISISCostRow{N: n, CONsPerPDU: coNs, CBCASTNsPerMsg: cbNs})
+	}
+	return rows, nil
+}
+
+// cbcastCost times CBCAST receipt over a reliable round-robin workload.
+func cbcastCost(n, perSender, reps int) (float64, error) {
+	// Pre-generate the message stream once from a sender-side group.
+	senders := make([]*cbcast.Entity, n)
+	for i := range senders {
+		e, err := cbcast.New(pdu.EntityID(i), n)
+		if err != nil {
+			return 0, err
+		}
+		senders[i] = e
+	}
+	var msgs []cbcast.Message
+	payload := make([]byte, 64)
+	for round := 0; round < perSender; round++ {
+		for s := 1; s < n; s++ { // everyone except the measured entity 0
+			m := senders[s].Broadcast(payload)
+			msgs = append(msgs, m)
+			for o := 0; o < n; o++ {
+				if o != s {
+					if _, err := senders[o].Receive(m); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+	}
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		recv, err := cbcast.New(0, n)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := range msgs {
+			if _, err := recv.Receive(msgs[i]); err != nil {
+				return 0, err
+			}
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(len(msgs)), nil
+}
+
+// PrimitiveRow is experiment E7's ordering-primitive half: the cost of
+// one causality decision. The CO protocol decides p ≺ q from two
+// sequence-number comparisons regardless of n (Theorem 4.1); a vector
+// clock comparison scans n components. This is the paper's "more
+// computation to synchronize the virtual clock" claim in its purest form.
+type PrimitiveRow struct {
+	N int
+	// SeqTestNs is the cost of one Theorem 4.1 comparison.
+	SeqTestNs float64
+	// VClockNs is the cost of one vector-clock comparison.
+	VClockNs float64
+}
+
+// OrderingPrimitiveCost microbenchmarks the two causality tests.
+func OrderingPrimitiveCost(ns []int, iters int) []PrimitiveRow {
+	rows := make([]PrimitiveRow, 0, len(ns))
+	for _, n := range ns {
+		p := &pdu.PDU{Kind: pdu.KindData, Src: 0, SEQ: 5, ACK: make([]pdu.Seq, n)}
+		q := &pdu.PDU{Kind: pdu.KindData, Src: 1, SEQ: 3, ACK: make([]pdu.Seq, n)}
+		for i := range q.ACK {
+			q.ACK[i] = 6 // q's sender saw p
+		}
+		start := time.Now()
+		var sink pdu.Relation
+		for i := 0; i < iters; i++ {
+			sink = pdu.Compare(p, q)
+		}
+		seqNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		_ = sink
+
+		a, b := make(vclock.VC, n), make(vclock.VC, n)
+		for i := range b {
+			b[i] = uint64(i + 1)
+		}
+		start = time.Now()
+		var vsink vclock.Ordering
+		for i := 0; i < iters; i++ {
+			vsink = a.Compare(b)
+		}
+		vcNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		_ = vsink
+
+		rows = append(rows, PrimitiveRow{N: n, SeqTestNs: seqNs, VClockNs: vcNs})
+	}
+	return rows
+}
+
+// ISISLossResult is experiment E7's loss-detection half: the same lost
+// PDU scenario run through both protocols. The CO protocol detects the
+// loss (sequence gap → RET → repair → delivery); CBCAST, built for a
+// reliable transport, holds the successor forever without any signal.
+type ISISLossResult struct {
+	// CORetRequests is how many retransmission requests the CO cluster
+	// issued; CODelivered is how many of the 2 messages the lossy
+	// entity ultimately delivered.
+	CORetRequests uint64
+	CODelivered   int
+	// CBCASTHeld is the number of messages stuck in the CBCAST hold-back
+	// queue at the end; CBCASTDelivered counts deliveries at the lossy
+	// member.
+	CBCASTHeld      int
+	CBCASTDelivered int
+}
+
+// ISISLossDemo drops the first copy of message 1 toward entity 2 in a
+// 3-member group, then sends message 2.
+func ISISLossDemo() (ISISLossResult, error) {
+	var res ISISLossResult
+
+	// CO protocol: full machinery recovers.
+	dropped := false
+	c, err := simrun.New(simrun.Options{
+		N: 3,
+		Net: []sim.NetOption{
+			sim.NetUniformDelay(time.Millisecond),
+			sim.NetDropFilter(func(_, to pdu.EntityID, p *pdu.PDU) bool {
+				if !dropped && to == 2 && p.Kind == pdu.KindData && p.Src == 0 && p.SEQ == 1 {
+					dropped = true
+					return true
+				}
+				return false
+			}),
+		},
+	})
+	if err != nil {
+		return res, err
+	}
+	c.SubmitAt(0, []byte("m1"), 0)
+	c.SubmitAt(0, []byte("m2"), time.Millisecond)
+	if _, err := c.RunToQuiescence(deadline); err != nil {
+		return res, err
+	}
+	res.CORetRequests = c.TotalStats().RetSent
+	res.CODelivered = len(c.Delivered[2])
+
+	// CBCAST on the same scenario: m1 lost to member 2, m2 arrives.
+	members := make([]*cbcast.Entity, 3)
+	for i := range members {
+		e, err := cbcast.New(pdu.EntityID(i), 3)
+		if err != nil {
+			return res, err
+		}
+		members[i] = e
+	}
+	m1 := members[0].Broadcast([]byte("m1"))
+	m2 := members[0].Broadcast([]byte("m2"))
+	if _, err := members[1].Receive(m1); err != nil {
+		return res, err
+	}
+	if _, err := members[1].Receive(m2); err != nil {
+		return res, err
+	}
+	// Member 2 never gets m1.
+	ds, err := members[2].Receive(m2)
+	if err != nil {
+		return res, err
+	}
+	res.CBCASTDelivered = len(ds)
+	res.CBCASTHeld = members[2].Held()
+	return res, nil
+}
+
+// MsgComplexityRow is one point of experiment E8 (Section 4.2/5): with
+// deferred confirmation the cluster sends O(n) PDUs per application
+// message, not the O(n²) of acknowledge-every-receipt schemes.
+type MsgComplexityRow struct {
+	N int
+	// Messages is the number of application broadcasts.
+	Messages int
+	// TotalPDUs counts every broadcast PDU (data + sync + ackonly + ret).
+	TotalPDUs uint64
+	// PerMessage is TotalPDUs / Messages under the saturating all-senders
+	// workload, where piggybacking amortizes confirmations (measured
+	// even better than the paper's O(n): near-constant).
+	PerMessage float64
+	// SoloPDUs counts the cluster-wide PDUs needed to fully acknowledge
+	// one message in an otherwise idle cluster — the O(n) case the
+	// deferred-confirmation argument describes.
+	SoloPDUs uint64
+	// NSquared is the O(n²) reference point.
+	NSquared int
+}
+
+// MessageComplexity counts cluster-wide PDU traffic per delivered
+// message.
+func MessageComplexity(ns []int, perSender int) ([]MsgComplexityRow, error) {
+	rows := make([]MsgComplexityRow, 0, len(ns))
+	for _, n := range ns {
+		c, err := simrun.New(simrun.Options{
+			N:   n,
+			Net: []sim.NetOption{sim.NetUniformDelay(time.Millisecond)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.LoadWorkload(workload.NewContinuous(n, perSender, 32))
+		if _, err := c.RunToQuiescence(deadline); err != nil {
+			return nil, fmt.Errorf("msgs n=%d: %w", n, err)
+		}
+		st := c.TotalStats()
+		total := st.DataSent + st.SyncSent + st.AckOnlySent + st.RetSent
+
+		solo, err := simrun.New(simrun.Options{
+			N:   n,
+			Net: []sim.NetOption{sim.NetUniformDelay(time.Millisecond)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		solo.SubmitAt(0, make([]byte, 32), 0)
+		if _, err := solo.RunToQuiescence(deadline); err != nil {
+			return nil, fmt.Errorf("msgs solo n=%d: %w", n, err)
+		}
+		sst := solo.TotalStats()
+
+		rows = append(rows, MsgComplexityRow{
+			N:          n,
+			Messages:   c.Submitted(),
+			TotalPDUs:  total,
+			PerMessage: float64(total) / float64(c.Submitted()),
+			SoloPDUs:   sst.DataSent + sst.SyncSent + sst.AckOnlySent + sst.RetSent,
+			NSquared:   n * n,
+		})
+	}
+	return rows, nil
+}

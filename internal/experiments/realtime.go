@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"cobcast"
+)
+
+// MeasureTapRealtime measures the paper's Tap — application-to-
+// application transmission delay — on the real-time in-process cluster:
+// every node broadcasts perSender messages ("continuously like the file
+// transfer"), and the mean Broadcast-to-delivery wall-clock delay over
+// every (message, destination) pair is returned.
+func MeasureTapRealtime(n, perSender int) (time.Duration, error) {
+	c, err := cobcast.NewCluster(n,
+		cobcast.WithDeferredAckInterval(200*time.Microsecond),
+		cobcast.WithRetransmitTimeout(2*time.Millisecond),
+	)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+
+	total := n * perSender
+	var (
+		mu        sync.Mutex
+		sendTimes = make(map[uint64]time.Time, total)
+		sum       time.Duration
+		samples   int
+	)
+	key := func(src int, idx uint64) uint64 { return uint64(src)<<40 | idx }
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		nd := c.Node(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := 0
+			timeout := time.After(60 * time.Second)
+			for seen < total {
+				select {
+				case m, ok := <-nd.Deliveries():
+					if !ok {
+						errs <- fmt.Errorf("tap: deliveries closed at %d/%d", seen, total)
+						return
+					}
+					now := time.Now()
+					idx := binary.BigEndian.Uint64(m.Data[4:])
+					mu.Lock()
+					if at, ok := sendTimes[key(m.Src, idx)]; ok {
+						sum += now.Sub(at)
+						samples++
+					}
+					mu.Unlock()
+					seen++
+				case <-timeout:
+					errs <- fmt.Errorf("tap: timeout at %d/%d (stats %+v)", seen, total, nd.Stats())
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+
+	payload := make([]byte, 64)
+	for idx := 0; idx < perSender; idx++ {
+		for src := 0; src < n; src++ {
+			binary.BigEndian.PutUint32(payload, uint32(src))
+			binary.BigEndian.PutUint64(payload[4:], uint64(idx))
+			mu.Lock()
+			sendTimes[key(src, uint64(idx))] = time.Now()
+			mu.Unlock()
+			if err := c.Broadcast(src, payload); err != nil {
+				c.Close()
+				wg.Wait()
+				return 0, err
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("tap: no samples")
+	}
+	return sum / time.Duration(samples), nil
+}

@@ -1,0 +1,160 @@
+// Package msglog implements the receipt logs of the CO protocol and the
+// causality-preserved insertion (CPI) operation of Section 4.4.
+//
+// Each entity keeps, per the paper:
+//
+//   - one receipt sublog RRL_j per source j, holding PDUs accepted from j
+//     in sequence order, awaiting pre-acknowledgment;
+//   - one receipt sublog PRL holding pre-acknowledged PDUs, kept
+//     causality-preserved by the CPI operation;
+//   - one log ARL holding acknowledged PDUs ready for delivery to the
+//     application entity.
+//
+// The package also provides the ordering predicates of Section 2.2
+// (local-order-preserved, causality-preserved) that the test suite uses to
+// state protocol invariants.
+package msglog
+
+import (
+	"cobcast/internal/pdu"
+)
+
+// Log is an ordered sequence of PDUs with queue operations. The zero value
+// is an empty, ready-to-use log. Dequeue is amortized O(1).
+type Log struct {
+	pdus []*pdu.PDU
+	head int
+}
+
+// Len returns the number of PDUs in the log.
+func (l *Log) Len() int { return len(l.pdus) - l.head }
+
+// Empty reports whether the log holds no PDUs.
+func (l *Log) Empty() bool { return l.Len() == 0 }
+
+// Top returns the first PDU (the paper's top(L)), or nil if empty.
+func (l *Log) Top() *pdu.PDU {
+	if l.Empty() {
+		return nil
+	}
+	return l.pdus[l.head]
+}
+
+// Last returns the final PDU (the paper's last(L)), or nil if empty.
+func (l *Log) Last() *pdu.PDU {
+	if l.Empty() {
+		return nil
+	}
+	return l.pdus[len(l.pdus)-1]
+}
+
+// At returns the i-th PDU (0 = top). It panics if i is out of range.
+func (l *Log) At(i int) *pdu.PDU { return l.pdus[l.head+i] }
+
+// Enqueue appends p at the tail (the paper's enqueue(L, p)).
+func (l *Log) Enqueue(p *pdu.PDU) { l.pdus = append(l.pdus, p) }
+
+// Dequeue removes and returns the top PDU (the paper's dequeue(L)), or nil
+// if the log is empty.
+func (l *Log) Dequeue() *pdu.PDU {
+	if l.Empty() {
+		return nil
+	}
+	p := l.pdus[l.head]
+	l.pdus[l.head] = nil // release for GC
+	l.head++
+	if l.head > 64 && l.head*2 >= len(l.pdus) {
+		l.compact()
+	}
+	return p
+}
+
+func (l *Log) compact() {
+	n := copy(l.pdus, l.pdus[l.head:])
+	for i := n; i < len(l.pdus); i++ {
+		l.pdus[i] = nil
+	}
+	l.pdus = l.pdus[:n]
+	l.head = 0
+}
+
+// Slice returns a copy of the log contents from top to last. Mutating the
+// returned slice does not affect the log.
+func (l *Log) Slice() []*pdu.PDU {
+	if l.Empty() {
+		return nil
+	}
+	out := make([]*pdu.PDU, l.Len())
+	copy(out, l.pdus[l.head:])
+	return out
+}
+
+// InsertCPI performs the causality-preserved insertion L < p of Section
+// 4.4: p is placed immediately before the first PDU q in the log with
+// p ≺ q (per Theorem 4.1), or appended at the tail if no such q exists.
+// Concurrent PDUs therefore keep their arrival order, matching cases
+// (2-2)/(2-3) of the paper's CPI definition. If the log was
+// causality-preserved before the call it remains so after, because in a
+// causality-preserved log no q' ≺ p can appear at or after the first
+// successor of p (q' ≺ p ≺ q would put q' before q).
+func (l *Log) InsertCPI(p *pdu.PDU) {
+	at := len(l.pdus)
+	for i := l.head; i < len(l.pdus); i++ {
+		if pdu.CausallyPrecedes(p, l.pdus[i]) {
+			at = i
+			break
+		}
+	}
+	l.pdus = append(l.pdus, nil)
+	copy(l.pdus[at+1:], l.pdus[at:])
+	l.pdus[at] = p
+}
+
+// IsCausalityPreserved reports whether the sequence satisfies the
+// causality-preserved property of Section 2.2: no PDU appears before one
+// of its causal predecessors (for all i < j, not pdus[j] ≺ pdus[i]).
+func IsCausalityPreserved(pdus []*pdu.PDU) bool {
+	for i := range pdus {
+		for j := i + 1; j < len(pdus); j++ {
+			if pdu.CausallyPrecedes(pdus[j], pdus[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsLocalOrderPreserved reports whether the sequence satisfies the
+// local-order-preserved property of Section 2.2: PDUs from each source
+// appear in strictly increasing sequence order.
+func IsLocalOrderPreserved(pdus []*pdu.PDU) bool {
+	last := make(map[pdu.EntityID]pdu.Seq)
+	for _, p := range pdus {
+		if prev, ok := last[p.Src]; ok && p.SEQ <= prev {
+			return false
+		}
+		last[p.Src] = p.SEQ
+	}
+	return true
+}
+
+// IsInformationPreserved reports whether received contains every PDU of
+// sent (matched by source and sequence number): the
+// information-preserved property of Section 2.2 restricted to a known
+// sent set.
+func IsInformationPreserved(received, sent []*pdu.PDU) bool {
+	type key struct {
+		src pdu.EntityID
+		seq pdu.Seq
+	}
+	have := make(map[key]bool, len(received))
+	for _, p := range received {
+		have[key{p.Src, p.SEQ}] = true
+	}
+	for _, p := range sent {
+		if !have[key{p.Src, p.SEQ}] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,285 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"cobcast/internal/pdu"
+)
+
+func syncPDU(src pdu.EntityID, seq pdu.Seq) *pdu.PDU {
+	return &pdu.PDU{Kind: pdu.KindSync, Src: src, SEQ: seq, ACK: []pdu.Seq{1, 1, 1}}
+}
+
+// collect drains up to want PDUs from an endpoint, with a deadline.
+func collect(t *testing.T, ep Endpoint, want int) []Inbound {
+	t.Helper()
+	var got []Inbound
+	deadline := time.After(5 * time.Second)
+	for len(got) < want {
+		select {
+		case in, ok := <-ep.Recv():
+			if !ok {
+				t.Fatalf("inbox closed after %d/%d", len(got), want)
+			}
+			got = append(got, in)
+		case <-deadline:
+			t.Fatalf("timeout after %d/%d PDUs", len(got), want)
+		}
+	}
+	return got
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	net := New(3)
+	defer net.Close()
+	if err := net.Endpoint(0).Broadcast(syncPDU(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []pdu.EntityID{1, 2} {
+		in := collect(t, net.Endpoint(id), 1)[0]
+		if in.From != 0 || in.PDU.SEQ != 1 {
+			t.Errorf("entity %d got %v from %d", id, in.PDU, in.From)
+		}
+	}
+	select {
+	case in := <-net.Endpoint(0).Recv():
+		t.Errorf("sender received its own broadcast: %v", in.PDU)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestPerSenderOrderPreservedWithDelay(t *testing.T) {
+	// The MC service must be local-order-preserved even with latency.
+	net := New(2, WithUniformDelay(time.Millisecond))
+	defer net.Close()
+	const count = 50
+	for i := 1; i <= count; i++ {
+		if err := net.Endpoint(0).Send(1, syncPDU(0, pdu.Seq(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, net.Endpoint(1), count)
+	for i, in := range got {
+		if in.PDU.SEQ != pdu.Seq(i+1) {
+			t.Fatalf("position %d: got seq %d, want %d", i, in.PDU.SEQ, i+1)
+		}
+	}
+}
+
+func TestLossRateDropsApproximately(t *testing.T) {
+	net := New(2, WithLossRate(0.5), WithSeed(42))
+	defer net.Close()
+	const count = 2000
+	for i := 1; i <= count; i++ {
+		if err := net.Endpoint(0).Send(1, syncPDU(0, pdu.Seq(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the pipe to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := net.Stats()
+		if s.Delivered+s.DroppedLoss+s.DroppedOverrun == count {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipes did not drain: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := net.Stats()
+	if s.DroppedLoss < count/3 || s.DroppedLoss > 2*count/3 {
+		t.Errorf("loss rate 0.5 dropped %d of %d", s.DroppedLoss, count)
+	}
+	if s.Sent != count {
+		t.Errorf("Sent = %d, want %d", s.Sent, count)
+	}
+}
+
+func TestLossIsDeterministicPerSeed(t *testing.T) {
+	run := func() uint64 {
+		net := New(2, WithLossRate(0.3), WithSeed(7))
+		defer net.Close()
+		for i := 1; i <= 500; i++ {
+			if err := net.Endpoint(0).Send(1, syncPDU(0, pdu.Seq(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return net.Stats().DroppedLoss
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different loss: %d vs %d", a, b)
+	}
+}
+
+func TestInboxOverrunDrops(t *testing.T) {
+	// A receiver that never drains loses PDUs to buffer overrun — the
+	// paper's loss model.
+	net := New(2, WithInboxCapacity(4))
+	defer net.Close()
+	const count = 100
+	for i := 1; i <= count; i++ {
+		if err := net.Endpoint(0).Send(1, syncPDU(0, pdu.Seq(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := net.Stats()
+		if s.Delivered+s.DroppedOverrun == count {
+			if s.DroppedOverrun == 0 {
+				t.Error("expected overrun drops with tiny inbox")
+			}
+			if s.Delivered < 4 {
+				t.Errorf("Delivered = %d, want at least inbox capacity", s.Delivered)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("did not settle: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDropFilterTargetsPDUs(t *testing.T) {
+	dropped := 0
+	net := New(2, WithDropFilter(func(from, to pdu.EntityID, p *pdu.PDU) bool {
+		if p.SEQ == 2 {
+			dropped++
+			return true
+		}
+		return false
+	}))
+	defer net.Close()
+	for i := 1; i <= 3; i++ {
+		if err := net.Endpoint(0).Send(1, syncPDU(0, pdu.Seq(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, net.Endpoint(1), 2)
+	if got[0].PDU.SEQ != 1 || got[1].PDU.SEQ != 3 {
+		t.Errorf("got seqs %d,%d want 1,3", got[0].PDU.SEQ, got[1].PDU.SEQ)
+	}
+	if dropped != 1 {
+		t.Errorf("filter invoked for %d drops, want 1", dropped)
+	}
+}
+
+func TestPartitionBlockAndHeal(t *testing.T) {
+	net := New(2)
+	defer net.Close()
+	net.Block(0, 1)
+	if err := net.Endpoint(0).Send(1, syncPDU(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s := net.Stats(); s.DroppedPartition != 1 {
+		t.Fatalf("DroppedPartition = %d, want 1", s.DroppedPartition)
+	}
+	net.Unblock(0, 1)
+	if err := net.Endpoint(0).Send(1, syncPDU(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	in := collect(t, net.Endpoint(1), 1)[0]
+	if in.PDU.SEQ != 2 {
+		t.Errorf("after heal got seq %d, want 2", in.PDU.SEQ)
+	}
+}
+
+func TestIsolateAndRejoin(t *testing.T) {
+	net := New(3)
+	defer net.Close()
+	net.Isolate(1)
+	if err := net.Endpoint(0).Broadcast(syncPDU(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Endpoint(1).Broadcast(syncPDU(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Entity 2 hears only entity 0.
+	in := collect(t, net.Endpoint(2), 1)[0]
+	if in.From != 0 {
+		t.Errorf("entity 2 heard %d, want 0", in.From)
+	}
+	net.Rejoin(1)
+	if err := net.Endpoint(1).Broadcast(syncPDU(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	in = collect(t, net.Endpoint(2), 1)[0]
+	if in.From != 1 || in.PDU.SEQ != 2 {
+		t.Errorf("after rejoin: %v from %d", in.PDU, in.From)
+	}
+}
+
+func TestPDUsAreClonedAtBoundary(t *testing.T) {
+	net := New(2)
+	defer net.Close()
+	p := syncPDU(0, 1)
+	if err := net.Endpoint(0).Send(1, p); err != nil {
+		t.Fatal(err)
+	}
+	p.ACK[0] = 99 // mutate after send
+	in := collect(t, net.Endpoint(1), 1)[0]
+	if in.PDU.ACK[0] == 99 {
+		t.Error("network delivered aliased PDU")
+	}
+}
+
+func TestSendToSelfRejected(t *testing.T) {
+	net := New(2)
+	defer net.Close()
+	if err := net.Endpoint(0).Send(0, syncPDU(0, 1)); err == nil {
+		t.Error("self-send accepted")
+	}
+}
+
+func TestCloseIdempotentAndRejectsSends(t *testing.T) {
+	net := New(2)
+	net.Close()
+	net.Close()
+	if err := net.Endpoint(0).Send(1, syncPDU(0, 1)); err == nil {
+		t.Error("send on closed network succeeded")
+	}
+	if _, ok := <-net.Endpoint(1).Recv(); ok {
+		t.Error("inbox not closed")
+	}
+}
+
+func TestDuplicateRateDeliversTwice(t *testing.T) {
+	net := New(2, WithDuplicateRate(1.0))
+	defer net.Close()
+	if err := net.Endpoint(0).Send(1, syncPDU(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, net.Endpoint(1), 2)
+	if got[0].PDU.SEQ != 1 || got[1].PDU.SEQ != 1 {
+		t.Errorf("expected two copies of seq 1, got %v %v", got[0].PDU, got[1].PDU)
+	}
+}
+
+func TestQueueCapacityOverflowDrops(t *testing.T) {
+	// A pipe with capacity 1 and a slow consumer drops on overflow
+	// rather than blocking the sender.
+	net := New(2, WithQueueCapacity(1), WithUniformDelay(5*time.Millisecond))
+	defer net.Close()
+	for i := 1; i <= 50; i++ {
+		if err := net.Endpoint(0).Send(1, syncPDU(0, pdu.Seq(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := net.Stats()
+		if s.Delivered+s.DroppedOverrun == 50 {
+			if s.DroppedOverrun == 0 {
+				t.Error("expected queue overflow drops")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("did not settle: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,71 @@
+package pdu
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal throws arbitrary bytes at the wire decoder: it must never
+// panic, and everything it accepts must re-encode to the identical
+// datagram (the codec is canonical).
+func FuzzUnmarshal(f *testing.F) {
+	seedPDUs := []*PDU{
+		{Kind: KindData, CID: 1, Src: 0, SEQ: 1, ACK: []Seq{1, 1}, LSrc: NoEntity, Data: []byte("seed")},
+		{Kind: KindSync, CID: 9, Src: 2, SEQ: 7, ACK: []Seq{3, 2, 9}, BUF: 44, NeedAck: true, LSrc: NoEntity},
+		{Kind: KindAckOnly, Src: 1, ACK: []Seq{5, 5}, LSrc: NoEntity},
+		{Kind: KindRet, Src: 3, ACK: []Seq{1, 2, 3, 4}, LSrc: 1, LSeq: 9},
+	}
+	for _, p := range seedPDUs {
+		b, err := p.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xC0, 0xBC}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("accepted PDU failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("codec not canonical:\n in  %x\n out %x", data, out)
+		}
+	})
+}
+
+// FuzzCompare checks that the Theorem 4.1 relation is antisymmetric for
+// arbitrary well-formed PDU pairs.
+func FuzzCompare(f *testing.F) {
+	f.Add(uint8(0), uint64(1), uint64(2), uint64(3), uint8(1), uint64(2), uint64(1), uint64(9))
+	f.Fuzz(func(t *testing.T, srcP uint8, seqP, ackP0, ackP1 uint64,
+		srcQ uint8, seqQ, ackQ0, ackQ1 uint64) {
+		p := &PDU{Kind: KindData, Src: EntityID(srcP % 2), SEQ: Seq(seqP%1000) + 1,
+			ACK: []Seq{Seq(ackP0 % 1000), Seq(ackP1 % 1000)}}
+		q := &PDU{Kind: KindData, Src: EntityID(srcQ % 2), SEQ: Seq(seqQ%1000) + 1,
+			ACK: []Seq{Seq(ackQ0 % 1000), Seq(ackQ1 % 1000)}}
+		pq, qp := Compare(p, q), Compare(q, p)
+		switch pq {
+		case Precedes:
+			if qp != Follows {
+				t.Fatalf("%v ≺ %v but reverse %v", p, q, qp)
+			}
+		case Follows:
+			if qp != Precedes {
+				t.Fatalf("%v ≻ %v but reverse %v", p, q, qp)
+			}
+		case Concurrent:
+			if p.Src != q.Src || p.SEQ != q.SEQ {
+				if qp != Concurrent {
+					t.Fatalf("%v ∥ %v but reverse %v", p, q, qp)
+				}
+			}
+		}
+	})
+}

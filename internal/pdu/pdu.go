@@ -1,0 +1,258 @@
+// Package pdu defines the protocol data units (PDUs) exchanged by the
+// causally ordering broadcast (CO) protocol, their wire encoding, and the
+// sequence-number-based causality relation of Theorem 4.1 of the paper.
+//
+// The PDU format follows Figure 4 (data PDUs) and Figure 5 (RET PDUs) of
+// Nakamura & Takizawa, "Causally Ordering Broadcast Protocol": every PDU
+// carries the cluster identifier CID, the source entity SRC, the sequence
+// number SEQ assigned by the source, the receipt-confirmation vector
+// ACK = <ACK_1 ... ACK_n>, and the advertised free buffer size BUF.
+// ACK_j is the sequence number the source expects to receive next from
+// entity j, i.e. the source has accepted every PDU q from j with
+// q.SEQ < ACK_j. Because ACK carries one entry per cluster member, the PDU
+// length is O(n) — measured by experiment E5.
+package pdu
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EntityID identifies a system entity within a cluster. Entities are
+// numbered 0..n-1. The zero value is a valid identifier (entity 0), so
+// contexts that need a sentinel use NoEntity.
+type EntityID int32
+
+// NoEntity is the sentinel "no entity" value used where an EntityID field
+// is meaningless (for example LSRC on non-RET PDUs).
+const NoEntity EntityID = -1
+
+// Seq is a per-source PDU sequence number. Sources number their sequenced
+// PDUs from 1; 0 means "unsequenced" and is carried by control PDUs
+// (AckOnly, Ret) that never enter the receipt logs.
+type Seq uint64
+
+// Kind discriminates the PDU variants used by the CO protocol.
+type Kind uint8
+
+const (
+	// KindData is a sequenced PDU carrying application data (the DT PDU of
+	// Figure 4). It flows through the full acceptance → pre-acknowledgment
+	// → acknowledgment pipeline and is delivered to the application.
+	KindData Kind = iota + 1
+	// KindSync is a sequenced PDU with empty DATA, emitted by the deferred
+	// confirmation rule of Section 5 when an entity has nothing to send
+	// but must keep receipt confirmations flowing. It traverses the same
+	// pipeline as KindData but is never handed to the application.
+	KindSync
+	// KindAckOnly is an unsequenced control PDU (SEQ = 0) carrying only
+	// the ACK vector and BUF. It is exempt from the flow condition and is
+	// used to break window-stall deadlocks; it never enters the logs.
+	KindAckOnly
+	// KindRet is the retransmission-request PDU of Figure 5. LSRC names
+	// the source whose PDUs were lost and LSEQ bounds the missing range:
+	// the receiver rebroadcasts its PDUs g with ACK[LSRC] <= g.SEQ < LSEQ.
+	KindRet
+)
+
+// String returns the mnemonic used in traces and error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "DATA"
+	case KindSync:
+		return "SYNC"
+	case KindAckOnly:
+		return "ACKONLY"
+	case KindRet:
+		return "RET"
+	default:
+		return "KIND(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Sequenced reports whether PDUs of this kind consume a sequence number
+// and enter the receipt logs.
+func (k Kind) Sequenced() bool { return k == KindData || k == KindSync }
+
+// PDU is a single protocol data unit. Fields mirror Figures 4 and 5 of the
+// paper; Kind and NeedAck are implementation additions documented in
+// DESIGN.md (control PDUs for liveness, and gossip damping).
+type PDU struct {
+	// Kind discriminates DATA/SYNC/ACKONLY/RET.
+	Kind Kind
+	// CID is the cluster identifier; entities discard PDUs whose CID does
+	// not match their own cluster.
+	CID uint32
+	// Src is the source entity that created the PDU.
+	Src EntityID
+	// SEQ is the per-source sequence number (0 for unsequenced kinds).
+	SEQ Seq
+	// ACK[j] is the sequence number the source expects next from entity j
+	// at the time the PDU was created. len(ACK) == n.
+	ACK []Seq
+	// BUF is the number of available buffer units at the source.
+	BUF uint32
+	// NeedAck is set on sequenced PDUs while the source still holds
+	// undelivered data; receivers with nothing of their own to confirm
+	// respond to NeedAck PDUs so the two-phase acknowledgment keeps
+	// making progress after data traffic stops.
+	NeedAck bool
+	// LSrc is, on RET PDUs, the source whose PDUs were detected lost.
+	LSrc EntityID
+	// LSeq is, on RET PDUs, the exclusive upper bound of the missing
+	// sequence range (F condition (1): the SEQ of the PDU that revealed
+	// the gap; F condition (2): the ACK entry that revealed it).
+	LSeq Seq
+	// Data is the application payload (KindData only).
+	Data []byte
+}
+
+// Relation is the outcome of comparing two PDUs under the
+// causality-precedence relation of Section 2.2.
+type Relation int
+
+const (
+	// Precedes means p ≺ q: p was causally sent before q.
+	Precedes Relation = iota + 1
+	// Follows means q ≺ p.
+	Follows
+	// Concurrent means neither precedes the other (causality-coincident,
+	// written p ∥ q in the paper).
+	Concurrent
+)
+
+// String returns "≺", "≻" or "∥".
+func (r Relation) String() string {
+	switch r {
+	case Precedes:
+		return "≺"
+	case Follows:
+		return "≻"
+	case Concurrent:
+		return "∥"
+	default:
+		return "REL(" + strconv.Itoa(int(r)) + ")"
+	}
+}
+
+// Compare determines the causality relation between two sequenced PDUs
+// using only their sequence numbers and ACK vectors, per Theorem 4.1:
+//
+//	(1) if p.Src == q.Src:  p ≺ q  iff  p.SEQ < q.SEQ
+//	(2) if p.Src != q.Src:  p ≺ q  iff  p.SEQ < q.ACK[p.Src]
+//
+// Both PDUs must be sequenced and their ACK vectors must cover each
+// other's sources; Compare panics otherwise because calling it on control
+// PDUs is a programming error, not a runtime condition.
+func Compare(p, q *PDU) Relation {
+	if !p.Kind.Sequenced() || !q.Kind.Sequenced() {
+		panic("pdu: Compare called on unsequenced PDU")
+	}
+	if p.Src == q.Src {
+		switch {
+		case p.SEQ < q.SEQ:
+			return Precedes
+		case p.SEQ > q.SEQ:
+			return Follows
+		default:
+			return Concurrent // the same PDU; callers treat as coincident
+		}
+	}
+	if p.SEQ < q.ACK[p.Src] {
+		return Precedes
+	}
+	if q.SEQ < p.ACK[q.Src] {
+		return Follows
+	}
+	return Concurrent
+}
+
+// CausallyPrecedes reports whether p ≺ q under Theorem 4.1.
+func CausallyPrecedes(p, q *PDU) bool { return Compare(p, q) == Precedes }
+
+// Clone returns a deep copy of the PDU. Networks clone PDUs at the
+// boundary so that entities never share backing arrays.
+func (p *PDU) Clone() *PDU {
+	q := *p
+	if p.ACK != nil {
+		q.ACK = make([]Seq, len(p.ACK))
+		copy(q.ACK, p.ACK)
+	}
+	if p.Data != nil {
+		q.Data = make([]byte, len(p.Data))
+		copy(q.Data, p.Data)
+	}
+	return &q
+}
+
+// Validation errors returned by Validate.
+var (
+	ErrBadKind   = errors.New("pdu: unknown kind")
+	ErrBadSrc    = errors.New("pdu: source out of range")
+	ErrBadSeq    = errors.New("pdu: sequence number inconsistent with kind")
+	ErrBadACKLen = errors.New("pdu: ACK vector length does not match cluster size")
+	ErrBadRet    = errors.New("pdu: RET fields inconsistent")
+)
+
+// Validate checks structural well-formedness of the PDU for a cluster of
+// n entities.
+func (p *PDU) Validate(n int) error {
+	switch p.Kind {
+	case KindData, KindSync, KindAckOnly, KindRet:
+	default:
+		return fmt.Errorf("%w: %d", ErrBadKind, p.Kind)
+	}
+	if p.Src < 0 || int(p.Src) >= n {
+		return fmt.Errorf("%w: src=%d n=%d", ErrBadSrc, p.Src, n)
+	}
+	if p.Kind.Sequenced() && p.SEQ == 0 {
+		return fmt.Errorf("%w: sequenced %s with SEQ=0", ErrBadSeq, p.Kind)
+	}
+	if !p.Kind.Sequenced() && p.SEQ != 0 {
+		return fmt.Errorf("%w: unsequenced %s with SEQ=%d", ErrBadSeq, p.Kind, p.SEQ)
+	}
+	if len(p.ACK) != n {
+		return fmt.Errorf("%w: len=%d n=%d", ErrBadACKLen, len(p.ACK), n)
+	}
+	if p.Kind == KindRet {
+		if p.LSrc < 0 || int(p.LSrc) >= n {
+			return fmt.Errorf("%w: lsrc=%d n=%d", ErrBadRet, p.LSrc, n)
+		}
+		if p.LSeq == 0 {
+			return fmt.Errorf("%w: lseq=0", ErrBadRet)
+		}
+	}
+	return nil
+}
+
+// String renders a compact human-readable form used by traces and tests,
+// for example "DATA s1#3 ack=[4 2 2] len=12".
+func (p *PDU) String() string {
+	var b strings.Builder
+	b.WriteString(p.Kind.String())
+	fmt.Fprintf(&b, " s%d", p.Src)
+	if p.Kind.Sequenced() {
+		fmt.Fprintf(&b, "#%d", p.SEQ)
+	}
+	b.WriteString(" ack=[")
+	for i, a := range p.ACK {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatUint(uint64(a), 10))
+	}
+	b.WriteByte(']')
+	if p.Kind == KindRet {
+		fmt.Fprintf(&b, " lost=s%d<%d", p.LSrc, p.LSeq)
+	}
+	if len(p.Data) > 0 {
+		fmt.Fprintf(&b, " len=%d", len(p.Data))
+	}
+	if p.NeedAck {
+		b.WriteString(" need")
+	}
+	return b.String()
+}

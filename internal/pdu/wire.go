@@ -1,0 +1,138 @@
+// Wire encoding for PDUs. The format is a fixed header followed by the
+// variable-length ACK vector and payload, integrity-protected by a CRC-32
+// trailer so the UDP transport can reject corrupted datagrams:
+//
+//	magic   uint16  0xC0BC
+//	version uint8   1
+//	kind    uint8
+//	flags   uint8   bit0 = NeedAck
+//	cid     uint32
+//	src     int32
+//	seq     uint64
+//	buf     uint32
+//	lsrc    int32
+//	lseq    uint64
+//	nack    uint16
+//	ack     nack × uint64
+//	dlen    uint32
+//	data    dlen bytes
+//	crc     uint32  (IEEE, over everything before it)
+//
+// All integers are big-endian.
+package pdu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	// Magic identifies cobcast datagrams on the wire.
+	Magic uint16 = 0xC0BC
+	// WireVersion is the encoding version emitted by Marshal.
+	WireVersion uint8 = 1
+
+	headerSize  = 2 + 1 + 1 + 1 + 4 + 4 + 8 + 4 + 4 + 8 + 2
+	trailerSize = 4
+
+	flagNeedAck = 1 << 0
+)
+
+// Wire decoding errors.
+var (
+	ErrTruncated   = errors.New("pdu: truncated datagram")
+	ErrBadMagic    = errors.New("pdu: bad magic")
+	ErrBadVersion  = errors.New("pdu: unsupported wire version")
+	ErrBadChecksum = errors.New("pdu: checksum mismatch")
+	ErrTooLong     = errors.New("pdu: field too long to encode")
+)
+
+// EncodedSize returns the exact number of bytes Marshal will produce.
+// It grows linearly with the cluster size via the ACK vector (experiment
+// E5 measures this O(n) growth).
+func (p *PDU) EncodedSize() int {
+	return headerSize + 8*len(p.ACK) + 4 + len(p.Data) + trailerSize
+}
+
+// Marshal encodes the PDU into a self-contained datagram.
+func (p *PDU) Marshal() ([]byte, error) {
+	if len(p.ACK) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: ACK vector %d entries", ErrTooLong, len(p.ACK))
+	}
+	if len(p.Data) > math.MaxUint32 {
+		return nil, fmt.Errorf("%w: data %d bytes", ErrTooLong, len(p.Data))
+	}
+	buf := make([]byte, 0, p.EncodedSize())
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, WireVersion, byte(p.Kind))
+	var flags byte
+	if p.NeedAck {
+		flags |= flagNeedAck
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, p.CID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Src))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.SEQ))
+	buf = binary.BigEndian.AppendUint32(buf, p.BUF)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.LSrc))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.LSeq))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.ACK)))
+	for _, a := range p.ACK {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(a))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Data)))
+	buf = append(buf, p.Data...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// Unmarshal decodes a datagram produced by Marshal. The returned PDU owns
+// freshly allocated ACK and Data slices.
+func Unmarshal(b []byte) (*PDU, error) {
+	if len(b) < headerSize+4+trailerSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	body, crcBytes := b[:len(b)-trailerSize], b[len(b)-trailerSize:]
+	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(crcBytes); got != want {
+		return nil, fmt.Errorf("%w: got %08x want %08x", ErrBadChecksum, got, want)
+	}
+	if m := binary.BigEndian.Uint16(body[0:2]); m != Magic {
+		return nil, fmt.Errorf("%w: %04x", ErrBadMagic, m)
+	}
+	if v := body[2]; v != WireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	p := &PDU{
+		Kind:    Kind(body[3]),
+		NeedAck: body[4]&flagNeedAck != 0,
+		CID:     binary.BigEndian.Uint32(body[5:9]),
+		Src:     EntityID(int32(binary.BigEndian.Uint32(body[9:13]))),
+		SEQ:     Seq(binary.BigEndian.Uint64(body[13:21])),
+		BUF:     binary.BigEndian.Uint32(body[21:25]),
+		LSrc:    EntityID(int32(binary.BigEndian.Uint32(body[25:29]))),
+		LSeq:    Seq(binary.BigEndian.Uint64(body[29:37])),
+	}
+	nack := int(binary.BigEndian.Uint16(body[37:39]))
+	rest := body[headerSize:]
+	if len(rest) < 8*nack+4 {
+		return nil, fmt.Errorf("%w: ACK vector", ErrTruncated)
+	}
+	p.ACK = make([]Seq, nack)
+	for i := range p.ACK {
+		p.ACK[i] = Seq(binary.BigEndian.Uint64(rest[8*i:]))
+	}
+	rest = rest[8*nack:]
+	dlen := int(binary.BigEndian.Uint32(rest[:4]))
+	rest = rest[4:]
+	if len(rest) != dlen {
+		return nil, fmt.Errorf("%w: data (have %d want %d)", ErrTruncated, len(rest), dlen)
+	}
+	if dlen > 0 {
+		p.Data = make([]byte, dlen)
+		copy(p.Data, rest)
+	}
+	return p, nil
+}

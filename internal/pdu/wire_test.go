@@ -1,0 +1,172 @@
+package pdu
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		p    *PDU
+	}{
+		{
+			name: "data",
+			p: &PDU{
+				Kind: KindData, CID: 42, Src: 2, SEQ: 17,
+				ACK: []Seq{1, 2, 3, 4}, BUF: 128, NeedAck: true,
+				LSrc: NoEntity, Data: []byte("the quick brown fox"),
+			},
+		},
+		{
+			name: "sync empty data",
+			p: &PDU{
+				Kind: KindSync, CID: 1, Src: 0, SEQ: 1,
+				ACK: []Seq{9, 9}, BUF: 1, LSrc: NoEntity,
+			},
+		},
+		{
+			name: "ackonly",
+			p: &PDU{
+				Kind: KindAckOnly, CID: 7, Src: 1,
+				ACK: []Seq{5, 6, 7}, BUF: 0, LSrc: NoEntity,
+			},
+		},
+		{
+			name: "ret",
+			p: &PDU{
+				Kind: KindRet, CID: 9, Src: 3,
+				ACK: []Seq{1, 1, 1, 1}, LSrc: 2, LSeq: 44,
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b, err := tt.p.Marshal()
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			if len(b) != tt.p.EncodedSize() {
+				t.Errorf("len = %d, EncodedSize() = %d", len(b), tt.p.EncodedSize())
+			}
+			got, err := Unmarshal(b)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(got, tt.p) {
+				t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, tt.p)
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	p := &PDU{
+		Kind: KindData, CID: 1, Src: 0, SEQ: 1,
+		ACK: []Seq{1, 2}, LSrc: NoEntity, Data: []byte("abc"),
+	}
+	good, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut < len(good); cut++ {
+			if _, err := Unmarshal(good[:cut]); err == nil {
+				t.Fatalf("Unmarshal accepted %d/%d bytes", cut, len(good))
+			}
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Unmarshal(nil); !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("bit flips", func(t *testing.T) {
+		for i := range good {
+			bad := bytes.Clone(good)
+			bad[i] ^= 0x40
+			if _, err := Unmarshal(bad); err == nil {
+				t.Fatalf("Unmarshal accepted datagram with byte %d flipped", i)
+			}
+		}
+	})
+	t.Run("bad magic with fixed crc", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[0] = 0
+		refreshCRC(bad)
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad version with fixed crc", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[2] = 99
+		refreshCRC(bad)
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("got %v, want ErrBadVersion", err)
+		}
+	})
+}
+
+// refreshCRC recomputes the trailer so corruption tests exercise the
+// structural checks rather than the checksum.
+func refreshCRC(b []byte) {
+	body := b[:len(b)-4]
+	crc := crc32.ChecksumIEEE(body)
+	b[len(b)-4] = byte(crc >> 24)
+	b[len(b)-3] = byte(crc >> 16)
+	b[len(b)-2] = byte(crc >> 8)
+	b[len(b)-1] = byte(crc)
+}
+
+func TestEncodedSizeGrowsLinearlyWithN(t *testing.T) {
+	// The O(n) PDU-length claim of Section 5 (experiment E5): adding one
+	// entity adds exactly 8 bytes (one ACK entry).
+	size := func(n int) int {
+		p := &PDU{Kind: KindSync, Src: 0, SEQ: 1, ACK: make([]Seq, n), LSrc: NoEntity}
+		return p.EncodedSize()
+	}
+	base := size(2)
+	for n := 3; n <= 64; n++ {
+		if got, want := size(n), base+8*(n-2); got != want {
+			t.Fatalf("EncodedSize(n=%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestMarshalQuick round-trips randomly generated PDUs.
+func TestMarshalQuick(t *testing.T) {
+	f := func(cid uint32, srcRaw uint8, seqRaw uint16, bufv uint32, need bool, acks []uint16, data []byte) bool {
+		n := len(acks) + 1
+		p := &PDU{
+			Kind: KindData, CID: cid, Src: EntityID(int(srcRaw) % n),
+			SEQ: Seq(seqRaw) + 1, BUF: bufv, NeedAck: need,
+			ACK: make([]Seq, len(acks)), LSrc: NoEntity,
+		}
+		for i, a := range acks {
+			p.ACK[i] = Seq(a)
+		}
+		if len(data) > 0 {
+			p.Data = bytes.Clone(data)
+		}
+		b, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, p)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

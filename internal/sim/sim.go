@@ -1,0 +1,116 @@
+// Package sim is a deterministic discrete-event simulator used to
+// reproduce the paper's latency experiments (Figure 8's Tap series and the
+// 2R acknowledgment-latency claim of Section 5) independently of the host
+// machine. Virtual time advances only when events fire, so a cluster with
+// a maximum propagation delay R yields exact, repeatable delay
+// measurements.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Sim is a single-threaded discrete-event scheduler. The zero value is not
+// usable; create one with New. Sim is not safe for concurrent use — all
+// events run on the caller's goroutine, which is what makes runs
+// deterministic.
+type Sim struct {
+	now    time.Duration
+	queue  eventQueue
+	nextID uint64
+}
+
+// New returns an empty simulation at virtual time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// After schedules fn to run d from now. Events scheduled for the same
+// instant fire in scheduling order. Negative delays are treated as zero.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// At schedules fn at absolute virtual time t, clamped to now.
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.nextID++
+	heap.Push(&s.queue, &event{at: t, id: s.nextID, fn: fn})
+}
+
+// Step runs the next event, returning false if none remain.
+func (s *Sim) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty, returning the number fired.
+func (s *Sim) Run() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil fires events with timestamps ≤ t, then advances the clock to
+// t. Events scheduled beyond t remain queued.
+func (s *Sim) RunUntil(t time.Duration) int {
+	n := 0
+	for s.queue.Len() > 0 && s.queue[0].at <= t {
+		s.Step()
+		n++
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return n
+}
+
+// RunFor fires events within the next d of virtual time.
+func (s *Sim) RunFor(d time.Duration) int { return s.RunUntil(s.now + d) }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+type event struct {
+	at time.Duration
+	id uint64 // insertion order breaks timestamp ties
+	fn func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].id < q[j].id
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"cobcast/internal/pdu"
+)
+
+// Handler receives a PDU arriving at an entity attached to a Net.
+type Handler func(from pdu.EntityID, p *pdu.PDU)
+
+// NetOption configures a simulated network.
+type NetOption func(*netConfig)
+
+type netConfig struct {
+	delay         func(from, to pdu.EntityID, rng *rand.Rand) time.Duration
+	lossRate      float64
+	duplicateRate float64
+	seed          int64
+	drop          func(from, to pdu.EntityID, p *pdu.PDU) bool
+}
+
+// NetDelay sets a per-channel propagation-delay model; the RNG allows
+// jitter while staying deterministic.
+func NetDelay(fn func(from, to pdu.EntityID, rng *rand.Rand) time.Duration) NetOption {
+	return func(c *netConfig) { c.delay = fn }
+}
+
+// NetUniformDelay gives every channel the same propagation delay R.
+func NetUniformDelay(r time.Duration) NetOption {
+	return NetDelay(func(_, _ pdu.EntityID, _ *rand.Rand) time.Duration { return r })
+}
+
+// NetLossRate drops each point-to-point transmission independently with
+// probability p.
+func NetLossRate(p float64) NetOption { return func(c *netConfig) { c.lossRate = p } }
+
+// NetDuplicateRate delivers each transmission twice with probability p.
+func NetDuplicateRate(p float64) NetOption { return func(c *netConfig) { c.duplicateRate = p } }
+
+// NetSeed seeds the network RNG.
+func NetSeed(s int64) NetOption { return func(c *netConfig) { c.seed = s } }
+
+// NetDropFilter installs a targeted-loss hook for failure injection.
+func NetDropFilter(fn func(from, to pdu.EntityID, p *pdu.PDU) bool) NetOption {
+	return func(c *netConfig) { c.drop = fn }
+}
+
+// NetStats counts simulated-network events.
+type NetStats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// Net is the virtual-time MC network: per-sender order preserved on every
+// directed channel, arbitrary interleaving across senders, optional loss.
+// Attach one handler per entity, then Broadcast from inside or outside
+// event callbacks; deliveries are scheduled as simulator events.
+type Net struct {
+	sim      *Sim
+	cfg      netConfig
+	rng      *rand.Rand
+	handlers []Handler
+	// lastAt[from][to] is the latest scheduled arrival on the channel,
+	// used to keep the MC service local-order-preserved under jitter.
+	lastAt  [][]time.Duration
+	blocked map[[2]pdu.EntityID]bool
+	stats   NetStats
+}
+
+// NewNet creates a simulated network for n entities on s.
+func NewNet(s *Sim, n int, opts ...NetOption) *Net {
+	cfg := netConfig{
+		seed:  1,
+		delay: func(_, _ pdu.EntityID, _ *rand.Rand) time.Duration { return 0 },
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	last := make([][]time.Duration, n)
+	for i := range last {
+		last[i] = make([]time.Duration, n)
+	}
+	return &Net{
+		sim:      s,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.seed)),
+		handlers: make([]Handler, n),
+		lastAt:   last,
+		blocked:  make(map[[2]pdu.EntityID]bool),
+	}
+}
+
+// Block partitions the directed channel from→to until Unblock.
+func (n *Net) Block(from, to pdu.EntityID) { n.blocked[[2]pdu.EntityID{from, to}] = true }
+
+// Unblock heals the directed channel from→to.
+func (n *Net) Unblock(from, to pdu.EntityID) { delete(n.blocked, [2]pdu.EntityID{from, to}) }
+
+// Isolate blocks every channel to and from entity i.
+func (n *Net) Isolate(i pdu.EntityID) {
+	for j := range n.handlers {
+		if pdu.EntityID(j) != i {
+			n.Block(i, pdu.EntityID(j))
+			n.Block(pdu.EntityID(j), i)
+		}
+	}
+}
+
+// Rejoin heals every channel to and from entity i.
+func (n *Net) Rejoin(i pdu.EntityID) {
+	for j := range n.handlers {
+		if pdu.EntityID(j) != i {
+			n.Unblock(i, pdu.EntityID(j))
+			n.Unblock(pdu.EntityID(j), i)
+		}
+	}
+}
+
+// Attach registers the handler invoked when PDUs arrive at entity i.
+func (n *Net) Attach(i pdu.EntityID, h Handler) { n.handlers[i] = h }
+
+// Size returns the number of entities.
+func (n *Net) Size() int { return len(n.handlers) }
+
+// Stats returns a snapshot of the counters.
+func (n *Net) Stats() NetStats { return n.stats }
+
+// Broadcast schedules delivery of p from one entity to every other.
+func (n *Net) Broadcast(from pdu.EntityID, p *pdu.PDU) {
+	for to := range n.handlers {
+		if pdu.EntityID(to) == from {
+			continue
+		}
+		n.Send(from, pdu.EntityID(to), p)
+	}
+}
+
+// Send schedules delivery of p on the from→to channel.
+func (n *Net) Send(from, to pdu.EntityID, p *pdu.PDU) {
+	n.stats.Sent++
+	if n.blocked[[2]pdu.EntityID{from, to}] {
+		n.stats.Dropped++
+		return
+	}
+	if n.cfg.lossRate > 0 && n.rng.Float64() < n.cfg.lossRate {
+		n.stats.Dropped++
+		return
+	}
+	if n.cfg.drop != nil && n.cfg.drop(from, to, p) {
+		n.stats.Dropped++
+		return
+	}
+	copies := 1
+	if n.cfg.duplicateRate > 0 && n.rng.Float64() < n.cfg.duplicateRate {
+		copies = 2
+	}
+	for c := 0; c < copies; c++ {
+		at := n.sim.Now() + n.cfg.delay(from, to, n.rng)
+		// FIFO per directed channel: never deliver before an earlier send.
+		if prev := n.lastAt[from][to]; at <= prev {
+			at = prev + time.Nanosecond
+		}
+		n.lastAt[from][to] = at
+		clone := p.Clone()
+		n.sim.At(at, func() {
+			n.stats.Delivered++
+			if h := n.handlers[to]; h != nil {
+				h(from, clone)
+			}
+		})
+	}
+}

@@ -1,0 +1,256 @@
+// Package simrun wires core CO-protocol entities to the discrete-event
+// simulator: it routes broadcast output PDUs through a simulated MC
+// network, drives the entities' deferred-confirmation and retransmission
+// timers with virtual ticks, and collects deliveries, latencies and
+// traces. Tests, benchmarks and cmd/cobench all reproduce the paper's
+// experiments through this harness, so results are deterministic and
+// machine-independent.
+package simrun
+
+import (
+	"fmt"
+	"time"
+
+	"cobcast/internal/core"
+	"cobcast/internal/pdu"
+	"cobcast/internal/sim"
+	"cobcast/internal/trace"
+	"cobcast/internal/workload"
+)
+
+// Options configures a simulated cluster.
+type Options struct {
+	// N is the cluster size.
+	N int
+	// Core is the template entity configuration; ID/N/ClusterID/Tracer
+	// are filled per entity. Zero fields take protocol defaults.
+	Core core.Config
+	// Net configures the simulated network (delay, loss, seed).
+	Net []sim.NetOption
+	// TickEvery is the virtual tick period driving entity timers; it
+	// defaults to the deferred-ack interval.
+	TickEvery time.Duration
+	// Trace enables event recording (needed for latency analysis and the
+	// ordering checkers).
+	Trace bool
+	// PDUTap, if set, observes every PDU arriving at an entity before the
+	// entity processes it (used to capture realistic PDU streams for
+	// replay microbenchmarks).
+	PDUTap func(to, from pdu.EntityID, p *pdu.PDU)
+}
+
+// Cluster is a simulated CO-protocol cluster.
+type Cluster struct {
+	Sim      *sim.Sim
+	Net      *sim.Net
+	Entities []*core.Entity
+	Recorder *trace.Recorder
+
+	// Delivered[i] is entity i's delivery sequence.
+	Delivered [][]core.Delivery
+
+	n         int
+	tickEvery time.Duration
+	submitted int
+	sendTimes map[trace.MsgID]time.Duration
+	// Tap[i] per-message application-to-application delay samples for
+	// deliveries at entity i (Figure 8's Tap).
+	tapSamples []time.Duration
+}
+
+// New builds a simulated cluster of n entities.
+func New(opts Options) (*Cluster, error) {
+	if opts.N < 2 {
+		return nil, fmt.Errorf("simrun: need at least 2 entities, got %d", opts.N)
+	}
+	s := sim.New()
+	net := sim.NewNet(s, opts.N, opts.Net...)
+	c := &Cluster{
+		Sim:       s,
+		Net:       net,
+		Entities:  make([]*core.Entity, opts.N),
+		Delivered: make([][]core.Delivery, opts.N),
+		n:         opts.N,
+		sendTimes: make(map[trace.MsgID]time.Duration),
+	}
+	if opts.Trace {
+		c.Recorder = &trace.Recorder{}
+	}
+	cfg := opts.Core
+	cfg.N = opts.N
+	cfg.Tracer = c.Recorder
+	for i := 0; i < opts.N; i++ {
+		cfg.ID = pdu.EntityID(i)
+		ent, err := core.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("simrun: entity %d: %w", i, err)
+		}
+		c.Entities[i] = ent
+	}
+	c.tickEvery = opts.TickEvery
+	if c.tickEvery == 0 {
+		withDefaults := cfg
+		if withDefaults.DeferredAckInterval == 0 {
+			withDefaults.DeferredAckInterval = core.DefaultDeferredAckInterval
+		}
+		c.tickEvery = withDefaults.DeferredAckInterval
+	}
+	for i := 0; i < opts.N; i++ {
+		id := pdu.EntityID(i)
+		net.Attach(id, func(from pdu.EntityID, p *pdu.PDU) {
+			if opts.PDUTap != nil {
+				opts.PDUTap(id, from, p)
+			}
+			out, err := c.Entities[id].Receive(p, s.Now())
+			if err != nil {
+				// Simulated networks deliver only valid PDUs; an error
+				// here is a harness bug worth surfacing loudly.
+				panic(fmt.Sprintf("simrun: entity %d receive: %v", id, err))
+			}
+			c.dispatch(id, out)
+		})
+		c.scheduleTick(id)
+	}
+	return c, nil
+}
+
+// scheduleTick arms a self-rescheduling virtual timer for one entity.
+func (c *Cluster) scheduleTick(id pdu.EntityID) {
+	c.Sim.After(c.tickEvery, func() {
+		out := c.Entities[id].Tick(c.Sim.Now())
+		c.dispatch(id, out)
+		c.scheduleTick(id)
+	})
+}
+
+// dispatch routes an entity's output: PDUs onto the network, deliveries
+// into the per-entity record and the Tap histogram.
+func (c *Cluster) dispatch(id pdu.EntityID, out core.Output) {
+	for _, p := range out.PDUs {
+		if p.Kind.Sequenced() && p.Src == id {
+			m := trace.MsgID{Src: p.Src, Seq: p.SEQ}
+			if _, seen := c.sendTimes[m]; !seen {
+				c.sendTimes[m] = c.Sim.Now()
+			}
+		}
+		c.Net.Broadcast(id, p)
+	}
+	for _, d := range out.Deliveries {
+		c.Delivered[id] = append(c.Delivered[id], d)
+		if sent, ok := c.sendTimes[trace.MsgID{Src: d.Src, Seq: d.SEQ}]; ok {
+			c.tapSamples = append(c.tapSamples, c.Sim.Now()-sent)
+		}
+	}
+}
+
+// SubmitAt schedules an application broadcast from sender at virtual time
+// at.
+func (c *Cluster) SubmitAt(sender pdu.EntityID, data []byte, at time.Duration) {
+	c.submitted++
+	c.Sim.At(at, func() {
+		out := c.Entities[sender].Submit(data, c.Sim.Now())
+		c.dispatch(sender, out)
+	})
+}
+
+// LoadWorkload schedules every message of a workload generator, spacing
+// messages by their generator-provided gaps starting at virtual time 0.
+func (c *Cluster) LoadWorkload(gen workload.Generator) {
+	var at time.Duration
+	for {
+		m, ok := gen.Next()
+		if !ok {
+			return
+		}
+		at += m.Gap
+		c.SubmitAt(m.Sender, m.Payload, at)
+	}
+}
+
+// Submitted returns the number of scheduled application broadcasts.
+func (c *Cluster) Submitted() int { return c.submitted }
+
+// AllDelivered reports whether every entity has delivered every submitted
+// message.
+func (c *Cluster) AllDelivered() bool {
+	for i := 0; i < c.n; i++ {
+		if len(c.Delivered[i]) < c.submitted {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiescent reports whether every entity owes the cluster nothing.
+func (c *Cluster) Quiescent() bool {
+	for _, e := range c.Entities {
+		if !e.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunToQuiescence advances virtual time in tick-sized steps until all
+// submitted messages are delivered everywhere and every entity is
+// quiescent, or until deadline virtual time passes. It returns the virtual
+// time at completion.
+func (c *Cluster) RunToQuiescence(deadline time.Duration) (time.Duration, error) {
+	step := c.tickEvery
+	for c.Sim.Now() < deadline {
+		c.Sim.RunFor(step)
+		if c.AllDelivered() && c.Quiescent() {
+			return c.Sim.Now(), nil
+		}
+	}
+	for i := 0; i < c.n; i++ {
+		if len(c.Delivered[i]) < c.submitted {
+			return c.Sim.Now(), fmt.Errorf(
+				"simrun: deadline %v: entity %d delivered %d/%d (stats %+v)",
+				deadline, i, len(c.Delivered[i]), c.submitted, c.Entities[i].Stats())
+		}
+	}
+	return c.Sim.Now(), fmt.Errorf("simrun: deadline %v: delivered but not quiescent", deadline)
+}
+
+// TapSamples returns the application-to-application delivery delays
+// (Figure 8's Tap) observed so far.
+func (c *Cluster) TapSamples() []time.Duration {
+	out := make([]time.Duration, len(c.tapSamples))
+	copy(out, c.tapSamples)
+	return out
+}
+
+// Analyze runs the trace checkers over the recorded run. It requires the
+// cluster to have been created with Trace: true.
+func (c *Cluster) Analyze() (*trace.Analysis, error) {
+	if c.Recorder == nil {
+		return nil, fmt.Errorf("simrun: cluster was built without tracing")
+	}
+	return trace.Analyze(c.Recorder.Events(), c.n)
+}
+
+// TotalStats sums entity counters across the cluster.
+func (c *Cluster) TotalStats() core.Stats {
+	var t core.Stats
+	for _, e := range c.Entities {
+		s := e.Stats()
+		t.DataSent += s.DataSent
+		t.SyncSent += s.SyncSent
+		t.AckOnlySent += s.AckOnlySent
+		t.RetSent += s.RetSent
+		t.Accepted += s.Accepted
+		t.Duplicates += s.Duplicates
+		t.Parked += s.Parked
+		t.Retransmitted += s.Retransmitted
+		t.Preacked += s.Preacked
+		t.Acked += s.Acked
+		t.Delivered += s.Delivered
+		t.FlowBlocked += s.FlowBlocked
+		t.InvalidPDUs += s.InvalidPDUs
+		if s.MaxResident > t.MaxResident {
+			t.MaxResident = s.MaxResident
+		}
+	}
+	return t
+}

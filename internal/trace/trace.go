@@ -1,0 +1,353 @@
+// Package trace records protocol events and checks the ordering
+// properties of Section 2.2 against them. The checker derives ground-truth
+// happened-before with vector clocks (independent of the CO protocol's
+// sequence-number machinery), so tests can verify that the protocol's
+// deliveries are information-preserved, local-order-preserved and
+// causality-preserved without trusting the implementation under test.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cobcast/internal/pdu"
+	"cobcast/internal/vclock"
+)
+
+// EventType classifies recorded events.
+type EventType int
+
+const (
+	// Send records an application-level broadcast of a sequenced PDU.
+	Send EventType = iota + 1
+	// Accept records the acceptance (in-order receipt) of a sequenced PDU
+	// at an entity; this is the receipt event r_i[p] of the paper.
+	Accept
+	// Deliver records a PDU being handed to the application entity.
+	Deliver
+	// Drop records a PDU lost in the network.
+	Drop
+	// Retransmit records a rebroadcast triggered by an RET PDU.
+	Retransmit
+)
+
+// String returns the event mnemonic.
+func (t EventType) String() string {
+	switch t {
+	case Send:
+		return "send"
+	case Accept:
+		return "accept"
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	case Retransmit:
+		return "retransmit"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// MsgID identifies a sequenced PDU by source and sequence number.
+type MsgID struct {
+	Src pdu.EntityID `json:"src"`
+	Seq pdu.Seq      `json:"seq"`
+}
+
+// String renders "s1#3".
+func (m MsgID) String() string { return fmt.Sprintf("s%d#%d", m.Src, m.Seq) }
+
+// Event is one recorded protocol event.
+type Event struct {
+	Type   EventType     `json:"type"`
+	Entity pdu.EntityID  `json:"entity"` // where the event happened
+	Msg    MsgID         `json:"msg"`
+	Kind   pdu.Kind      `json:"kind"`
+	At     time.Duration `json:"at"`
+}
+
+// Recorder collects events. It is safe for concurrent use; events from a
+// single entity must be recorded in that entity's processing order, which
+// holds naturally because each entity is single-threaded.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends an event.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteJSON writes the trace as JSON lines.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("encode trace event: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSON parses a JSON-lines trace.
+func ReadJSON(rd io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read trace: %w", err)
+	}
+	return out, nil
+}
+
+// Analysis is the digested form of a trace used by the checkers.
+type Analysis struct {
+	n int
+	// stamps holds the ground-truth vector-clock stamp of each sent
+	// message, derived by replaying Send/Accept events.
+	stamps map[MsgID]vclock.VC
+	// kinds remembers each message's PDU kind.
+	kinds map[MsgID]pdu.Kind
+	// deliveries[e] is entity e's delivery sequence in order.
+	deliveries map[pdu.EntityID][]MsgID
+	// sends is every sent message in send order.
+	sends []MsgID
+}
+
+// Analyze replays the trace, computing ground-truth vector stamps. The
+// trace must contain each entity's events in its processing order and a
+// message's Send before any of its Accepts (guaranteed by construction
+// for recorded runs).
+func Analyze(events []Event, n int) (*Analysis, error) {
+	a := &Analysis{
+		n:          n,
+		stamps:     make(map[MsgID]vclock.VC),
+		kinds:      make(map[MsgID]pdu.Kind),
+		deliveries: make(map[pdu.EntityID][]MsgID),
+	}
+	vcs := make([]vclock.VC, n)
+	for i := range vcs {
+		vcs[i] = vclock.New(n)
+	}
+	for _, e := range events {
+		if int(e.Entity) < 0 || int(e.Entity) >= n {
+			return nil, fmt.Errorf("trace: entity %d out of range", e.Entity)
+		}
+		switch e.Type {
+		case Send:
+			if _, dup := a.stamps[e.Msg]; dup {
+				return nil, fmt.Errorf("trace: duplicate send of %v", e.Msg)
+			}
+			vcs[e.Entity].Tick(int(e.Entity))
+			a.stamps[e.Msg] = vcs[e.Entity].Clone()
+			a.kinds[e.Msg] = e.Kind
+			a.sends = append(a.sends, e.Msg)
+		case Accept:
+			stamp, ok := a.stamps[e.Msg]
+			if !ok {
+				return nil, fmt.Errorf("trace: accept of unsent %v at entity %d", e.Msg, e.Entity)
+			}
+			vcs[e.Entity].Merge(stamp)
+		case Deliver:
+			a.deliveries[e.Entity] = append(a.deliveries[e.Entity], e.Msg)
+		}
+	}
+	return a, nil
+}
+
+// Stamp returns the ground-truth vector stamp of a message, or nil if the
+// message was never sent.
+func (a *Analysis) Stamp(m MsgID) vclock.VC { return a.stamps[m] }
+
+// Deliveries returns entity e's delivery order.
+func (a *Analysis) Deliveries(e pdu.EntityID) []MsgID { return a.deliveries[e] }
+
+// DataSends returns every KindData message in send order.
+func (a *Analysis) DataSends() []MsgID {
+	var out []MsgID
+	for _, m := range a.sends {
+		if a.kinds[m] == pdu.KindData {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// CheckInformationPreserved verifies every entity delivered every DATA
+// message exactly once (atomic, loss-free delivery).
+func (a *Analysis) CheckInformationPreserved() error {
+	want := a.DataSends()
+	for e := pdu.EntityID(0); int(e) < a.n; e++ {
+		seen := make(map[MsgID]int, len(want))
+		for _, m := range a.deliveries[e] {
+			seen[m]++
+		}
+		for _, m := range want {
+			switch seen[m] {
+			case 0:
+				return fmt.Errorf("entity %d never delivered %v", e, m)
+			case 1:
+			default:
+				return fmt.Errorf("entity %d delivered %v %d times", e, m, seen[m])
+			}
+		}
+		if len(a.deliveries[e]) != len(want) {
+			return fmt.Errorf("entity %d delivered %d messages, want %d",
+				e, len(a.deliveries[e]), len(want))
+		}
+	}
+	return nil
+}
+
+// CheckLocalOrderPreserved verifies each entity delivers each source's
+// messages in sending (sequence) order.
+func (a *Analysis) CheckLocalOrderPreserved() error {
+	for e := pdu.EntityID(0); int(e) < a.n; e++ {
+		last := make(map[pdu.EntityID]pdu.Seq)
+		for _, m := range a.deliveries[e] {
+			if prev, ok := last[m.Src]; ok && m.Seq <= prev {
+				return fmt.Errorf("entity %d delivered %v after s%d#%d", e, m, m.Src, prev)
+			}
+			last[m.Src] = m.Seq
+		}
+	}
+	return nil
+}
+
+// CheckCausalOrderPreserved verifies no entity delivers a message before
+// one of its ground-truth causal predecessors (the CO service property).
+func (a *Analysis) CheckCausalOrderPreserved() error {
+	for e := pdu.EntityID(0); int(e) < a.n; e++ {
+		ms := a.deliveries[e]
+		for i := 0; i < len(ms); i++ {
+			for j := i + 1; j < len(ms); j++ {
+				si, sj := a.stamps[ms[i]], a.stamps[ms[j]]
+				if si == nil || sj == nil {
+					return fmt.Errorf("entity %d delivered untraced message", e)
+				}
+				if sj.Before(si) {
+					return fmt.Errorf("entity %d delivered %v before its causal predecessor %v",
+						e, ms[i], ms[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTotalOrderPreserved verifies all entities deliver in the identical
+// sequence (the TO service property; used for the total-order baseline).
+func (a *Analysis) CheckTotalOrderPreserved() error {
+	var ref []MsgID
+	var refEntity pdu.EntityID
+	for e := pdu.EntityID(0); int(e) < a.n; e++ {
+		ms := a.deliveries[e]
+		if ref == nil {
+			ref, refEntity = ms, e
+			continue
+		}
+		if len(ms) != len(ref) {
+			return fmt.Errorf("entities %d and %d delivered %d vs %d messages",
+				refEntity, e, len(ref), len(ms))
+		}
+		for i := range ms {
+			if ms[i] != ref[i] {
+				return fmt.Errorf("position %d: entity %d delivered %v, entity %d delivered %v",
+					i, refEntity, ref[i], e, ms[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Summary describes a trace in aggregate.
+type Summary struct {
+	Events      int
+	DataSends   int
+	SyncSends   int
+	Accepts     int
+	Deliveries  int
+	Drops       int
+	Retransmits int
+	// PerEntityDeliveries maps entity → delivered count.
+	PerEntityDeliveries map[pdu.EntityID]int
+}
+
+// Summarize computes aggregate counts over raw events.
+func Summarize(events []Event) Summary {
+	s := Summary{
+		Events:              len(events),
+		PerEntityDeliveries: make(map[pdu.EntityID]int),
+	}
+	for _, e := range events {
+		switch e.Type {
+		case Send:
+			if e.Kind == pdu.KindData {
+				s.DataSends++
+			} else {
+				s.SyncSends++
+			}
+		case Accept:
+			s.Accepts++
+		case Deliver:
+			s.Deliveries++
+			s.PerEntityDeliveries[e.Entity]++
+		case Drop:
+			s.Drops++
+		case Retransmit:
+			s.Retransmits++
+		}
+	}
+	return s
+}
+
+// CheckCOService runs the full causally-ordering-broadcast service check:
+// information-preserved + causality-preserved (which implies local order).
+func (a *Analysis) CheckCOService() error {
+	if err := a.CheckInformationPreserved(); err != nil {
+		return fmt.Errorf("information-preserved: %w", err)
+	}
+	if err := a.CheckLocalOrderPreserved(); err != nil {
+		return fmt.Errorf("local-order-preserved: %w", err)
+	}
+	if err := a.CheckCausalOrderPreserved(); err != nil {
+		return fmt.Errorf("causality-preserved: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cobcast/internal/pdu"
+)
+
+// script builds a trace from compact tuples for readability.
+func script(evs ...Event) []Event { return evs }
+
+func ev(t EventType, entity pdu.EntityID, src pdu.EntityID, seq pdu.Seq) Event {
+	return Event{Type: t, Entity: entity, Msg: MsgID{Src: src, Seq: seq}, Kind: pdu.KindData}
+}
+
+// figure2Trace reproduces Figure 2 of the paper: E_g sends p; E_h receives
+// p then sends q; E_k receives both. g is an earlier message from E_g.
+// (Entities g,h,k = 0,1,2.)
+func figure2Trace(deliverOrderAtK []MsgID) []Event {
+	evs := script(
+		ev(Send, 0, 0, 1),   // g
+		ev(Send, 0, 0, 2),   // p
+		ev(Accept, 1, 0, 1), // h accepts g
+		ev(Accept, 1, 0, 2), // h accepts p
+		ev(Send, 1, 1, 1),   // q (causally after p)
+		ev(Accept, 2, 0, 1),
+		ev(Accept, 2, 0, 2),
+		ev(Accept, 2, 1, 1),
+		// Deliveries at 0 and 1 in causal order.
+		ev(Deliver, 0, 0, 1), ev(Deliver, 0, 0, 2), ev(Deliver, 0, 1, 1),
+		ev(Deliver, 1, 0, 1), ev(Deliver, 1, 0, 2), ev(Deliver, 1, 1, 1),
+	)
+	for _, m := range deliverOrderAtK {
+		evs = append(evs, Event{Type: Deliver, Entity: 2, Msg: m, Kind: pdu.KindData})
+	}
+	return evs
+}
+
+func TestCheckCOServiceFigure2(t *testing.T) {
+	g, p, q := MsgID{0, 1}, MsgID{0, 2}, MsgID{1, 1}
+
+	t.Run("causality-preserved RL_k = <g p q]", func(t *testing.T) {
+		a, err := Analyze(figure2Trace([]MsgID{g, p, q}), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckCOService(); err != nil {
+			t.Errorf("CheckCOService: %v", err)
+		}
+	})
+
+	t.Run("violating RL_k = <g q p] (paper: not causality-preserved)", func(t *testing.T) {
+		a, err := Analyze(figure2Trace([]MsgID{g, q, p}), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckCausalOrderPreserved(); err == nil {
+			t.Error("q-before-p passed the causal check")
+		}
+		// The paper notes <g q p] is still local-order-preserved.
+		if err := a.CheckLocalOrderPreserved(); err != nil {
+			t.Errorf("local order should hold: %v", err)
+		}
+	})
+}
+
+func TestGroundTruthStamps(t *testing.T) {
+	a, err := Analyze(figure2Trace([]MsgID{{0, 1}, {0, 2}, {1, 1}}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q := a.Stamp(MsgID{0, 2}), a.Stamp(MsgID{1, 1})
+	if !p.Before(q) {
+		t.Errorf("stamp(p)=%v should be before stamp(q)=%v", p, q)
+	}
+	if a.Stamp(MsgID{2, 9}) != nil {
+		t.Error("unsent message has a stamp")
+	}
+}
+
+func TestCheckInformationPreserved(t *testing.T) {
+	base := script(
+		ev(Send, 0, 0, 1),
+		ev(Accept, 1, 0, 1),
+		ev(Deliver, 0, 0, 1),
+	)
+	t.Run("missing delivery", func(t *testing.T) {
+		a, err := Analyze(base, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = a.CheckInformationPreserved()
+		if err == nil || !strings.Contains(err.Error(), "entity 1") {
+			t.Errorf("got %v, want entity-1 miss", err)
+		}
+	})
+	t.Run("duplicate delivery", func(t *testing.T) {
+		evs := append(append([]Event{}, base...),
+			ev(Deliver, 1, 0, 1), ev(Deliver, 1, 0, 1))
+		a, err := Analyze(evs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckInformationPreserved(); err == nil {
+			t.Error("duplicate delivery passed")
+		}
+	})
+	t.Run("complete", func(t *testing.T) {
+		evs := append(append([]Event{}, base...), ev(Deliver, 1, 0, 1))
+		a, err := Analyze(evs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckInformationPreserved(); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("sync PDUs are exempt", func(t *testing.T) {
+		evs := append(append([]Event{}, base...), ev(Deliver, 1, 0, 1),
+			Event{Type: Send, Entity: 0, Msg: MsgID{0, 2}, Kind: pdu.KindSync})
+		a, err := Analyze(evs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckInformationPreserved(); err != nil {
+			t.Errorf("undelivered SYNC should not fail the check: %v", err)
+		}
+	})
+}
+
+func TestCheckLocalOrder(t *testing.T) {
+	evs := script(
+		ev(Send, 0, 0, 1), ev(Send, 0, 0, 2),
+		ev(Deliver, 1, 0, 2), ev(Deliver, 1, 0, 1),
+	)
+	a, err := Analyze(evs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckLocalOrderPreserved(); err == nil {
+		t.Error("out-of-order same-source delivery passed")
+	}
+}
+
+func TestCheckTotalOrder(t *testing.T) {
+	mk := func(order1 []pdu.Seq) []Event {
+		evs := script(
+			ev(Send, 0, 0, 1),
+			ev(Send, 1, 1, 1),
+			ev(Deliver, 0, 0, 1), ev(Deliver, 0, 1, 1),
+		)
+		for _, s := range order1 {
+			if s == 1 {
+				evs = append(evs, ev(Deliver, 1, 0, 1))
+			} else {
+				evs = append(evs, ev(Deliver, 1, 1, 1))
+			}
+		}
+		return evs
+	}
+	a, err := Analyze(mk([]pdu.Seq{1, 2}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckTotalOrderPreserved(); err != nil {
+		t.Errorf("identical orders failed: %v", err)
+	}
+	a, err = Analyze(mk([]pdu.Seq{2, 1}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckTotalOrderPreserved(); err == nil {
+		t.Error("different orders passed total-order check")
+	}
+}
+
+func TestAnalyzeRejectsMalformedTraces(t *testing.T) {
+	tests := []struct {
+		name string
+		evs  []Event
+	}{
+		{"accept before send", script(ev(Accept, 1, 0, 1))},
+		{"duplicate send", script(ev(Send, 0, 0, 1), ev(Send, 0, 0, 1))},
+		{"entity out of range", script(ev(Send, 5, 5, 1))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Analyze(tt.evs, 2); err == nil {
+				t.Error("Analyze accepted malformed trace")
+			}
+		})
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var r Recorder
+	r.Record(ev(Send, 0, 0, 1))
+	r.Record(ev(Accept, 1, 0, 1))
+	r.Record(Event{Type: Drop, Entity: 1, Msg: MsgID{0, 2}, Kind: pdu.KindData})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != r.Len() {
+		t.Fatalf("round trip %d events, want %d", len(got), r.Len())
+	}
+	for i, e := range r.Events() {
+		if got[i] != e {
+			t.Errorf("event %d: got %+v want %+v", i, got[i], e)
+		}
+	}
+}
+
+func TestReadJSONBadInput(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	got, err := ReadJSON(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("blank lines: got %v, %v", got, err)
+	}
+}
+
+func TestEventTypeAndMsgIDStrings(t *testing.T) {
+	if Send.String() != "send" || Deliver.String() != "deliver" ||
+		Accept.String() != "accept" || Drop.String() != "drop" ||
+		Retransmit.String() != "retransmit" {
+		t.Error("EventType strings wrong")
+	}
+	if !strings.Contains(EventType(99).String(), "99") {
+		t.Error("unknown EventType string wrong")
+	}
+	if (MsgID{1, 3}).String() != "s1#3" {
+		t.Error("MsgID string wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	evs := script(
+		ev(Send, 0, 0, 1),
+		Event{Type: Send, Entity: 1, Msg: MsgID{1, 1}, Kind: pdu.KindSync},
+		ev(Accept, 1, 0, 1),
+		ev(Deliver, 0, 0, 1),
+		ev(Deliver, 1, 0, 1),
+		Event{Type: Drop, Entity: 1, Msg: MsgID{0, 2}, Kind: pdu.KindData},
+		Event{Type: Retransmit, Entity: 0, Msg: MsgID{0, 2}, Kind: pdu.KindData},
+	)
+	s := Summarize(evs)
+	if s.Events != 7 || s.DataSends != 1 || s.SyncSends != 1 || s.Accepts != 1 ||
+		s.Deliveries != 2 || s.Drops != 1 || s.Retransmits != 1 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.PerEntityDeliveries[0] != 1 || s.PerEntityDeliveries[1] != 1 {
+		t.Errorf("per-entity: %+v", s.PerEntityDeliveries)
+	}
+}

@@ -1,0 +1,157 @@
+// Package udpnet is a UDP transport for cobcast nodes. It substitutes for
+// the paper's Ethernet testbed: datagrams may be lost, duplicated or
+// reordered across senders, while a single sender's datagrams to one
+// receiver stay ordered on a LAN or loopback path in practice — the MC
+// service contract. Receive-buffer overrun shows up naturally: when the
+// inbox channel is full, datagrams are dropped, exactly the loss mode the
+// CO protocol is designed to repair.
+package udpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxDatagram is the largest datagram the transport accepts. PDU size
+// grows O(n) with cluster size plus the payload; 60 KiB fits loopback and
+// jumbo-frame LANs. Callers must keep payloads under this bound.
+const MaxDatagram = 60 * 1024
+
+// Stats counts transport-level events.
+type Stats struct {
+	Sent     uint64
+	Received uint64
+	// Overrun counts datagrams dropped because the inbox was full.
+	Overrun uint64
+	// ReadErrors counts failed or short reads.
+	ReadErrors uint64
+}
+
+// Transport is a cobcast.Transport over UDP.
+type Transport struct {
+	conn  *net.UDPConn
+	peers []*net.UDPAddr
+	recv  chan []byte
+
+	stop      chan struct{}
+	readDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	sent       atomic.Uint64
+	received   atomic.Uint64
+	overrun    atomic.Uint64
+	readErrors atomic.Uint64
+}
+
+// New binds a UDP socket on local (e.g. "127.0.0.1:9001") and targets the
+// given peer addresses (every other cluster member). inboxCap bounds the
+// receive queue; 0 means 1024.
+func New(local string, peers []string, inboxCap int) (*Transport, error) {
+	if len(peers) == 0 {
+		return nil, errors.New("udpnet: no peers")
+	}
+	if inboxCap <= 0 {
+		inboxCap = 1024
+	}
+	laddr, err := net.ResolveUDPAddr("udp", local)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: local %q: %w", local, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen %q: %w", local, err)
+	}
+	t := &Transport{
+		conn:     conn,
+		recv:     make(chan []byte, inboxCap),
+		stop:     make(chan struct{}),
+		readDone: make(chan struct{}),
+	}
+	for _, p := range peers {
+		addr, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udpnet: peer %q: %w", p, err)
+		}
+		t.peers = append(t.peers, addr)
+	}
+	go t.readLoop()
+	return t, nil
+}
+
+// LocalAddr returns the bound socket address (useful with port 0).
+func (t *Transport) LocalAddr() string { return t.conn.LocalAddr().String() }
+
+// Stats returns a snapshot of the transport counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Sent:       t.sent.Load(),
+		Received:   t.received.Load(),
+		Overrun:    t.overrun.Load(),
+		ReadErrors: t.readErrors.Load(),
+	}
+}
+
+// Broadcast sends the datagram to every peer. Per-peer send errors are
+// ignored beyond counting: UDP loss is the protocol's problem to repair.
+func (t *Transport) Broadcast(datagram []byte) error {
+	if len(datagram) > MaxDatagram {
+		return fmt.Errorf("udpnet: datagram %d bytes exceeds %d", len(datagram), MaxDatagram)
+	}
+	select {
+	case <-t.stop:
+		return errors.New("udpnet: closed")
+	default:
+	}
+	for _, addr := range t.peers {
+		if _, err := t.conn.WriteToUDP(datagram, addr); err == nil {
+			t.sent.Add(1)
+		}
+	}
+	return nil
+}
+
+// Recv returns the inbox channel; it is closed after Close.
+func (t *Transport) Recv() <-chan []byte { return t.recv }
+
+// Close shuts the socket and inbox down.
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.stop)
+		t.closeErr = t.conn.Close()
+		<-t.readDone
+		close(t.recv)
+	})
+	return t.closeErr
+}
+
+func (t *Transport) readLoop() {
+	defer close(t.readDone)
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.stop:
+				return
+			default:
+				t.readErrors.Add(1)
+				continue
+			}
+		}
+		b := make([]byte, n)
+		copy(b, buf[:n])
+		select {
+		case t.recv <- b:
+			t.received.Add(1)
+		default:
+			// Receive-buffer overrun: the paper's loss model, repaired
+			// by the CO protocol's selective retransmission.
+			t.overrun.Add(1)
+		}
+	}
+}

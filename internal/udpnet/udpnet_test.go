@@ -1,0 +1,142 @@
+package udpnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// pair binds two loopback transports pointed at each other.
+func pair(t *testing.T, inboxCap int) (*Transport, *Transport) {
+	t.Helper()
+	a, err := New("127.0.0.1:0", []string{"127.0.0.1:1"}, inboxCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAddr := a.LocalAddr()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("127.0.0.1:0", []string{aAddr}, inboxCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = New(aAddr, []string{b.LocalAddr()}, inboxCap)
+	if err != nil {
+		b.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func recvOne(t *testing.T, tr *Transport) []byte {
+	t.Helper()
+	select {
+	case b, ok := <-tr.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return b
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for datagram")
+		return nil
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	a, b := pair(t, 0)
+	msg := []byte("over the loopback")
+	if err := a.Broadcast(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+	if err := b.Broadcast([]byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, a); string(got) != "reply" {
+		t.Fatalf("reply = %q", got)
+	}
+	if s := a.Stats(); s.Sent == 0 || s.Received == 0 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestManyDatagramsInOrderOnLoopback(t *testing.T) {
+	a, b := pair(t, 4096)
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Broadcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		got := recvOne(t, b)
+		if got[0] != byte(i) {
+			t.Fatalf("position %d: got %d (loopback reordered?)", i, got[0])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New("127.0.0.1:0", nil, 0); err == nil {
+		t.Error("no peers accepted")
+	}
+	if _, err := New("###", []string{"127.0.0.1:1"}, 0); err == nil {
+		t.Error("bad local addr accepted")
+	}
+	if _, err := New("127.0.0.1:0", []string{"###"}, 0); err == nil {
+		t.Error("bad peer accepted")
+	}
+}
+
+func TestOversizeDatagramRejected(t *testing.T) {
+	a, _ := pair(t, 0)
+	if err := a.Broadcast(make([]byte, MaxDatagram+1)); err == nil {
+		t.Error("oversize accepted")
+	}
+}
+
+func TestCloseIsIdempotentAndStopsTraffic(t *testing.T) {
+	a, err := New("127.0.0.1:0", []string{"127.0.0.1:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	if err := a.Broadcast([]byte("x")); err == nil {
+		t.Error("broadcast after close succeeded")
+	}
+	if _, ok := <-a.Recv(); ok {
+		t.Error("recv not closed")
+	}
+}
+
+func TestInboxOverrunCounts(t *testing.T) {
+	// Tiny inbox with nobody draining: the reader must drop, not block.
+	a, b := pair(t, 2)
+	const count = 100
+	for i := 0; i < count; i++ {
+		if err := a.Broadcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := b.Stats()
+		if s.Received+s.Overrun >= count/2 && s.Overrun > 0 {
+			return // drops observed, reader alive
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no overrun observed: %+v (UDP may have dropped in-kernel)", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

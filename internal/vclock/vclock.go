@@ -1,0 +1,151 @@
+// Package vclock implements vector clocks in the style of Lamport [8] and
+// the ISIS CBCAST protocol [3]. The CO protocol itself deliberately avoids
+// vector clocks — it orders PDUs by sequence numbers (Theorem 4.1) — so
+// this package serves two roles in the reproduction:
+//
+//   - it is the ordering machinery of the internal/baseline/cbcast
+//     comparator, and
+//   - it provides ground-truth happened-before for the trace checker, so
+//     tests can verify that the CO protocol's sequence-number ordering
+//     agrees with the real causal order.
+package vclock
+
+import (
+	"strconv"
+	"strings"
+)
+
+// VC is a vector clock over n processes. VC[i] counts the events process i
+// has performed (or that the holder has learned of). The zero-length VC is
+// valid and compares Equal to itself.
+type VC []uint64
+
+// New returns a zero clock for n processes.
+func New(n int) VC { return make(VC, n) }
+
+// Clone returns an independent copy of the clock.
+func (v VC) Clone() VC {
+	w := make(VC, len(v))
+	copy(w, v)
+	return w
+}
+
+// Tick increments the component of process i and returns v for chaining.
+func (v VC) Tick(i int) VC {
+	v[i]++
+	return v
+}
+
+// Merge sets v to the component-wise maximum of v and w. The two clocks
+// must have the same length.
+func (v VC) Merge(w VC) {
+	if len(v) != len(w) {
+		panic("vclock: Merge on clocks of different lengths")
+	}
+	for i, x := range w {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+const (
+	// Before means v happened-before w (v < w component-wise, with at
+	// least one strict inequality).
+	Before Ordering = iota + 1
+	// After means w happened-before v.
+	After
+	// Equal means the clocks are identical.
+	Equal
+	// Concurrent means neither happened-before the other.
+	Concurrent
+)
+
+// String returns "<", ">", "=" or "||".
+func (o Ordering) String() string {
+	switch o {
+	case Before:
+		return "<"
+	case After:
+		return ">"
+	case Equal:
+		return "="
+	case Concurrent:
+		return "||"
+	default:
+		return "ORD(" + strconv.Itoa(int(o)) + ")"
+	}
+}
+
+// Compare determines the causal ordering between v and w. The clocks must
+// have the same length.
+func (v VC) Compare(w VC) Ordering {
+	if len(v) != len(w) {
+		panic("vclock: Compare on clocks of different lengths")
+	}
+	var less, greater bool
+	for i := range v {
+		switch {
+		case v[i] < w[i]:
+			less = true
+		case v[i] > w[i]:
+			greater = true
+		}
+		if less && greater {
+			return Concurrent
+		}
+	}
+	switch {
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Before reports whether v happened-before w.
+func (v VC) Before(w VC) bool { return v.Compare(w) == Before }
+
+// Concurrent reports whether neither clock happened-before the other and
+// they are not equal.
+func (v VC) Concurrent(w VC) bool { return v.Compare(w) == Concurrent }
+
+// String renders the clock as "<1 0 2>".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatUint(x, 10))
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// CausalReady implements the CBCAST delivery condition of Birman, Schiper
+// and Stephenson [3]: a message stamped m sent by process src is
+// deliverable at a process whose current clock is local when
+//
+//	m[src] == local[src]+1           (next message from src), and
+//	m[k]   <= local[k]  for k != src (all causal predecessors delivered).
+func CausalReady(m, local VC, src int) bool {
+	if len(m) != len(local) {
+		panic("vclock: CausalReady on clocks of different lengths")
+	}
+	if m[src] != local[src]+1 {
+		return false
+	}
+	for k := range m {
+		if k != src && m[k] > local[k] {
+			return false
+		}
+	}
+	return true
+}

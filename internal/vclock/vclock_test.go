@@ -1,0 +1,181 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		v, w VC
+		want Ordering
+	}{
+		{"equal zero", VC{0, 0}, VC{0, 0}, Equal},
+		{"equal nonzero", VC{1, 2, 3}, VC{1, 2, 3}, Equal},
+		{"strictly before", VC{0, 1}, VC{1, 2}, Before},
+		{"before with tie", VC{1, 1}, VC{1, 2}, Before},
+		{"after", VC{3, 0}, VC{2, 0}, After},
+		{"concurrent", VC{1, 0}, VC{0, 1}, Concurrent},
+		{"concurrent long", VC{5, 0, 3}, VC{4, 1, 3}, Concurrent},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Compare(tt.w); got != tt.want {
+				t.Errorf("%v.Compare(%v) = %v, want %v", tt.v, tt.w, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompareMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	VC{1}.Compare(VC{1, 2})
+}
+
+func TestTickMergeClone(t *testing.T) {
+	v := New(3)
+	v.Tick(0).Tick(0)
+	v.Tick(2)
+	if v.String() != "<2 0 1>" {
+		t.Fatalf("after ticks: %v", v)
+	}
+	w := v.Clone()
+	w.Tick(1)
+	if v[1] != 0 {
+		t.Error("Clone shares storage")
+	}
+	v.Merge(VC{1, 5, 0})
+	if v.String() != "<2 5 1>" {
+		t.Errorf("after merge: %v", v)
+	}
+}
+
+func TestBeforeAndConcurrentHelpers(t *testing.T) {
+	a, b := VC{1, 0}, VC{1, 1}
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before helper wrong")
+	}
+	c := VC{0, 2}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Error("Concurrent helper wrong")
+	}
+	if a.Concurrent(a.Clone()) {
+		t.Error("equal clocks reported concurrent")
+	}
+}
+
+func TestCausalReady(t *testing.T) {
+	tests := []struct {
+		name  string
+		m     VC
+		local VC
+		src   int
+		want  bool
+	}{
+		{"first message from src", VC{1, 0, 0}, VC{0, 0, 0}, 0, true},
+		{"next in sequence", VC{2, 0, 0}, VC{1, 0, 0}, 0, true},
+		{"gap from src", VC{3, 0, 0}, VC{1, 0, 0}, 0, false},
+		{"duplicate", VC{1, 0, 0}, VC{1, 0, 0}, 0, false},
+		{"missing dependency", VC{1, 1, 0}, VC{0, 0, 0}, 1, false},
+		{"dependency satisfied", VC{1, 1, 0}, VC{1, 0, 0}, 1, true},
+		{"unrelated progress ok", VC{0, 1, 0}, VC{9, 0, 4}, 1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CausalReady(tt.m, tt.local, tt.src); got != tt.want {
+				t.Errorf("CausalReady(%v, %v, %d) = %v, want %v", tt.m, tt.local, tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+// clamp converts arbitrary quick-generated uint64s into small clock values
+// so comparisons exercise all orderings, not just Concurrent.
+func clamp(raw []uint64, n int) VC {
+	v := New(n)
+	for i := range v {
+		if i < len(raw) {
+			v[i] = raw[i] % 4
+		}
+	}
+	return v
+}
+
+func TestQuickCompareLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
+
+	t.Run("antisymmetry", func(t *testing.T) {
+		f := func(a, b []uint64) bool {
+			v, w := clamp(a, 4), clamp(b, 4)
+			switch v.Compare(w) {
+			case Before:
+				return w.Compare(v) == After
+			case After:
+				return w.Compare(v) == Before
+			case Equal:
+				return w.Compare(v) == Equal
+			default:
+				return w.Compare(v) == Concurrent
+			}
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("merge is upper bound", func(t *testing.T) {
+		f := func(a, b []uint64) bool {
+			v, w := clamp(a, 4), clamp(b, 4)
+			m := v.Clone()
+			m.Merge(w)
+			vo, wo := v.Compare(m), w.Compare(m)
+			return (vo == Before || vo == Equal) && (wo == Before || wo == Equal)
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("merge idempotent and commutative", func(t *testing.T) {
+		f := func(a, b []uint64) bool {
+			v, w := clamp(a, 4), clamp(b, 4)
+			m1 := v.Clone()
+			m1.Merge(w)
+			m2 := w.Clone()
+			m2.Merge(v)
+			if m1.Compare(m2) != Equal {
+				return false
+			}
+			m3 := m1.Clone()
+			m3.Merge(w)
+			return m3.Compare(m1) == Equal
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("tick strictly advances", func(t *testing.T) {
+		f := func(a []uint64, iRaw uint8) bool {
+			v := clamp(a, 4)
+			i := int(iRaw) % 4
+			w := v.Clone().Tick(i)
+			return v.Compare(w) == Before
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestOrderingString(t *testing.T) {
+	if Before.String() != "<" || After.String() != ">" || Equal.String() != "=" || Concurrent.String() != "||" {
+		t.Error("Ordering strings wrong")
+	}
+}

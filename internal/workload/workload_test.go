@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"cobcast/internal/pdu"
+)
+
+func TestContinuousRoundRobin(t *testing.T) {
+	g := NewContinuous(3, 2, 16)
+	msgs := Drain(g)
+	if len(msgs) != 6 || g.Total() != 6 {
+		t.Fatalf("got %d messages, Total %d, want 6", len(msgs), g.Total())
+	}
+	wantSenders := []pdu.EntityID{0, 1, 2, 0, 1, 2}
+	for i, m := range msgs {
+		if m.Sender != wantSenders[i] {
+			t.Errorf("message %d from %d, want %d", i, m.Sender, wantSenders[i])
+		}
+		if len(m.Payload) != 16 {
+			t.Errorf("message %d payload %d bytes, want 16", i, len(m.Payload))
+		}
+		if m.Gap != 0 {
+			t.Errorf("continuous workload has gap %v", m.Gap)
+		}
+	}
+	// Payload self-describes sender and per-sender index.
+	if got := pdu.EntityID(binary.BigEndian.Uint32(msgs[4].Payload)); got != 1 {
+		t.Errorf("payload sender = %d, want 1", got)
+	}
+	if got := binary.BigEndian.Uint64(msgs[4].Payload[4:]); got != 1 {
+		t.Errorf("payload index = %d, want 1", got)
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("generator produced past Total")
+	}
+}
+
+func TestPayloadMinimumSize(t *testing.T) {
+	g := NewContinuous(1, 1, 1)
+	msgs := Drain(g)
+	if len(msgs[0].Payload) < 12 {
+		t.Errorf("payload %d bytes, want >= 12", len(msgs[0].Payload))
+	}
+}
+
+func TestSingleSource(t *testing.T) {
+	g := NewSingleSource(2, 5, 32)
+	msgs := Drain(g)
+	if len(msgs) != 5 {
+		t.Fatalf("got %d, want 5", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Sender != 2 {
+			t.Errorf("message %d from %d, want 2", i, m.Sender)
+		}
+	}
+}
+
+func TestBurstyStructure(t *testing.T) {
+	const (
+		n        = 4
+		bursts   = 10
+		burstLen = 3
+		gap      = 5 * time.Millisecond
+	)
+	g := NewBursty(n, bursts, burstLen, 16, gap, 1)
+	msgs := Drain(g)
+	if len(msgs) != bursts*burstLen || g.Total() != bursts*burstLen {
+		t.Fatalf("got %d, want %d", len(msgs), bursts*burstLen)
+	}
+	for b := 0; b < bursts; b++ {
+		first := msgs[b*burstLen]
+		if b == 0 && first.Gap != 0 {
+			t.Error("first burst should have no leading gap")
+		}
+		if b > 0 && first.Gap != gap {
+			t.Errorf("burst %d gap = %v, want %v", b, first.Gap, gap)
+		}
+		for i := 1; i < burstLen; i++ {
+			m := msgs[b*burstLen+i]
+			if m.Sender != first.Sender {
+				t.Errorf("burst %d mixes senders", b)
+			}
+			if m.Gap != 0 {
+				t.Errorf("intra-burst gap %v", m.Gap)
+			}
+		}
+	}
+}
+
+func TestBurstyDeterministicPerSeed(t *testing.T) {
+	a := Drain(NewBursty(4, 5, 2, 16, time.Millisecond, 9))
+	b := Drain(NewBursty(4, 5, 2, 16, time.Millisecond, 9))
+	for i := range a {
+		if a[i].Sender != b[i].Sender {
+			t.Fatal("same seed produced different senders")
+		}
+	}
+}
+
+func TestInteractive(t *testing.T) {
+	g := NewInteractive(3, 50, 16, 10*time.Millisecond, 7)
+	msgs := Drain(g)
+	if len(msgs) != 50 {
+		t.Fatalf("got %d, want 50", len(msgs))
+	}
+	var total time.Duration
+	seen := make(map[pdu.EntityID]bool)
+	for _, m := range msgs {
+		if int(m.Sender) < 0 || int(m.Sender) >= 3 {
+			t.Fatalf("sender %d out of range", m.Sender)
+		}
+		seen[m.Sender] = true
+		total += m.Gap
+	}
+	if len(seen) < 2 {
+		t.Error("interactive workload used fewer than 2 senders")
+	}
+	mean := total / 50
+	if mean < 2*time.Millisecond || mean > 50*time.Millisecond {
+		t.Errorf("mean gap %v implausible for 10ms exponential", mean)
+	}
+}

@@ -1,0 +1,79 @@
+package cobcast_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"cobcast"
+)
+
+// waitGoroutines polls until the goroutine count drops to at most want or
+// the deadline passes, returning the final count. Polling avoids flakes
+// from goroutines still unwinding after Close returns.
+func waitGoroutines(want int, deadline time.Duration) int {
+	end := time.Now().Add(deadline)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want || time.Now().After(end) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterCloseReleasesGoroutines guards the style-guide rule that
+// every spawned goroutine has an owner that can stop it: creating and
+// closing clusters repeatedly must not accumulate goroutines.
+func TestClusterCloseReleasesGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		c, err := cobcast.NewCluster(4,
+			cobcast.WithDeferredAckInterval(time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := c.Broadcast(i, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain one node a bit, then shut down mid-flight.
+		select {
+		case <-c.Node(0).Deliveries():
+		case <-time.After(time.Second):
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := waitGoroutines(baseline+2, 5*time.Second); got > baseline+2 {
+		t.Errorf("goroutines leaked: baseline %d, now %d", baseline, got)
+	}
+}
+
+// TestUDPNodeCloseReleasesGoroutines does the same over the UDP
+// transport.
+func TestUDPNodeCloseReleasesGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		tr, err := cobcast.NewUDPTransport("127.0.0.1:0", []string{"127.0.0.1:1"}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := cobcast.NewNode(0, 2, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Broadcast([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := waitGoroutines(baseline+2, 5*time.Second); got > baseline+2 {
+		t.Errorf("goroutines leaked: baseline %d, now %d", baseline, got)
+	}
+}

@@ -1,0 +1,349 @@
+package cobcast
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cobcast/internal/core"
+	"cobcast/internal/network"
+	"cobcast/internal/pdu"
+)
+
+// Transport moves marshaled PDU datagrams between nodes. Broadcast must
+// deliver (best-effort) to every other cluster member; the protocol
+// tolerates loss, duplication and cross-sender reordering, but each
+// pairwise channel must preserve per-sender order (UDP on a LAN and
+// in-memory channels both qualify). Recv's channel is closed when the
+// transport closes.
+type Transport interface {
+	Broadcast(datagram []byte) error
+	Recv() <-chan []byte
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed node or cluster.
+var ErrClosed = errors.New("cobcast: closed")
+
+// Node is one cluster member. Create nodes with NewCluster (in-process)
+// or NewNode (custom transport); a node runs its protocol loop on a
+// dedicated goroutine until Close.
+type Node struct {
+	id  int
+	n   int
+	ent *core.Entity
+
+	// Exactly one of these is set: port for in-process clusters (PDUs
+	// move without serialization), trans for external transports.
+	port  *network.Port
+	trans Transport
+
+	submits  chan []byte
+	evicts   chan evictReq
+	statsReq chan chan core.Stats
+	idleReq  chan chan bool
+	deliver  chan Message
+	queue    deliveryQueue
+	start    time.Time
+	tick     time.Duration
+
+	stop      chan struct{}
+	loopDone  chan struct{}
+	pumpDone  chan struct{}
+	closeOnce sync.Once
+}
+
+// NewNode creates a standalone node that exchanges PDUs through the given
+// transport. id must be unique within the cluster and n is the total
+// cluster size; all nodes must agree on n and the options.
+func NewNode(id, n int, trans Transport, opts ...Option) (*Node, error) {
+	if trans == nil {
+		return nil, errors.New("cobcast: nil transport")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return newNode(id, n, o, nil, trans)
+}
+
+func newNode(id, n int, o options, port *network.Port, trans Transport) (*Node, error) {
+	ent, err := core.New(o.coreConfig(id, n))
+	if err != nil {
+		return nil, fmt.Errorf("cobcast: node %d: %w", id, err)
+	}
+	nd := &Node{
+		id:       id,
+		n:        n,
+		ent:      ent,
+		port:     port,
+		trans:    trans,
+		submits:  make(chan []byte, 64),
+		evicts:   make(chan evictReq),
+		statsReq: make(chan chan core.Stats),
+		idleReq:  make(chan chan bool),
+		deliver:  make(chan Message),
+		start:    time.Now(),
+		tick:     o.tick(),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		pumpDone: make(chan struct{}),
+	}
+	go nd.loop()
+	go nd.pump()
+	return nd, nil
+}
+
+// ID returns the node's cluster-unique identifier.
+func (nd *Node) ID() int { return nd.id }
+
+// Broadcast submits data for causally ordered broadcast to the whole
+// cluster (including this node: the message comes back on Deliveries once
+// it is fully acknowledged). The data is copied.
+func (nd *Node) Broadcast(data []byte) error {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	// Check for shutdown first: with a buffered submit channel the
+	// select below could otherwise pick the send case even after Close.
+	select {
+	case <-nd.stop:
+		return ErrClosed
+	default:
+	}
+	select {
+	case nd.submits <- buf:
+		return nil
+	case <-nd.stop:
+		return ErrClosed
+	case <-nd.loopDone:
+		return ErrClosed
+	}
+}
+
+// Deliveries returns the stream of causally ordered messages. The channel
+// is closed by Close. Consumers should drain it promptly; undelivered
+// messages are buffered without bound.
+func (nd *Node) Deliveries() <-chan Message { return nd.deliver }
+
+type evictReq struct {
+	id    int
+	reply chan error
+}
+
+// Evict removes a crashed or unreachable node from this node's
+// confirmation quorum so acknowledgment progress no longer waits for it.
+// Every surviving node must evict the same member. See DESIGN.md for the
+// extension's guarantees and limitations (no virtual synchrony, no
+// rejoin); WithSuspectTimeout automates the decision.
+func (nd *Node) Evict(id int) error {
+	req := evictReq{id: id, reply: make(chan error, 1)}
+	select {
+	case nd.evicts <- req:
+		return <-req.reply
+	case <-nd.stop:
+		return ErrClosed
+	case <-nd.loopDone:
+		return ErrClosed
+	}
+}
+
+// WaitIdle blocks until this node owes the cluster nothing — every
+// message it submitted or accepted has been fully acknowledged and
+// delivered — or the timeout passes. It is a local view: other nodes may
+// still be catching up. Useful to flush before shutdown.
+func (nd *Node) WaitIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		reply := make(chan bool, 1)
+		select {
+		case nd.idleReq <- reply:
+			if <-reply {
+				return nil
+			}
+		case <-nd.stop:
+			return ErrClosed
+		case <-nd.loopDone:
+			return ErrClosed
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cobcast: node %d not idle after %v", nd.id, timeout)
+		}
+		time.Sleep(nd.tick / 2)
+	}
+}
+
+// Stats returns a snapshot of the node's protocol counters.
+func (nd *Node) Stats() Stats {
+	reply := make(chan core.Stats, 1)
+	select {
+	case nd.statsReq <- reply:
+		return fromCoreStats(<-reply)
+	case <-nd.loopDone:
+		// Loop exited: the entity is no longer mutated, read directly.
+		return fromCoreStats(nd.ent.Stats())
+	}
+}
+
+// Close stops the node's goroutines, closes its transport (when created
+// via NewNode) and closes the delivery channel.
+func (nd *Node) Close() error {
+	var err error
+	nd.closeOnce.Do(func() {
+		close(nd.stop)
+		<-nd.loopDone
+		nd.queue.close()
+		<-nd.pumpDone
+		close(nd.deliver)
+		if nd.trans != nil {
+			err = nd.trans.Close()
+		}
+	})
+	return err
+}
+
+// now is the node's protocol clock: time since the node started.
+func (nd *Node) now() time.Duration { return time.Since(nd.start) }
+
+// loop serializes every entity input on one goroutine.
+func (nd *Node) loop() {
+	defer close(nd.loopDone)
+	ticker := time.NewTicker(nd.tick)
+	defer ticker.Stop()
+
+	var inmem <-chan network.Inbound
+	var ext <-chan []byte
+	if nd.port != nil {
+		inmem = nd.port.Recv()
+	} else {
+		ext = nd.trans.Recv()
+	}
+
+	for {
+		select {
+		case <-nd.stop:
+			return
+		case data := <-nd.submits:
+			nd.dispatch(nd.ent.Submit(data, nd.now()))
+		case req := <-nd.evicts:
+			out, err := nd.ent.Evict(pdu.EntityID(req.id), nd.now())
+			req.reply <- err
+			nd.dispatch(out)
+		case in, ok := <-inmem:
+			if !ok {
+				return
+			}
+			nd.receive(in.PDU)
+		case b, ok := <-ext:
+			if !ok {
+				return
+			}
+			p, err := pdu.Unmarshal(b)
+			if err != nil {
+				continue // corrupted datagram; protocol recovers via RET
+			}
+			nd.receive(p)
+		case <-ticker.C:
+			nd.dispatch(nd.ent.Tick(nd.now()))
+		case reply := <-nd.statsReq:
+			reply <- nd.ent.Stats()
+		case reply := <-nd.idleReq:
+			reply <- nd.ent.Quiescent()
+		}
+	}
+}
+
+func (nd *Node) receive(p *pdu.PDU) {
+	out, err := nd.ent.Receive(p, nd.now())
+	// Receive errors mark malformed or foreign PDUs; the entity counts
+	// them in InvalidPDUs and the protocol carries on.
+	_ = err
+	nd.dispatch(out)
+}
+
+func (nd *Node) dispatch(out core.Output) {
+	for _, p := range out.PDUs {
+		if nd.port != nil {
+			_ = nd.port.Broadcast(p) // in-memory broadcast fails only on Close
+			continue
+		}
+		b, err := p.Marshal()
+		if err != nil {
+			continue
+		}
+		_ = nd.trans.Broadcast(b) // transport loss is indistinguishable from network loss
+	}
+	for _, d := range out.Deliveries {
+		nd.queue.push(Message{Src: int(d.Src), Seq: uint64(d.SEQ), Data: d.Data, LTime: d.LTime})
+	}
+}
+
+// pump moves messages from the unbounded queue to the delivery channel so
+// a slow consumer never stalls the protocol loop.
+func (nd *Node) pump() {
+	defer close(nd.pumpDone)
+	for {
+		m, ok := nd.queue.pop()
+		if !ok {
+			return
+		}
+		select {
+		case nd.deliver <- m:
+		case <-nd.stop:
+			// Drain the rest so close is prompt; consumers that closed
+			// early asked for this.
+			return
+		}
+	}
+}
+
+// deliveryQueue is an unbounded FIFO with blocking pop.
+type deliveryQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Message
+	closed bool
+}
+
+func (q *deliveryQueue) push(m Message) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.cond == nil {
+		q.cond = sync.NewCond(&q.mu)
+	}
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+}
+
+// pop blocks until an item is available or the queue closes; ok is false
+// only when the queue is closed and drained.
+func (q *deliveryQueue) pop() (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.cond == nil {
+		q.cond = sync.NewCond(&q.mu)
+	}
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return Message{}, false
+	}
+	m := q.items[0]
+	q.items[0] = Message{}
+	q.items = q.items[1:]
+	return m, true
+}
+
+func (q *deliveryQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.cond == nil {
+		q.cond = sync.NewCond(&q.mu)
+	}
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,67 @@
+package cobcast
+
+import (
+	"cobcast/internal/udpnet"
+)
+
+// MaxDatagram is the largest PDU datagram the UDP transport accepts.
+// PDU size grows O(n) with cluster size plus the payload, so payloads
+// must stay comfortably below this bound.
+const MaxDatagram = udpnet.MaxDatagram
+
+// TransportStats counts transport-level events on a UDPTransport.
+type TransportStats struct {
+	// Sent and Received count datagrams.
+	Sent     uint64
+	Received uint64
+	// Overrun counts datagrams dropped at a full inbox — the paper's
+	// receive-buffer-overrun loss, repaired by selective retransmission.
+	Overrun uint64
+	// ReadErrors counts failed socket reads.
+	ReadErrors uint64
+}
+
+// UDPTransport is a Transport over UDP, substituting for the paper's
+// Ethernet testbed: datagrams may be lost, duplicated or reordered across
+// senders, while each sender→receiver path stays ordered on LAN and
+// loopback in practice (the MC service contract).
+type UDPTransport struct {
+	t *udpnet.Transport
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// NewUDPTransport binds a UDP socket on local (for example
+// "127.0.0.1:9001", or ":0" for an ephemeral port) that broadcasts to the
+// given peer addresses; pass it to NewNode. inboxCap bounds the receive
+// queue (0 means 1024).
+func NewUDPTransport(local string, peers []string, inboxCap int) (*UDPTransport, error) {
+	t, err := udpnet.New(local, peers, inboxCap)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPTransport{t: t}, nil
+}
+
+// LocalAddr returns the bound socket address (useful with port ":0").
+func (u *UDPTransport) LocalAddr() string { return u.t.LocalAddr() }
+
+// Stats returns a snapshot of the transport counters.
+func (u *UDPTransport) Stats() TransportStats {
+	s := u.t.Stats()
+	return TransportStats{
+		Sent:       s.Sent,
+		Received:   s.Received,
+		Overrun:    s.Overrun,
+		ReadErrors: s.ReadErrors,
+	}
+}
+
+// Broadcast implements Transport.
+func (u *UDPTransport) Broadcast(datagram []byte) error { return u.t.Broadcast(datagram) }
+
+// Recv implements Transport.
+func (u *UDPTransport) Recv() <-chan []byte { return u.t.Recv() }
+
+// Close implements Transport.
+func (u *UDPTransport) Close() error { return u.t.Close() }

@@ -1,0 +1,119 @@
+package cobcast_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cobcast"
+)
+
+// newUDPCluster starts n nodes over UDP loopback with ephemeral ports.
+func newUDPCluster(t *testing.T, n int, opts ...cobcast.Option) []*cobcast.Node {
+	t.Helper()
+	// Discover n free ports first (bind :0, note the address, release),
+	// then re-bind each with the full peer list. Mildly racy, but fine on
+	// loopback in a test environment.
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		tr, err := cobcast.NewUDPTransport("127.0.0.1:0", []string{"127.0.0.1:1"}, 0)
+		if err != nil {
+			t.Fatalf("transport %d: %v", i, err)
+		}
+		addrs[i] = tr.LocalAddr()
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes := make([]*cobcast.Node, n)
+	for i := 0; i < n; i++ {
+		var peers []string
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, addrs[j])
+			}
+		}
+		tr, err := cobcast.NewUDPTransport(addrs[i], peers, 0)
+		if err != nil {
+			t.Fatalf("rebind %d: %v", i, err)
+		}
+		nd, err := cobcast.NewNode(i, n, tr, opts...)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = nd
+		t.Cleanup(func() { nd.Close() })
+	}
+	return nodes
+}
+
+func TestUDPClusterEndToEnd(t *testing.T) {
+	nodes := newUDPCluster(t, 3, cobcast.WithDeferredAckInterval(2*time.Millisecond))
+	const msgs = 9
+	for i := 0; i < msgs; i++ {
+		if err := nodes[i%3].Broadcast([]byte(fmt.Sprintf("udp-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, nd := range nodes {
+		var got []cobcast.Message
+		deadline := time.After(30 * time.Second)
+		for len(got) < msgs {
+			select {
+			case m := <-nd.Deliveries():
+				got = append(got, m)
+			case <-deadline:
+				t.Fatalf("node %d delivered %d/%d (stats %+v)", i, len(got), msgs, nd.Stats())
+			}
+		}
+		last := map[int]uint64{}
+		for _, m := range got {
+			if prev, ok := last[m.Src]; ok && m.Seq <= prev {
+				t.Errorf("node %d: source %d out of order", i, m.Src)
+			}
+			last[m.Src] = m.Seq
+		}
+	}
+}
+
+func TestUDPTransportValidation(t *testing.T) {
+	if _, err := cobcast.NewUDPTransport("127.0.0.1:0", nil, 0); err == nil {
+		t.Error("no peers accepted")
+	}
+	if _, err := cobcast.NewUDPTransport("not-an-addr", []string{"127.0.0.1:1"}, 0); err == nil {
+		t.Error("bad local address accepted")
+	}
+	if _, err := cobcast.NewUDPTransport("127.0.0.1:0", []string{"bad peer"}, 0); err == nil {
+		t.Error("bad peer address accepted")
+	}
+}
+
+func TestUDPTransportOversizeDatagram(t *testing.T) {
+	tr, err := cobcast.NewUDPTransport("127.0.0.1:0", []string{"127.0.0.1:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Broadcast(make([]byte, cobcast.MaxDatagram+1)); err == nil {
+		t.Error("oversize datagram accepted")
+	}
+}
+
+func TestUDPTransportCloseIdempotent(t *testing.T) {
+	tr, err := cobcast.NewUDPTransport("127.0.0.1:0", []string{"127.0.0.1:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	if _, ok := <-tr.Recv(); ok {
+		t.Error("recv channel not closed")
+	}
+	if err := tr.Broadcast([]byte("x")); err == nil {
+		t.Error("broadcast after close succeeded")
+	}
+}
