@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: the full pre-merge gate (vet + build + race tests + bench smoke)
+check:
+	./scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: every paper table/figure benchmark with allocation stats
+bench:
+	$(GO) test . -run '^$$' -bench . -benchmem

@@ -53,6 +53,7 @@ func BenchmarkFig8Tco(b *testing.B) {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			stream := captureStream(b, n, 8)
+			b.ReportAllocs()
 			b.ResetTimer()
 			processed := 0
 			for processed < b.N {
@@ -82,6 +83,7 @@ func BenchmarkFig8Tap(b *testing.B) {
 	for _, n := range benchSizes {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var total time.Duration
 			for i := 0; i < b.N; i++ {
 				tap, err := experiments.MeasureTapRealtime(n, 4)
@@ -98,6 +100,7 @@ func BenchmarkFig8Tap(b *testing.B) {
 // BenchmarkTable1 is experiment E2: the full Example 4.1 / Figure 7
 // exchange through the engine.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table1(); err != nil {
 			b.Fatal(err)
@@ -111,6 +114,7 @@ func BenchmarkAckLatency2R(b *testing.B) {
 	for _, n := range []int{3, 5, 8} {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var ratio float64
 			for i := 0; i < b.N; i++ {
 				rows, err := experiments.AckLatency([]int{n}, 2*time.Millisecond)
@@ -131,6 +135,7 @@ func BenchmarkBufferOccupancy(b *testing.B) {
 		for _, w := range []int{4, 16} {
 			n, w := n, w
 			b.Run(fmt.Sprintf("n=%d/W=%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
 				var peak int
 				for i := 0; i < b.N; i++ {
 					rows, err := experiments.BufferOccupancy([]int{n}, []int{w}, 10)
@@ -154,6 +159,7 @@ func BenchmarkPDULength(b *testing.B) {
 	for _, n := range benchSizes {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			p := &pdu.PDU{
 				Kind: pdu.KindData, Src: 0, SEQ: 1,
 				ACK: make([]pdu.Seq, n), LSrc: pdu.NoEntity,
@@ -179,6 +185,7 @@ func BenchmarkSelectiveVsGoBackN(b *testing.B) {
 	for _, loss := range []float64{0.02, 0.05, 0.10} {
 		loss := loss
 		b.Run(fmt.Sprintf("loss=%.0f%%", loss*100), func(b *testing.B) {
+			b.ReportAllocs()
 			var co, gbn uint64
 			for i := 0; i < b.N; i++ {
 				rows, err := experiments.RetxComparison(4, 80, []float64{loss}, int64(i+1))
@@ -202,6 +209,7 @@ func BenchmarkCOvsCBCAST(b *testing.B) {
 			n := n
 			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 				stream := captureStream(b, n, 8)
+				b.ReportAllocs()
 				b.ResetTimer()
 				processed := 0
 				for processed < b.N {
@@ -231,6 +239,7 @@ func BenchmarkCOvsCBCAST(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					_ = rows // the cost is measured inside ISISCost; report it
@@ -253,6 +262,7 @@ func BenchmarkOrderingPrimitive(b *testing.B) {
 			q.ACK[i] = 6
 		}
 		b.Run(fmt.Sprintf("seqtest/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var r pdu.Relation
 			for i := 0; i < b.N; i++ {
 				r = pdu.Compare(p, q)
@@ -264,6 +274,7 @@ func BenchmarkOrderingPrimitive(b *testing.B) {
 			w[i] = uint64(i + 1)
 		}
 		b.Run(fmt.Sprintf("vclock/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var o vclock.Ordering
 			for i := 0; i < b.N; i++ {
 				o = v.Compare(w)
@@ -279,6 +290,7 @@ func BenchmarkMessageComplexity(b *testing.B) {
 	for _, n := range []int{2, 4, 8} {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var per float64
 			for i := 0; i < b.N; i++ {
 				rows, err := experiments.MessageComplexity([]int{n}, 8)
@@ -299,6 +311,7 @@ func BenchmarkAblationWindow(b *testing.B) {
 	for _, w := range []int{1, 4, 16} {
 		w := w
 		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			var virtual time.Duration
 			for i := 0; i < b.N; i++ {
 				rows, err := experiments.AblationWindow(4, []int{w}, 12)
@@ -318,6 +331,7 @@ func BenchmarkAblationDeferredAck(b *testing.B) {
 	for _, iv := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
 		iv := iv
 		b.Run(iv.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var pdus uint64
 			for i := 0; i < b.N; i++ {
 				rows, err := experiments.AblationDeferredAck(4, []time.Duration{iv}, 12)
@@ -337,6 +351,7 @@ func BenchmarkAblationBuffer(b *testing.B) {
 	for _, cap := range []int{8, 64, 1024} {
 		cap := cap
 		b.Run(fmt.Sprintf("inbox=%d", cap), func(b *testing.B) {
+			b.ReportAllocs()
 			var over, retx uint64
 			for i := 0; i < b.N; i++ {
 				rows, err := experiments.AblationBuffer(3, []int{cap}, 30)
@@ -362,6 +377,7 @@ func BenchmarkTotalOrderOverhead(b *testing.B) {
 	}{{"CO", false}, {"TO", true}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var virtual time.Duration
 			for i := 0; i < b.N; i++ {
 				c, err := simrun.New(simrun.Options{
@@ -395,6 +411,7 @@ func BenchmarkEndToEndThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 			_ = tap
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.MeasureTapRealtime(n, 5); err != nil {
@@ -432,4 +449,111 @@ func BenchmarkMarshalUnmarshal(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMarshalAppend measures the allocation-free encode path: one
+// buffer reused across every marshal. Steady state must report 0
+// allocs/op (guarded by TestPooledCodecZeroAllocs in internal/pdu).
+func BenchmarkMarshalAppend(b *testing.B) {
+	p := &pdu.PDU{
+		Kind: pdu.KindData, CID: 1, Src: 2, SEQ: 99,
+		ACK: make([]pdu.Seq, 8), BUF: 1024, LSrc: pdu.NoEntity,
+		Data: make([]byte, 256),
+	}
+	buf := make([]byte, 0, p.EncodedSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = p.MarshalAppend(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotPathCodec is the full datagram round trip as the node loop
+// runs it: pooled buffer out of pdu.GetDatagram, MarshalAppend into it,
+// UnmarshalFrom into a scratch PDU, buffer back to the pool. Steady state
+// must report 0 allocs/op.
+func BenchmarkHotPathCodec(b *testing.B) {
+	p := &pdu.PDU{
+		Kind: pdu.KindData, CID: 1, Src: 2, SEQ: 99,
+		ACK: make([]pdu.Seq, 8), BUF: 1024, LSrc: pdu.NoEntity,
+		Data: make([]byte, 256),
+	}
+	var scratch pdu.PDU
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := p.MarshalAppend(pdu.GetDatagram())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := scratch.UnmarshalFrom(buf); err != nil {
+			b.Fatal(err)
+		}
+		pdu.PutDatagram(buf)
+	}
+}
+
+// BenchmarkHotPathPipeline drives a lossless n-entity mesh closed-loop:
+// each iteration broadcasts one message and relays every induced PDU
+// (acks included) until the cluster is silent, so one iteration covers
+// the whole receive→pack→ack→commit pipeline through confirmation.
+// Unlike core's BenchmarkSubmitReceive it does not drop second-order
+// traffic, and unlike BenchmarkFig8Tco the entities live across
+// iterations, exposing steady-state amortized cost and allocations of
+// the incremental confirmation minima.
+func BenchmarkHotPathPipeline(b *testing.B) {
+	type envelope struct {
+		src int
+		p   *pdu.PDU
+	}
+	for _, n := range benchSizes {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ents := make([]*core.Entity, n)
+			for i := range ents {
+				ent, err := core.New(core.Config{
+					ID: pdu.EntityID(i), N: n,
+					Window:                 1 << 20,
+					DisableDeferredConfirm: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ents[i] = ent
+			}
+			payload := make([]byte, 64)
+			queue := make([]envelope, 0, 64)
+			now := time.Duration(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += time.Microsecond
+				src := i % n
+				out := ents[src].Submit(payload, now)
+				for _, p := range out.PDUs {
+					queue = append(queue, envelope{src, p})
+				}
+				for head := 0; head < len(queue); head++ {
+					ev := queue[head]
+					for j := range ents {
+						if j == ev.src {
+							continue
+						}
+						o, err := ents[j].Receive(ev.p.Clone(), now)
+						if err != nil {
+							b.Fatal(err)
+						}
+						for _, q := range o.PDUs {
+							queue = append(queue, envelope{j, q})
+						}
+					}
+				}
+				queue = queue[:0]
+			}
+		})
+	}
 }

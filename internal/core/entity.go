@@ -62,10 +62,40 @@ type Entity struct {
 
 	// Commit stage (delivery-closure guard, DESIGN.md §2): PDUs that have
 	// passed the ACK condition wait here until every dependency named by
-	// their ACK vector has committed locally. committed[k] is the highest
+	// their ACK vector has committed locally. ackedQ[k] is a per-source
+	// queue kept sorted by SEQ: commits happen in per-source sequence
+	// order, so the only commit candidate of each source is its queue
+	// head and commits pop from the head — no mid-slice deletion. PDUs
+	// usually pass the ACK condition in sequence order too (append at
+	// tail), but not always: the Theorem 4.1 test is not transitive under
+	// loss — an entity can accept a PDU whose ACK vector covers a
+	// same-source predecessor it never received — so the PRL is only
+	// best-effort ordered and a successor can overtake; InsertBySeq
+	// restores the per-source order. committed[k] is the highest
 	// contiguously committed sequence number from source k.
-	ackedPending []*pdu.PDU
-	committed    []pdu.Seq
+	ackedQ     []msglog.Log
+	ackedTotal int
+	committed  []pdu.Seq
+
+	// Incremental quorum minima (performance engineering, DESIGN.md §2c).
+	// minAL[k] caches quorumMin(al[k]) and minALCnt[k] counts the
+	// non-evicted columns sitting at that minimum, so the common write
+	// path (a single cell raised) maintains the minimum in O(1): raising
+	// a cell above the minimum changes nothing; raising a cell at the
+	// minimum decrements the count, and only a count of zero forces an
+	// O(n) row recompute — at which point the minimum strictly advanced.
+	// Eviction is the one remaining full-recompute site. minPAL/minPALCnt
+	// cache quorumMin(pal[k]) identically.
+	minAL     []pdu.Seq
+	minALCnt  []int
+	minPAL    []pdu.Seq
+	minPALCnt []int
+
+	// packDirty/packQueue drive runPack from the set of sources whose
+	// PACK condition may newly hold (RRL grew, or minAL advanced) instead
+	// of a full 0..n-1 scan per input.
+	packDirty []bool
+	packQueue []pdu.EntityID
 
 	// to is the total-order release stage; nil unless Config.TotalOrder.
 	to *toState
@@ -109,7 +139,13 @@ func New(cfg Config) (*Entity, error) {
 		lastRetReq: make([]time.Duration, n),
 		lastRetx:   make(map[pdu.Seq]time.Duration),
 		recvSince:  make([]bool, n),
+		ackedQ:     make([]msglog.Log, n),
 		committed:  make([]pdu.Seq, n),
+		minAL:      make([]pdu.Seq, n),
+		minALCnt:   make([]int, n),
+		minPAL:     make([]pdu.Seq, n),
+		minPALCnt:  make([]int, n),
+		packDirty:  make([]bool, n),
 		evicted:    make([]bool, n),
 		lastHeard:  make([]time.Duration, n),
 		heardOnce:  make([]bool, n),
@@ -126,7 +162,14 @@ func New(cfg Config) (*Entity, error) {
 			e.al[j][k] = 1
 			e.pal[j][k] = 1
 		}
+		e.minAL[j], e.minALCnt[j] = 1, n
+		e.minPAL[j], e.minPALCnt[j] = 1, n
+		// Pre-size the per-source logs so steady-state inserts neither
+		// grow the successor-witness bounds nor reallocate.
+		e.rrl[j].Reserve(n, 8)
+		e.ackedQ[j].Reserve(n, 8)
 	}
+	e.prl.Reserve(n, 4*n)
 	if cfg.TotalOrder {
 		e.to = newTOState(n)
 	}
@@ -154,7 +197,11 @@ func (e *Entity) Submit(data []byte, now time.Duration) Output {
 	return out
 }
 
-// Receive processes one PDU from the network.
+// Receive processes one PDU from the network. The entity takes ownership
+// of sequenced PDUs (KindData/KindSync): they may be retained in the
+// receipt logs, so callers must not reuse p or its ACK/Data afterwards.
+// Control PDUs (KindAckOnly/KindRet) are only read during the call and
+// may live in caller-owned scratch storage.
 func (e *Entity) Receive(p *pdu.PDU, now time.Duration) (Output, error) {
 	var out Output
 	if p == nil {
@@ -227,10 +274,77 @@ func (e *Entity) foldInfo(p *pdu.PDU) {
 	}
 	for k := 0; k < e.n; k++ {
 		if p.ACK[k] > e.al[k][p.Src] {
-			e.al[k][p.Src] = p.ACK[k]
+			e.raiseAL(k, p.Src, p.ACK[k])
 		}
 	}
 	e.buf[p.Src] = p.BUF
+}
+
+// raiseAL writes al[k][j] = v (callers guarantee v > al[k][j]) and
+// maintains the cached row minimum. A non-evicted cell is never below the
+// cached minimum, so raising one either leaves the minimum alone (the
+// cell was above it, or other cells still sit at it) or — when the last
+// cell at the minimum rises — strictly advances it, the only case that
+// pays for an O(n) recompute and can newly satisfy k's PACK condition.
+func (e *Entity) raiseAL(k int, j pdu.EntityID, v pdu.Seq) {
+	old := e.al[k][j]
+	e.al[k][j] = v
+	if e.evicted[j] || old > e.minAL[k] {
+		return
+	}
+	if e.minALCnt[k]--; e.minALCnt[k] == 0 {
+		e.minAL[k], e.minALCnt[k] = e.rowMin(e.al[k])
+		e.markPackDirty(pdu.EntityID(k))
+	}
+}
+
+// raisePAL is raiseAL for the PAL matrix. An advanced minPAL needs no
+// dirty mark: runAck always runs after runPack and probes the cached
+// minimum at the head of the single PRL queue.
+func (e *Entity) raisePAL(k int, j pdu.EntityID, v pdu.Seq) {
+	old := e.pal[k][j]
+	e.pal[k][j] = v
+	if e.evicted[j] || old > e.minPAL[k] {
+		return
+	}
+	if e.minPALCnt[k]--; e.minPALCnt[k] == 0 {
+		e.minPAL[k], e.minPALCnt[k] = e.rowMin(e.pal[k])
+	}
+}
+
+// rowMin recomputes a quorum minimum and the number of non-evicted cells
+// holding it. The local entity is never evicted, so cnt >= 1.
+func (e *Entity) rowMin(row []pdu.Seq) (m pdu.Seq, cnt int) {
+	for j := 0; j < e.n; j++ {
+		if e.evicted[j] {
+			continue
+		}
+		switch v := row[j]; {
+		case cnt == 0 || v < m:
+			m, cnt = v, 1
+		case v == m:
+			cnt++
+		}
+	}
+	return m, cnt
+}
+
+// refreshMinima recomputes every cached minimum from scratch — the
+// full-recompute site, reached only when the quorum shrinks (eviction).
+func (e *Entity) refreshMinima() {
+	for k := 0; k < e.n; k++ {
+		e.minAL[k], e.minALCnt[k] = e.rowMin(e.al[k])
+		e.minPAL[k], e.minPALCnt[k] = e.rowMin(e.pal[k])
+		e.markPackDirty(pdu.EntityID(k))
+	}
+}
+
+// markPackDirty queues source k for the next runPack pass.
+func (e *Entity) markPackDirty(k pdu.EntityID) {
+	if !e.packDirty[k] {
+		e.packDirty[k] = true
+		e.packQueue = append(e.packQueue, k)
+	}
 }
 
 // detectGaps applies the failure conditions of §4.3: F1 (a sequenced PDU
@@ -300,12 +414,15 @@ func (e *Entity) accept(p *pdu.PDU, now time.Duration) {
 	src := p.Src
 	e.req[src] = p.SEQ + 1
 	// Own column of AL is direct knowledge: we just accepted through SEQ.
-	e.al[src][e.me] = e.req[src]
+	e.raiseAL(int(src), e.me, e.req[src])
 	if e.req[src] > e.known[src] {
 		e.known[src] = e.req[src]
 	}
 	e.rrl[src].Enqueue(p)
 	e.rrlTotal++
+	// The freshly enqueued PDU may already satisfy the PACK condition
+	// (minAL can sit past SEQ when the repair of an old gap arrives late).
+	e.markPackDirty(src)
 	if e.to != nil {
 		e.to.lastAcc[src] = p.ACK
 	}
@@ -322,13 +439,16 @@ func (e *Entity) accept(p *pdu.PDU, now time.Duration) {
 
 // runPack applies the PACK condition and action (§4.4): the head of each
 // RRL whose SEQ is below minAL of its source moves, in order, into the
-// causality-ordered PRL, folding its ACK vector into PAL.
+// causality-ordered PRL, folding its ACK vector into PAL. Only sources
+// whose condition may newly hold — RRL grew, or minAL advanced — are
+// visited; everything else was drained by an earlier pass.
 func (e *Entity) runPack() {
-	for k := 0; k < e.n; k++ {
-		minAL := e.MinAL(pdu.EntityID(k))
+	for i := 0; i < len(e.packQueue); i++ {
+		k := int(e.packQueue[i])
+		e.packDirty[k] = false
 		for {
 			top := e.rrl[k].Top()
-			if top == nil || top.SEQ >= minAL {
+			if top == nil || top.SEQ >= e.minAL[k] {
 				break
 			}
 			p := e.rrl[k].Dequeue()
@@ -342,7 +462,7 @@ func (e *Entity) runPack() {
 			// that sits behind p in RRL_j's FIFO.
 			for m := 0; m < e.n; m++ {
 				if p.ACK[m] > e.pal[m][k] {
-					e.pal[m][k] = p.ACK[m]
+					e.raisePAL(m, pdu.EntityID(k), p.ACK[m])
 				}
 			}
 			e.prl.InsertCPI(p)
@@ -354,6 +474,7 @@ func (e *Entity) runPack() {
 			}
 		}
 	}
+	e.packQueue = e.packQueue[:0]
 }
 
 // runAck applies the ACK condition and action (§4.5): while the top of PRL
@@ -363,10 +484,12 @@ func (e *Entity) runPack() {
 func (e *Entity) runAck(now time.Duration, out *Output) {
 	for {
 		top := e.prl.Top()
-		if top == nil || top.SEQ >= e.MinPAL(top.Src) {
+		if top == nil || top.SEQ >= e.minPAL[top.Src] {
 			break
 		}
-		e.ackedPending = append(e.ackedPending, e.prl.Dequeue())
+		p := e.prl.Dequeue()
+		e.ackedQ[p.Src].InsertBySeq(p)
+		e.ackedTotal++
 		e.stats.Acked++
 	}
 	e.commitReady(now, out)
@@ -381,29 +504,37 @@ func (e *Entity) runAck(now time.Duration, out *Output) {
 // prefix named by p.ACK have committed. Dependencies always point to
 // PDUs sent strictly earlier in real time, so the graph is acyclic and
 // the stage cannot deadlock.
+//
+// The stage is a ready-queue keyed by the committed frontier: ackedQ[k]
+// is kept sorted by SEQ and commits happen in per-source sequence order,
+// so only each source's queue head can be ready, commits pop from the
+// head (ordered drain, no mid-slice deletion), and a pass over the n
+// heads repeats only while some commit advanced the frontier.
 func (e *Entity) commitReady(now time.Duration, out *Output) {
-	for progress := true; progress; {
+	for progress := e.ackedTotal > 0; progress; {
 		progress = false
-		for i := 0; i < len(e.ackedPending); i++ {
-			p := e.ackedPending[i]
-			if !e.depsCommitted(p) {
-				continue
-			}
-			e.ackedPending = append(e.ackedPending[:i], e.ackedPending[i+1:]...)
-			i--
-			e.committed[p.Src] = p.SEQ
-			progress = true
-			if e.to != nil {
-				// TO mode: stamp the logical time and hand DATA to the
-				// stable-release stage instead of delivering directly.
-				e.onCommitTotal(p)
-				continue
-			}
-			if p.Kind == pdu.KindData {
-				e.dataResident--
-				e.stats.Delivered++
-				out.Deliveries = append(out.Deliveries, Delivery{Src: p.Src, SEQ: p.SEQ, Data: p.Data})
-				e.trace(trace.Deliver, p.Src, p.SEQ, p.Kind, now)
+		for k := 0; k < e.n; k++ {
+			for {
+				p := e.ackedQ[k].Top()
+				if p == nil || !e.depsCommitted(p) {
+					break
+				}
+				e.ackedQ[k].Dequeue()
+				e.ackedTotal--
+				e.committed[k] = p.SEQ
+				progress = true
+				if e.to != nil {
+					// TO mode: stamp the logical time and hand DATA to the
+					// stable-release stage instead of delivering directly.
+					e.onCommitTotal(p)
+					continue
+				}
+				if p.Kind == pdu.KindData {
+					e.dataResident--
+					e.stats.Delivered++
+					out.Deliveries = append(out.Deliveries, Delivery{Src: p.Src, SEQ: p.SEQ, Data: p.Data})
+					e.trace(trace.Deliver, p.Src, p.SEQ, p.Kind, now)
+				}
 			}
 		}
 	}
@@ -625,7 +756,7 @@ func (e *Entity) trimSendLog(upTo pdu.Seq) {
 //	minAL_i ≤ SEQ < minAL_i + min(W, minBUF/(H·2n))
 func (e *Entity) windowOpen() bool {
 	credit := e.flowCredit()
-	return e.seq < e.MinAL(e.me)+credit
+	return e.seq < e.minAL[e.me]+credit
 }
 
 // flowCredit returns min(W, minBUF/(H·2n)).
@@ -687,17 +818,19 @@ func (e *Entity) REQ() []pdu.Seq {
 
 // MinAL returns min over non-evicted j of AL[k][j]: every PDU from k
 // below this is known accepted by the whole quorum (the PACK threshold).
-func (e *Entity) MinAL(k pdu.EntityID) pdu.Seq { return e.quorumMin(e.al[k]) }
+// The value is cached and maintained incrementally; the invariant suite
+// checks it against a from-scratch quorumMin after every step.
+func (e *Entity) MinAL(k pdu.EntityID) pdu.Seq { return e.minAL[k] }
 
 // MinPAL returns min over non-evicted j of PAL[k][j]: every PDU from k
 // below this is known pre-acknowledged by the whole quorum (the ACK
-// threshold).
-func (e *Entity) MinPAL(k pdu.EntityID) pdu.Seq { return e.quorumMin(e.pal[k]) }
+// threshold). Cached like MinAL.
+func (e *Entity) MinPAL(k pdu.EntityID) pdu.Seq { return e.minPAL[k] }
 
 // Resident returns the number of PDUs currently held in the receive-side
 // logs (parked + RRL + PRL + commit stage + total-order release stage).
 func (e *Entity) Resident() int {
-	r := e.parkedTotal + e.rrlTotal + e.prl.Len() + len(e.ackedPending)
+	r := e.parkedTotal + e.rrlTotal + e.prl.Len() + e.ackedTotal
 	if e.to != nil {
 		r += e.to.pending.Len()
 	}

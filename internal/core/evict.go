@@ -49,6 +49,9 @@ func (e *Entity) Evict(k pdu.EntityID, now time.Duration) (Output, error) {
 	if !e.evicted[k] {
 		e.evicted[k] = true
 		e.stats.Evicted++
+		// The quorum shrank: the one write that can move every cached
+		// minimum at once, and the only full-recompute site.
+		e.refreshMinima()
 		// Re-evaluate everything that was waiting on k's confirmations.
 		e.finish(now, &out)
 	}
@@ -106,6 +109,7 @@ func (e *Entity) maybeSuspect(now time.Duration, out *Output) {
 			e.evicted[j] = true
 			e.stats.Evicted++
 			e.stats.AutoSuspected++
+			e.refreshMinima()
 			_ = out // finish runs after maybeSuspect in Tick
 		}
 	}

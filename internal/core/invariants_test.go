@@ -76,6 +76,52 @@ func checkInvariants(t *testing.T, e *Entity, step int) {
 			}
 		}
 	}
+	// Cached quorum minima always equal a from-scratch recomputation
+	// (the equivalence invariant pinning the incremental-minima scheme),
+	// and the cached holder counts match the matrices.
+	for k := 0; k < e.n; k++ {
+		if want := e.quorumMin(e.al[k]); e.minAL[k] != want {
+			fail("cached minAL[%d]=%d != quorumMin=%d", k, e.minAL[k], want)
+		}
+		if want := e.quorumMin(e.pal[k]); e.minPAL[k] != want {
+			fail("cached minPAL[%d]=%d != quorumMin=%d", k, e.minPAL[k], want)
+		}
+		alCnt, palCnt := 0, 0
+		for j := 0; j < e.n; j++ {
+			if e.evicted[j] {
+				continue
+			}
+			if e.al[k][j] == e.minAL[k] {
+				alCnt++
+			}
+			if e.pal[k][j] == e.minPAL[k] {
+				palCnt++
+			}
+		}
+		if alCnt != e.minALCnt[k] {
+			fail("minALCnt[%d]=%d, %d cells at minimum", k, e.minALCnt[k], alCnt)
+		}
+		if palCnt != e.minPALCnt[k] {
+			fail("minPALCnt[%d]=%d, %d cells at minimum", k, e.minPALCnt[k], palCnt)
+		}
+	}
+	// The commit stage holds, per source, acknowledged PDUs sorted by
+	// SEQ, all above the committed frontier. Gaps are legal: the
+	// Theorem 4.1 test is not transitive under loss, so a successor can
+	// pass the ACK condition before a still-missing predecessor.
+	for k := 0; k < e.n; k++ {
+		prev := e.committed[k]
+		for i := 0; i < e.ackedQ[k].Len(); i++ {
+			p := e.ackedQ[k].At(i)
+			if p.Src != pdu.EntityID(k) {
+				fail("ackedQ[%d] holds foreign PDU %v", k, p)
+			}
+			if p.SEQ <= prev {
+				fail("ackedQ[%d][%d] seq %d not above %d", k, i, p.SEQ, prev)
+			}
+			prev = p.SEQ
+		}
+	}
 	// PRL is causality-preserved under the Theorem 4.1 relation.
 	if prl := e.prl.Slice(); !msglog.IsCausalityPreserved(prl) {
 		fail("PRL not causality-preserved: %v", prl)
@@ -114,7 +160,14 @@ func checkInvariants(t *testing.T, e *Entity, step int) {
 			}
 		}
 	}
-	if e.Resident() != parkedTotal+rrlTotal+e.prl.Len()+len(e.ackedPending)+toPending {
+	ackedTotal := 0
+	for k := 0; k < e.n; k++ {
+		ackedTotal += e.ackedQ[k].Len()
+	}
+	if ackedTotal != e.ackedTotal {
+		fail("ackedTotal cache %d != %d", e.ackedTotal, ackedTotal)
+	}
+	if e.Resident() != parkedTotal+rrlTotal+e.prl.Len()+ackedTotal+toPending {
 		fail("Resident() inconsistent")
 	}
 }
@@ -250,5 +303,90 @@ func TestInvariantsUnderTargetedReplay(t *testing.T) {
 	}
 	if ents[1].Stats().Accepted != 2 {
 		t.Fatalf("Accepted = %d, want 2", ents[1].Stats().Accepted)
+	}
+}
+
+// TestCachedMinimaEquivalence hammers the incremental minAL/minPAL caches
+// specifically: a heavily lossy, duplicating, jittery random run — with
+// evictions, the full-recompute site — checking after every single
+// Submit/Receive/Tick that every cached minimum equals the naive
+// quorumMin recomputation.
+func TestCachedMinimaEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed * 7919))
+		n := 2 + rng.Intn(5)
+		ents := make([]*Entity, n)
+		for i := range ents {
+			e, err := New(Config{
+				ID: pdu.EntityID(i), N: n,
+				Window:              pdu.Seq(1 + rng.Intn(4)),
+				DeferredAckInterval: time.Millisecond,
+				RetransmitTimeout:   2 * time.Millisecond,
+				SuspectAfter:        time.Duration(50+rng.Intn(100)) * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ents[i] = e
+		}
+		check := func(i int, step int) {
+			e := ents[i]
+			for k := 0; k < e.n; k++ {
+				if want := e.quorumMin(e.al[k]); e.minAL[k] != want {
+					t.Fatalf("seed %d step %d entity %d: cached minAL[%d]=%d != quorumMin=%d",
+						seed, step, i, k, e.minAL[k], want)
+				}
+				if want := e.quorumMin(e.pal[k]); e.minPAL[k] != want {
+					t.Fatalf("seed %d step %d entity %d: cached minPAL[%d]=%d != quorumMin=%d",
+						seed, step, i, k, e.minPAL[k], want)
+				}
+			}
+		}
+		queues := make([][]*pdu.PDU, n*n)
+		now := time.Duration(0)
+		route := func(from int, out Output) {
+			for _, p := range out.PDUs {
+				for to := 0; to < n; to++ {
+					if to != from {
+						queues[from*n+to] = append(queues[from*n+to], p.Clone())
+					}
+				}
+			}
+		}
+		for step := 0; step < 600; step++ {
+			now += time.Duration(rng.Intn(2000)) * time.Microsecond // jitter
+			i := rng.Intn(n)
+			switch rng.Intn(8) {
+			case 0, 1:
+				route(i, ents[i].Submit([]byte{byte(step)}, now))
+			case 2:
+				route(i, ents[i].Tick(now)) // may auto-evict: recompute site
+			default:
+				from := rng.Intn(n)
+				q := &queues[from*n+i]
+				if len(*q) == 0 {
+					continue
+				}
+				p := (*q)[0]
+				switch rng.Intn(4) {
+				case 0: // lose it (heavy loss)
+					*q = (*q)[1:]
+				case 1: // duplicate: deliver without popping
+					out, err := ents[i].Receive(p, now)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					route(i, out)
+				default:
+					*q = (*q)[1:]
+					out, err := ents[i].Receive(p, now)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					route(i, out)
+				}
+			}
+			check(i, step)
+		}
 	}
 }

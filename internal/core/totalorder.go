@@ -197,8 +197,10 @@ func (e *Entity) pruneLTimes() {
 	for _, p := range e.prl.Slice() {
 		consider(p.ACK)
 	}
-	for _, p := range e.ackedPending {
-		consider(p.ACK)
+	for k := 0; k < e.n; k++ {
+		for i := 0; i < e.ackedQ[k].Len(); i++ {
+			consider(e.ackedQ[k].At(i).ACK)
+		}
 	}
 	for k := 0; k < e.n; k++ {
 		// Keep entries with seq >= floor[k]-1 (references are ACK-1),

@@ -80,12 +80,14 @@ func TestFig8Shape(t *testing.T) {
 		}
 		t.Logf("n=%d: Tco=%.0fns/PDU Tap=%v", r.N, r.TcoNsPerPDU, r.TapMean)
 	}
-	// Tco is O(n) — the ACK/AL/PAL vectors scale with n — but wall-clock
-	// unit tests on shared machines are noisy, so only flag a clear
-	// inversion over the 8× size spread; the benchmark suite reports the
-	// full curve.
-	if rows[1].TcoNsPerPDU < 0.9*rows[0].TcoNsPerPDU {
-		t.Errorf("Tco shrank from n=2 to n=16: %.0f -> %.0f",
+	// Tco is O(n) — the ACK/AL/PAL vectors scale with n — so over the 8×
+	// size spread it may grow ~8× plus a constant, but never the ~64× an
+	// O(n²) pipeline would show. With the incremental-minima pipeline the
+	// linear term is small enough that Tco(16) can even dip below Tco(2)
+	// in wall-clock noise, so only the upper bound is meaningful; the
+	// benchmark suite reports the full curve.
+	if rows[1].TcoNsPerPDU > 20*rows[0].TcoNsPerPDU {
+		t.Errorf("Tco grew superlinearly from n=2 to n=16: %.0f -> %.0f",
 			rows[0].TcoNsPerPDU, rows[1].TcoNsPerPDU)
 	}
 }

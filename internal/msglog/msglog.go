@@ -24,6 +24,35 @@ import (
 type Log struct {
 	pdus []*pdu.PDU
 	head int
+
+	// maxAck[j] / maxSeq[j] bound, from above, the ACK[j] entries and
+	// the sequence numbers of source-j PDUs ever inserted since the log
+	// was last empty. They witness the absence of causal successors: a
+	// PDU p with maxAck[p.Src] <= p.SEQ and maxSeq[p.Src] <= p.SEQ has
+	// no successor in the log under Theorem 4.1, so InsertCPI may append
+	// it at the tail without scanning. Dequeue leaves the bounds stale
+	// (overestimates only ever force the slow path, never a wrong
+	// placement) and resets them when the log drains empty.
+	maxAck []pdu.Seq
+	maxSeq []pdu.Seq
+}
+
+// Reserve pre-sizes the log for a cluster of n entities and an expected
+// resident population of c PDUs, so the steady-state hot path neither
+// grows the successor-witness bounds nor reallocates the backing array.
+// It is optional: the zero-value log grows on demand.
+func (l *Log) Reserve(n, c int) {
+	if n > len(l.maxAck) {
+		l.maxAck = append(l.maxAck, make([]pdu.Seq, n-len(l.maxAck))...)
+	}
+	if n > len(l.maxSeq) {
+		l.maxSeq = append(l.maxSeq, make([]pdu.Seq, n-len(l.maxSeq))...)
+	}
+	if c > cap(l.pdus) {
+		grown := make([]*pdu.PDU, len(l.pdus), c)
+		copy(grown, l.pdus)
+		l.pdus = grown
+	}
 }
 
 // Len returns the number of PDUs in the log.
@@ -52,7 +81,10 @@ func (l *Log) Last() *pdu.PDU {
 func (l *Log) At(i int) *pdu.PDU { return l.pdus[l.head+i] }
 
 // Enqueue appends p at the tail (the paper's enqueue(L, p)).
-func (l *Log) Enqueue(p *pdu.PDU) { l.pdus = append(l.pdus, p) }
+func (l *Log) Enqueue(p *pdu.PDU) {
+	l.pdus = append(l.pdus, p)
+	l.noteInsert(p)
+}
 
 // Dequeue removes and returns the top PDU (the paper's dequeue(L)), or nil
 // if the log is empty.
@@ -63,10 +95,53 @@ func (l *Log) Dequeue() *pdu.PDU {
 	p := l.pdus[l.head]
 	l.pdus[l.head] = nil // release for GC
 	l.head++
-	if l.head > 64 && l.head*2 >= len(l.pdus) {
+	if l.Empty() {
+		l.resetBounds()
+	} else if l.head > 64 && l.head*2 >= len(l.pdus) {
 		l.compact()
 	}
 	return p
+}
+
+// noteInsert folds p into the successor-witness bounds.
+func (l *Log) noteInsert(p *pdu.PDU) {
+	if n := len(p.ACK); n > len(l.maxAck) {
+		l.maxAck = append(l.maxAck, make([]pdu.Seq, n-len(l.maxAck))...)
+	}
+	if s := int(p.Src) + 1; s > len(l.maxSeq) {
+		l.maxSeq = append(l.maxSeq, make([]pdu.Seq, s-len(l.maxSeq))...)
+	}
+	for j, a := range p.ACK {
+		if a > l.maxAck[j] {
+			l.maxAck[j] = a
+		}
+	}
+	if p.SEQ > l.maxSeq[p.Src] {
+		l.maxSeq[p.Src] = p.SEQ
+	}
+}
+
+// resetBounds re-arms the append-at-tail fast path on an empty log.
+func (l *Log) resetBounds() {
+	for i := range l.maxAck {
+		l.maxAck[i] = 0
+	}
+	for i := range l.maxSeq {
+		l.maxSeq[i] = 0
+	}
+}
+
+// noSuccessorIn reports whether the bounds prove no PDU in the log
+// causally follows p (Theorem 4.1: a successor q has q.ACK[p.Src] > p.SEQ,
+// or q.Src == p.Src with q.SEQ > p.SEQ).
+func (l *Log) noSuccessorIn(p *pdu.PDU) bool {
+	if int(p.Src) < len(l.maxAck) && l.maxAck[p.Src] > p.SEQ {
+		return false
+	}
+	if int(p.Src) < len(l.maxSeq) && l.maxSeq[p.Src] > p.SEQ {
+		return false
+	}
+	return true
 }
 
 func (l *Log) compact() {
@@ -97,10 +172,28 @@ func (l *Log) Slice() []*pdu.PDU {
 // causality-preserved before the call it remains so after, because in a
 // causality-preserved log no q' ≺ p can appear at or after the first
 // successor of p (q' ≺ p ≺ q would put q' before q).
+// In the common case — PDUs arriving in causal order — no entry follows
+// p, the successor-witness bounds prove it, and p is appended at the tail
+// in O(1) without scanning.
 func (l *Log) InsertCPI(p *pdu.PDU) {
+	if l.noSuccessorIn(p) {
+		l.pdus = append(l.pdus, p)
+		l.noteInsert(p)
+		return
+	}
+	// The scan applies pdu.CausallyPrecedes(p, q) unrolled to the
+	// one-directional Theorem 4.1 test: this loop runs once per resident
+	// PDU and the full Compare would redundantly evaluate q ≺ p too.
 	at := len(l.pdus)
+	src, seq := p.Src, p.SEQ
 	for i := l.head; i < len(l.pdus); i++ {
-		if pdu.CausallyPrecedes(p, l.pdus[i]) {
+		q := l.pdus[i]
+		if q.Src == src {
+			if seq < q.SEQ {
+				at = i
+				break
+			}
+		} else if seq < q.ACK[src] {
 			at = i
 			break
 		}
@@ -108,6 +201,22 @@ func (l *Log) InsertCPI(p *pdu.PDU) {
 	l.pdus = append(l.pdus, nil)
 	copy(l.pdus[at+1:], l.pdus[at:])
 	l.pdus[at] = p
+	l.noteInsert(p)
+}
+
+// InsertBySeq inserts p keeping the log sorted by ascending SEQ. It is
+// meant for logs holding PDUs from a single source, where SEQ is a total
+// order. The common case — p's SEQ above every entry — appends at the
+// tail in O(1); a late straggler shifts the larger entries right.
+func (l *Log) InsertBySeq(p *pdu.PDU) {
+	at := len(l.pdus)
+	for at > l.head && l.pdus[at-1].SEQ > p.SEQ {
+		at--
+	}
+	l.pdus = append(l.pdus, nil)
+	copy(l.pdus[at+1:], l.pdus[at:])
+	l.pdus[at] = p
+	l.noteInsert(p)
 }
 
 // IsCausalityPreserved reports whether the sequence satisfies the

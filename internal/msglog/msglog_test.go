@@ -302,3 +302,96 @@ func ExampleLog_InsertCPI() {
 	// DATA s0#2 ack=[2 1 1]
 	// DATA s1#1 ack=[3 1 2]
 }
+
+// referenceInsertCPI is the unoptimized CPI placement rule, used to pin
+// the fast-path implementation.
+func referenceInsertCPI(log []*pdu.PDU, p *pdu.PDU) []*pdu.PDU {
+	at := len(log)
+	for i, q := range log {
+		if pdu.CausallyPrecedes(p, q) {
+			at = i
+			break
+		}
+	}
+	log = append(log, nil)
+	copy(log[at+1:], log[at:])
+	log[at] = p
+	return log
+}
+
+// TestInsertCPIFastPathEquivalence interleaves random CPI insertions and
+// dequeues — exercising stale successor-witness bounds and the
+// empty-log reset — and checks the optimized Log places every PDU
+// exactly where the reference rule does.
+func TestInsertCPIFastPathEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		// Simulate n entities gossiping so ACK vectors are realistic
+		// snapshots, with enough slack that concurrent PDUs occur.
+		next := make([]pdu.Seq, n)
+		seen := make([][]pdu.Seq, n)
+		for i := range seen {
+			seen[i] = make([]pdu.Seq, n)
+			for j := range seen[i] {
+				seen[i][j] = 1
+			}
+			next[i] = 1
+		}
+		var history []*pdu.PDU
+		for step := 0; step < 150; step++ {
+			src := pdu.EntityID(rng.Intn(n))
+			ack := make([]pdu.Seq, n)
+			copy(ack, seen[src])
+			p := dataPDU(src, next[src], ack)
+			p.ACK[src] = p.SEQ // own entry: accepted self through SEQ
+			next[src]++
+			seen[src][src] = next[src]
+			// Randomly propagate knowledge to another entity, sometimes
+			// skipping (models loss/delay), so concurrency is common.
+			if dst := rng.Intn(n); rng.Intn(3) > 0 {
+				for j := 0; j < n; j++ {
+					if p.ACK[j] > seen[dst][j] {
+						seen[dst][j] = p.ACK[j]
+					}
+				}
+			}
+			history = append(history, p)
+		}
+		// Insert in a locally shuffled order (bounded displacement keeps
+		// it a plausible network reordering) so late stragglers force the
+		// slow mid-log insertion path, interleaved with dequeues that
+		// leave the successor-witness bounds stale.
+		for i := range history {
+			j := i + rng.Intn(6)
+			if j >= len(history) {
+				j = len(history) - 1
+			}
+			history[i], history[j] = history[j], history[i]
+		}
+		var l Log
+		var ref []*pdu.PDU
+		for step, p := range history {
+			l.InsertCPI(p)
+			ref = referenceInsertCPI(ref, p)
+			if rng.Intn(4) == 0 && len(ref) > 0 {
+				got := l.Dequeue()
+				if got != ref[0] {
+					t.Fatalf("seed %d step %d: Dequeue = (%d,%d), want (%d,%d)",
+						seed, step, got.Src, got.SEQ, ref[0].Src, ref[0].SEQ)
+				}
+				ref = ref[1:]
+			}
+			got, want := l.Slice(), ref
+			if len(got) != len(want) {
+				t.Fatalf("seed %d step %d: len %d, want %d", seed, step, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d step %d pos %d: (%d,%d), want (%d,%d)",
+						seed, step, i, got[i].Src, got[i].SEQ, want[i].Src, want[i].SEQ)
+				}
+			}
+		}
+	}
+}

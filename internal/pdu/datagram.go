@@ -1,0 +1,37 @@
+package pdu
+
+// Pooled datagram buffers for the send/receive hot path. The UDP
+// transport reads every datagram into a pooled buffer and the runtime
+// returns it once decoded, so steady-state traffic recycles a handful of
+// buffers instead of allocating per PDU.
+
+import "sync"
+
+// DatagramBufCap is the capacity of pooled datagram buffers: 64 KiB, the
+// largest payload a UDP datagram can carry, so any datagram fits.
+const DatagramBufCap = 64 * 1024
+
+// The pool stores *[DatagramBufCap]byte rather than []byte: a slice put
+// into a sync.Pool is boxed into a fresh interface allocation on every
+// Put, while an array pointer converts without allocating.
+var datagramPool = sync.Pool{
+	New: func() any { return new([DatagramBufCap]byte) },
+}
+
+// GetDatagram returns an empty buffer with DatagramBufCap capacity from
+// the pool. Pass it to PutDatagram when done; dropping it instead is safe
+// but defeats the recycling.
+func GetDatagram() []byte {
+	return datagramPool.Get().(*[DatagramBufCap]byte)[:0]
+}
+
+// PutDatagram recycles a buffer obtained from GetDatagram. Any slice of
+// the original buffer works regardless of length; buffers with a
+// different capacity (not from this pool) are ignored. The caller must
+// not touch b afterwards.
+func PutDatagram(b []byte) {
+	if cap(b) < DatagramBufCap {
+		return
+	}
+	datagramPool.Put((*[DatagramBufCap]byte)(b[:DatagramBufCap]))
+}

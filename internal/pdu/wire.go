@@ -59,13 +59,20 @@ func (p *PDU) EncodedSize() int {
 
 // Marshal encodes the PDU into a self-contained datagram.
 func (p *PDU) Marshal() ([]byte, error) {
+	return p.MarshalAppend(make([]byte, 0, p.EncodedSize()))
+}
+
+// MarshalAppend encodes the PDU as Marshal does, appending the datagram
+// to buf and returning the extended slice. With a buf of sufficient
+// capacity the steady-state send path allocates nothing.
+func (p *PDU) MarshalAppend(buf []byte) ([]byte, error) {
 	if len(p.ACK) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: ACK vector %d entries", ErrTooLong, len(p.ACK))
 	}
 	if len(p.Data) > math.MaxUint32 {
 		return nil, fmt.Errorf("%w: data %d bytes", ErrTooLong, len(p.Data))
 	}
-	buf := make([]byte, 0, p.EncodedSize())
+	start := len(buf)
 	buf = binary.BigEndian.AppendUint16(buf, Magic)
 	buf = append(buf, WireVersion, byte(p.Kind))
 	var flags byte
@@ -85,42 +92,57 @@ func (p *PDU) Marshal() ([]byte, error) {
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Data)))
 	buf = append(buf, p.Data...)
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
 	return buf, nil
 }
 
 // Unmarshal decodes a datagram produced by Marshal. The returned PDU owns
 // freshly allocated ACK and Data slices.
 func Unmarshal(b []byte) (*PDU, error) {
+	p := new(PDU)
+	if err := p.UnmarshalFrom(b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// UnmarshalFrom decodes a datagram produced by Marshal into p, reusing
+// the capacity of p.ACK and p.Data — a scratch PDU decoded in a loop
+// allocates nothing once its slices have grown. Every field of p is
+// overwritten; on error p's contents are unspecified. The decoded slices
+// copy out of b, so b may be recycled as soon as the call returns.
+func (p *PDU) UnmarshalFrom(b []byte) error {
 	if len(b) < headerSize+4+trailerSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+		return fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
 	}
 	body, crcBytes := b[:len(b)-trailerSize], b[len(b)-trailerSize:]
 	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(crcBytes); got != want {
-		return nil, fmt.Errorf("%w: got %08x want %08x", ErrBadChecksum, got, want)
+		return fmt.Errorf("%w: got %08x want %08x", ErrBadChecksum, got, want)
 	}
 	if m := binary.BigEndian.Uint16(body[0:2]); m != Magic {
-		return nil, fmt.Errorf("%w: %04x", ErrBadMagic, m)
+		return fmt.Errorf("%w: %04x", ErrBadMagic, m)
 	}
 	if v := body[2]; v != WireVersion {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
-	p := &PDU{
-		Kind:    Kind(body[3]),
-		NeedAck: body[4]&flagNeedAck != 0,
-		CID:     binary.BigEndian.Uint32(body[5:9]),
-		Src:     EntityID(int32(binary.BigEndian.Uint32(body[9:13]))),
-		SEQ:     Seq(binary.BigEndian.Uint64(body[13:21])),
-		BUF:     binary.BigEndian.Uint32(body[21:25]),
-		LSrc:    EntityID(int32(binary.BigEndian.Uint32(body[25:29]))),
-		LSeq:    Seq(binary.BigEndian.Uint64(body[29:37])),
-	}
+	p.Kind = Kind(body[3])
+	p.NeedAck = body[4]&flagNeedAck != 0
+	p.CID = binary.BigEndian.Uint32(body[5:9])
+	p.Src = EntityID(int32(binary.BigEndian.Uint32(body[9:13])))
+	p.SEQ = Seq(binary.BigEndian.Uint64(body[13:21]))
+	p.BUF = binary.BigEndian.Uint32(body[21:25])
+	p.LSrc = EntityID(int32(binary.BigEndian.Uint32(body[25:29])))
+	p.LSeq = Seq(binary.BigEndian.Uint64(body[29:37]))
 	nack := int(binary.BigEndian.Uint16(body[37:39]))
 	rest := body[headerSize:]
 	if len(rest) < 8*nack+4 {
-		return nil, fmt.Errorf("%w: ACK vector", ErrTruncated)
+		return fmt.Errorf("%w: ACK vector", ErrTruncated)
 	}
-	p.ACK = make([]Seq, nack)
+	if p.ACK == nil || cap(p.ACK) < nack {
+		p.ACK = make([]Seq, nack)
+	} else {
+		p.ACK = p.ACK[:nack]
+	}
 	for i := range p.ACK {
 		p.ACK[i] = Seq(binary.BigEndian.Uint64(rest[8*i:]))
 	}
@@ -128,11 +150,8 @@ func Unmarshal(b []byte) (*PDU, error) {
 	dlen := int(binary.BigEndian.Uint32(rest[:4]))
 	rest = rest[4:]
 	if len(rest) != dlen {
-		return nil, fmt.Errorf("%w: data (have %d want %d)", ErrTruncated, len(rest), dlen)
+		return fmt.Errorf("%w: data (have %d want %d)", ErrTruncated, len(rest), dlen)
 	}
-	if dlen > 0 {
-		p.Data = make([]byte, dlen)
-		copy(p.Data, rest)
-	}
-	return p, nil
+	p.Data = append(p.Data[:0], rest...)
+	return nil
 }

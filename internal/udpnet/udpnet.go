@@ -13,6 +13,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"cobcast/internal/pdu"
 )
 
 // MaxDatagram is the largest datagram the transport accepts. PDU size
@@ -115,7 +117,10 @@ func (t *Transport) Broadcast(datagram []byte) error {
 	return nil
 }
 
-// Recv returns the inbox channel; it is closed after Close.
+// Recv returns the inbox channel; it is closed after Close. Delivered
+// slices are pool-backed (pdu.GetDatagram): the consumer owns each one
+// and should pass it to pdu.PutDatagram once decoded to keep the receive
+// path allocation-free.
 func (t *Transport) Recv() <-chan []byte { return t.recv }
 
 // Close shuts the socket and inbox down.
@@ -131,10 +136,14 @@ func (t *Transport) Close() error {
 
 func (t *Transport) readLoop() {
 	defer close(t.readDone)
-	buf := make([]byte, MaxDatagram)
 	for {
+		// Read straight into a pooled buffer and hand it to the consumer
+		// without copying; the consumer recycles it via pdu.PutDatagram
+		// after decoding, so steady state allocates nothing here.
+		buf := pdu.GetDatagram()[:MaxDatagram]
 		n, _, err := t.conn.ReadFromUDP(buf)
 		if err != nil {
+			pdu.PutDatagram(buf)
 			select {
 			case <-t.stop:
 				return
@@ -143,15 +152,14 @@ func (t *Transport) readLoop() {
 				continue
 			}
 		}
-		b := make([]byte, n)
-		copy(b, buf[:n])
 		select {
-		case t.recv <- b:
+		case t.recv <- buf[:n]:
 			t.received.Add(1)
 		default:
 			// Receive-buffer overrun: the paper's loss model, repaired
 			// by the CO protocol's selective retransmission.
 			t.overrun.Add(1)
+			pdu.PutDatagram(buf)
 		}
 	}
 }

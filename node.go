@@ -15,8 +15,11 @@ import (
 // deliver (best-effort) to every other cluster member; the protocol
 // tolerates loss, duplication and cross-sender reordering, but each
 // pairwise channel must preserve per-sender order (UDP on a LAN and
-// in-memory channels both qualify). Recv's channel is closed when the
-// transport closes.
+// in-memory channels both qualify). Broadcast must not retain the
+// datagram after returning — the node reuses the buffer for the next
+// send. Recv's channel is closed when the transport closes; slices it
+// delivers become owned by the node, which recycles pool-backed ones
+// via pdu.PutDatagram after decoding.
 type Transport interface {
 	Broadcast(datagram []byte) error
 	Recv() <-chan []byte
@@ -47,6 +50,9 @@ type Node struct {
 	queue    deliveryQueue
 	start    time.Time
 	tick     time.Duration
+	// sendBuf is reused for every outgoing datagram: dispatch runs only
+	// on the loop goroutine and transports must not retain datagrams.
+	sendBuf []byte
 
 	stop      chan struct{}
 	loopDone  chan struct{}
@@ -219,6 +225,12 @@ func (nd *Node) loop() {
 		ext = nd.trans.Recv()
 	}
 
+	// scratch receives every external datagram decode, reusing its ACK
+	// and Data capacity. Control PDUs (the steady-state majority) are
+	// only read during Receive, so the entity can take scratch itself;
+	// sequenced PDUs are retained by the entity and must be cloned out.
+	var scratch pdu.PDU
+
 	for {
 		select {
 		case <-nd.stop:
@@ -238,11 +250,16 @@ func (nd *Node) loop() {
 			if !ok {
 				return
 			}
-			p, err := pdu.Unmarshal(b)
+			err := scratch.UnmarshalFrom(b)
+			pdu.PutDatagram(b)
 			if err != nil {
 				continue // corrupted datagram; protocol recovers via RET
 			}
-			nd.receive(p)
+			if scratch.Kind.Sequenced() {
+				nd.receive(scratch.Clone())
+			} else {
+				nd.receive(&scratch)
+			}
 		case <-ticker.C:
 			nd.dispatch(nd.ent.Tick(nd.now()))
 		case reply := <-nd.statsReq:
@@ -267,10 +284,11 @@ func (nd *Node) dispatch(out core.Output) {
 			_ = nd.port.Broadcast(p) // in-memory broadcast fails only on Close
 			continue
 		}
-		b, err := p.Marshal()
+		b, err := p.MarshalAppend(nd.sendBuf[:0])
 		if err != nil {
 			continue
 		}
+		nd.sendBuf = b            // keep the grown buffer for the next send
 		_ = nd.trans.Broadcast(b) // transport loss is indistinguishable from network loss
 	}
 	for _, d := range out.Deliveries {

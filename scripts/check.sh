@@ -1,0 +1,23 @@
+#!/bin/sh
+# Full pre-merge gate: static checks, build, tests with the race
+# detector, and a smoke run of the headline benchmark (experiment E1a)
+# so hot-path regressions that only manifest under the benchmark replay
+# harness are caught too. Run from the repository root, or via
+# `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go test -race ./...'
+go test -race ./...
+
+echo '>> benchmark smoke (BenchmarkFig8Tco, 100 iterations)'
+go test . -run '^$' -bench 'BenchmarkFig8Tco' -benchtime=100x -benchmem
+
+echo '>> all checks passed'

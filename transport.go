@@ -57,10 +57,12 @@ func (u *UDPTransport) Stats() TransportStats {
 	}
 }
 
-// Broadcast implements Transport.
+// Broadcast implements Transport. The datagram is handed to the kernel
+// before returning, so the caller may reuse the buffer immediately.
 func (u *UDPTransport) Broadcast(datagram []byte) error { return u.t.Broadcast(datagram) }
 
-// Recv implements Transport.
+// Recv implements Transport. Delivered slices are pool-backed; the node
+// loop recycles them via pdu.PutDatagram after decoding.
 func (u *UDPTransport) Recv() <-chan []byte { return u.t.Recv() }
 
 // Close implements Transport.
