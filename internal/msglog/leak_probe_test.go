@@ -1,0 +1,20 @@
+package msglog
+
+import (
+	"testing"
+
+	"cobcast/internal/pdu"
+)
+
+// Probe: steady-state enqueue-1/dequeue-1 (log drains to empty each cycle).
+func TestProbeHeadGrowth(t *testing.T) {
+	var l Log
+	for i := 0; i < 100000; i++ {
+		l.Enqueue(&pdu.PDU{Src: 0, SEQ: pdu.Seq(i), ACK: []pdu.Seq{1, 2}})
+		l.Dequeue()
+	}
+	t.Logf("head=%d len=%d cap=%d", l.head, len(l.pdus), cap(l.pdus))
+	if l.head > 1000 {
+		t.Errorf("head grew without bound: %d", l.head)
+	}
+}
