@@ -42,7 +42,7 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 	memnet := network.New(n, netOpts...)
 	c := &Cluster{net: memnet, nodes: make([]*Node, n)}
 	for i := 0; i < n; i++ {
-		nd, err := newNode(i, n, o, memnet.Endpoint(pdu.EntityID(i)), nil)
+		nd, err := newNode(i, n, o, newMemLink(memnet.Endpoint(pdu.EntityID(i))))
 		if err != nil {
 			c.Close()
 			return nil, err

@@ -96,6 +96,11 @@ func (l *Log) Dequeue() *pdu.PDU {
 	l.pdus[l.head] = nil // release for GC
 	l.head++
 	if l.Empty() {
+		// Drained: rewind to the front of the backing array (every slot
+		// behind head is already nil) so the head index cannot grow
+		// without bound in enqueue/dequeue steady state.
+		l.pdus = l.pdus[:0]
+		l.head = 0
 		l.resetBounds()
 	} else if l.head > 64 && l.head*2 >= len(l.pdus) {
 		l.compact()

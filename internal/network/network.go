@@ -28,10 +28,14 @@ import (
 	"cobcast/internal/pdu"
 )
 
-// Inbound is a PDU arriving at an endpoint, tagged with its sender.
+// Inbound is a batch of PDUs arriving at an endpoint, tagged with its
+// sender. A batch models one datagram: it is transmitted, delayed,
+// duplicated, lost, and delivered as a unit, and its PDUs are in the
+// sender's append order, so per-sender order holds within and across
+// batches (the MC service contract).
 type Inbound struct {
 	From pdu.EntityID
-	PDU  *pdu.PDU
+	PDUs []*pdu.PDU
 }
 
 // Endpoint is the per-entity attachment point to a network. Broadcast
@@ -40,11 +44,13 @@ type Inbound struct {
 type Endpoint interface {
 	// Local returns the entity this endpoint belongs to.
 	Local() pdu.EntityID
-	// Broadcast sends p to every other entity in the cluster.
-	Broadcast(p *pdu.PDU) error
-	// Send sends p to a single entity (used by tests and tools; the CO
-	// protocol itself only broadcasts).
-	Send(to pdu.EntityID, p *pdu.PDU) error
+	// Broadcast sends the batch to every other entity in the cluster as
+	// one datagram. The batch is cloned at the network boundary; the
+	// caller keeps ownership of its PDUs.
+	Broadcast(batch ...*pdu.PDU) error
+	// Send sends the batch to a single entity (used by tests and tools;
+	// the CO protocol itself only broadcasts).
+	Send(to pdu.EntityID, batch ...*pdu.PDU) error
 	// Recv is the endpoint's inbox. It is closed when the network closes.
 	Recv() <-chan Inbound
 }
@@ -52,14 +58,16 @@ type Endpoint interface {
 // DelayFn returns the propagation delay from one entity to another.
 type DelayFn func(from, to pdu.EntityID) time.Duration
 
-// DropFn lets tests inject targeted loss; returning true drops the PDU on
-// the from→to channel.
+// DropFn lets tests inject targeted loss; returning true for any PDU of
+// a batch drops the whole batch (the datagram) on the from→to channel.
 type DropFn func(from, to pdu.EntityID, p *pdu.PDU) bool
 
-// Stats counts network-level events since the network was created.
+// Stats counts network-level events since the network was created. All
+// counters are in PDUs, not batches, so they are comparable across
+// batching configurations.
 type Stats struct {
-	// Sent counts point-to-point transmissions (a broadcast in a cluster
-	// of n counts n-1).
+	// Sent counts point-to-point PDU transmissions (a broadcast of a
+	// k-PDU batch in a cluster of n counts k×(n-1)).
 	Sent uint64
 	// Delivered counts PDUs handed to inboxes.
 	Delivered uint64
@@ -213,10 +221,11 @@ func (n *Net) runPipe(from, to pdu.EntityID, pipe chan Inbound) {
 			}
 			select {
 			case n.ports[to].inbox <- in:
-				n.delivered.Add(1)
+				n.delivered.Add(uint64(len(in.PDUs)))
 			default:
-				// Receive-buffer overrun: the paper's loss model.
-				n.droppedOverrun.Add(1)
+				// Receive-buffer overrun: the paper's loss model. The
+				// whole datagram is lost with its slot.
+				n.droppedOverrun.Add(uint64(len(in.PDUs)))
 			}
 		}
 	}
@@ -293,38 +302,57 @@ func (n *Net) Close() {
 	}
 }
 
-// transmit routes one point-to-point copy, applying partition, loss and
-// drop-filter policy. It never blocks.
-func (n *Net) transmit(from, to pdu.EntityID, p *pdu.PDU) error {
+// transmit routes one point-to-point copy of a batch (one datagram),
+// applying partition, loss and drop-filter policy to the batch as a
+// unit. It never blocks.
+func (n *Net) transmit(from, to pdu.EntityID, batch []*pdu.PDU) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return ErrClosed
+	}
+	if len(batch) == 0 {
+		n.mu.Unlock()
+		return nil
 	}
 	blocked := n.blocked[[2]pdu.EntityID{from, to}]
 	lost := n.cfg.lossRate > 0 && n.rng.Float64() < n.cfg.lossRate
 	duplicated := n.cfg.duplicateRate > 0 && n.rng.Float64() < n.cfg.duplicateRate
 	n.mu.Unlock()
 
-	n.sent.Add(1)
+	n.sent.Add(uint64(len(batch)))
 	if blocked {
-		n.droppedPartition.Add(1)
+		n.droppedPartition.Add(uint64(len(batch)))
 		return nil
 	}
-	if lost || (n.cfg.drop != nil && n.cfg.drop(from, to, p)) {
-		n.droppedLoss.Add(1)
+	if lost {
+		n.droppedLoss.Add(uint64(len(batch)))
 		return nil
+	}
+	if n.cfg.drop != nil {
+		for _, p := range batch {
+			if n.cfg.drop(from, to, p) {
+				n.droppedLoss.Add(uint64(len(batch)))
+				return nil
+			}
+		}
 	}
 	copies := 1
 	if duplicated {
 		copies = 2
 	}
 	for c := 0; c < copies; c++ {
-		in := Inbound{From: from, PDU: p.Clone()}
+		// Clone at the network boundary so entities never share
+		// backing arrays; each duplicate is an independent copy.
+		pdus := make([]*pdu.PDU, len(batch))
+		for i, p := range batch {
+			pdus[i] = p.Clone()
+		}
+		in := Inbound{From: from, PDUs: pdus}
 		select {
 		case n.ports[to].pipes[from] <- in:
 		default:
-			n.droppedOverrun.Add(1)
+			n.droppedOverrun.Add(uint64(len(in.PDUs)))
 		}
 	}
 	return nil
@@ -343,25 +371,26 @@ var _ Endpoint = (*Port)(nil)
 // Local returns the entity this port belongs to.
 func (p *Port) Local() pdu.EntityID { return p.id }
 
-// Broadcast sends to every other entity.
-func (p *Port) Broadcast(m *pdu.PDU) error {
+// Broadcast sends the batch to every other entity as one datagram per
+// destination.
+func (p *Port) Broadcast(batch ...*pdu.PDU) error {
 	for to := range p.net.ports {
 		if pdu.EntityID(to) == p.id {
 			continue
 		}
-		if err := p.net.transmit(p.id, pdu.EntityID(to), m); err != nil {
+		if err := p.net.transmit(p.id, pdu.EntityID(to), batch); err != nil {
 			return fmt.Errorf("broadcast from %d: %w", p.id, err)
 		}
 	}
 	return nil
 }
 
-// Send sends to one entity.
-func (p *Port) Send(to pdu.EntityID, m *pdu.PDU) error {
+// Send sends the batch to one entity as one datagram.
+func (p *Port) Send(to pdu.EntityID, batch ...*pdu.PDU) error {
 	if to == p.id {
 		return fmt.Errorf("network: entity %d sending to itself", p.id)
 	}
-	return p.net.transmit(p.id, to, m)
+	return p.net.transmit(p.id, to, batch)
 }
 
 // Recv returns the inbox channel.

@@ -38,13 +38,13 @@ func TestBroadcastReachesAllOthers(t *testing.T) {
 	}
 	for _, id := range []pdu.EntityID{1, 2} {
 		in := collect(t, net.Endpoint(id), 1)[0]
-		if in.From != 0 || in.PDU.SEQ != 1 {
-			t.Errorf("entity %d got %v from %d", id, in.PDU, in.From)
+		if in.From != 0 || in.PDUs[0].SEQ != 1 {
+			t.Errorf("entity %d got %v from %d", id, in.PDUs[0], in.From)
 		}
 	}
 	select {
 	case in := <-net.Endpoint(0).Recv():
-		t.Errorf("sender received its own broadcast: %v", in.PDU)
+		t.Errorf("sender received its own broadcast: %v", in.PDUs[0])
 	case <-time.After(50 * time.Millisecond):
 	}
 }
@@ -61,8 +61,8 @@ func TestPerSenderOrderPreservedWithDelay(t *testing.T) {
 	}
 	got := collect(t, net.Endpoint(1), count)
 	for i, in := range got {
-		if in.PDU.SEQ != pdu.Seq(i+1) {
-			t.Fatalf("position %d: got seq %d, want %d", i, in.PDU.SEQ, i+1)
+		if in.PDUs[0].SEQ != pdu.Seq(i+1) {
+			t.Fatalf("position %d: got seq %d, want %d", i, in.PDUs[0].SEQ, i+1)
 		}
 	}
 }
@@ -159,8 +159,8 @@ func TestDropFilterTargetsPDUs(t *testing.T) {
 		}
 	}
 	got := collect(t, net.Endpoint(1), 2)
-	if got[0].PDU.SEQ != 1 || got[1].PDU.SEQ != 3 {
-		t.Errorf("got seqs %d,%d want 1,3", got[0].PDU.SEQ, got[1].PDU.SEQ)
+	if got[0].PDUs[0].SEQ != 1 || got[1].PDUs[0].SEQ != 3 {
+		t.Errorf("got seqs %d,%d want 1,3", got[0].PDUs[0].SEQ, got[1].PDUs[0].SEQ)
 	}
 	if dropped != 1 {
 		t.Errorf("filter invoked for %d drops, want 1", dropped)
@@ -182,8 +182,8 @@ func TestPartitionBlockAndHeal(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := collect(t, net.Endpoint(1), 1)[0]
-	if in.PDU.SEQ != 2 {
-		t.Errorf("after heal got seq %d, want 2", in.PDU.SEQ)
+	if in.PDUs[0].SEQ != 2 {
+		t.Errorf("after heal got seq %d, want 2", in.PDUs[0].SEQ)
 	}
 }
 
@@ -207,8 +207,8 @@ func TestIsolateAndRejoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	in = collect(t, net.Endpoint(2), 1)[0]
-	if in.From != 1 || in.PDU.SEQ != 2 {
-		t.Errorf("after rejoin: %v from %d", in.PDU, in.From)
+	if in.From != 1 || in.PDUs[0].SEQ != 2 {
+		t.Errorf("after rejoin: %v from %d", in.PDUs[0], in.From)
 	}
 }
 
@@ -221,7 +221,7 @@ func TestPDUsAreClonedAtBoundary(t *testing.T) {
 	}
 	p.ACK[0] = 99 // mutate after send
 	in := collect(t, net.Endpoint(1), 1)[0]
-	if in.PDU.ACK[0] == 99 {
+	if in.PDUs[0].ACK[0] == 99 {
 		t.Error("network delivered aliased PDU")
 	}
 }
@@ -253,8 +253,69 @@ func TestDuplicateRateDeliversTwice(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := collect(t, net.Endpoint(1), 2)
-	if got[0].PDU.SEQ != 1 || got[1].PDU.SEQ != 1 {
-		t.Errorf("expected two copies of seq 1, got %v %v", got[0].PDU, got[1].PDU)
+	if got[0].PDUs[0].SEQ != 1 || got[1].PDUs[0].SEQ != 1 {
+		t.Errorf("expected two copies of seq 1, got %v %v", got[0].PDUs[0], got[1].PDUs[0])
+	}
+}
+
+func TestBatchDeliveredAsUnitInOrder(t *testing.T) {
+	// A multi-PDU batch is one datagram: it arrives as one Inbound with
+	// its PDUs in append order.
+	net := New(2)
+	defer net.Close()
+	batch := []*pdu.PDU{syncPDU(0, 1), syncPDU(0, 2), syncPDU(0, 3)}
+	if err := net.Endpoint(0).Send(1, batch...); err != nil {
+		t.Fatal(err)
+	}
+	in := collect(t, net.Endpoint(1), 1)[0]
+	if len(in.PDUs) != 3 {
+		t.Fatalf("batch of 3 arrived as %d PDUs", len(in.PDUs))
+	}
+	for i, p := range in.PDUs {
+		if p.SEQ != pdu.Seq(i+1) {
+			t.Errorf("position %d: got seq %d, want %d", i, p.SEQ, i+1)
+		}
+	}
+	if s := net.Stats(); s.Sent != 3 || s.Delivered != 3 {
+		t.Errorf("stats count PDUs: Sent=%d Delivered=%d, want 3/3", s.Sent, s.Delivered)
+	}
+}
+
+func TestBatchLostAsUnit(t *testing.T) {
+	// Loss hits the datagram, so a batch is lost or delivered whole —
+	// never split. A drop filter matching one member drops the batch.
+	net := New(2, WithDropFilter(func(_, _ pdu.EntityID, p *pdu.PDU) bool {
+		return p.SEQ == 2
+	}))
+	defer net.Close()
+	if err := net.Endpoint(0).Send(1, syncPDU(0, 1), syncPDU(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Endpoint(0).Send(1, syncPDU(0, 3), syncPDU(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	in := collect(t, net.Endpoint(1), 1)[0]
+	if len(in.PDUs) != 2 || in.PDUs[0].SEQ != 3 || in.PDUs[1].SEQ != 4 {
+		t.Fatalf("surviving batch = %v, want seqs 3,4", in.PDUs)
+	}
+	if s := net.Stats(); s.DroppedLoss != 2 {
+		t.Errorf("DroppedLoss = %d, want 2 (whole batch)", s.DroppedLoss)
+	}
+}
+
+func TestBatchDuplicatesAreIndependentClones(t *testing.T) {
+	net := New(2, WithDuplicateRate(1.0))
+	defer net.Close()
+	if err := net.Endpoint(0).Send(1, syncPDU(0, 1), syncPDU(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, net.Endpoint(1), 2)
+	if len(got[0].PDUs) != 2 || len(got[1].PDUs) != 2 {
+		t.Fatalf("duplicate batches have %d,%d PDUs, want 2,2", len(got[0].PDUs), len(got[1].PDUs))
+	}
+	got[0].PDUs[0].ACK[0] = 99
+	if got[1].PDUs[0].ACK[0] == 99 {
+		t.Error("duplicate batch shares backing arrays with the original")
 	}
 }
 

@@ -1,0 +1,185 @@
+// Batch frame encoding: the wire unit exchanged by cobcast transports.
+// A frame is a versioned header followed by a length-prefixed sequence of
+// PDU datagrams, so every PDU an entity produces while draining its input
+// queue can ride in one datagram (one syscall, one header, one channel
+// hop) instead of one datagram each:
+//
+//	magic   uint16  0xC0BF
+//	version uint8   1
+//	count   uint16  number of PDUs
+//	count × {
+//	  plen  uint32  length of the PDU encoding
+//	  pdu   plen bytes (Marshal output, self-checksummed)
+//	}
+//
+// All integers are big-endian. Frames carry no checksum of their own:
+// each entry is integrity-protected by the PDU codec's CRC-32 trailer,
+// and the frame structure is validated field by field so a truncated or
+// corrupt frame errors out without panicking or over-reading.
+//
+// Ordering contract: a frame preserves the append order of its PDUs, and
+// decoders hand PDUs back in exactly that order, so a transport that
+// keeps per-sender frame order automatically keeps per-sender PDU order
+// within and across frames — the MC service contract.
+package pdu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+const (
+	// FrameMagic identifies cobcast batch frames on the wire.
+	FrameMagic uint16 = 0xC0BF
+	// FrameVersion is the frame-encoding version emitted by FrameEncoder.
+	FrameVersion uint8 = 1
+
+	// FrameHeaderSize is the fixed frame header length in bytes.
+	FrameHeaderSize = 2 + 1 + 2
+	// FrameEntrySize is the per-PDU framing overhead (the length prefix).
+	FrameEntrySize = 4
+
+	// MaxFramePDUs is the most PDUs one frame can carry.
+	MaxFramePDUs = math.MaxUint16
+)
+
+// Frame decoding errors.
+var (
+	ErrFrameTruncated  = errors.New("pdu: truncated batch frame")
+	ErrBadFrameMagic   = errors.New("pdu: bad frame magic")
+	ErrBadFrameVersion = errors.New("pdu: unsupported frame version")
+	ErrFrameTrailing   = errors.New("pdu: trailing bytes after batch frame")
+	ErrFrameFull       = errors.New("pdu: batch frame full")
+)
+
+// FrameEncoder builds a batch frame by appending PDUs into a caller-owned
+// buffer. With a buffer of sufficient capacity the steady-state encode
+// path allocates nothing. The zero value is ready for Begin.
+type FrameEncoder struct {
+	buf   []byte
+	start int
+	count int
+}
+
+// Begin starts a new frame, appending its header to buf. Any frame in
+// progress is discarded.
+func (e *FrameEncoder) Begin(buf []byte) {
+	e.start = len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, FrameMagic)
+	e.buf = append(buf, FrameVersion, 0, 0) // count patched by Bytes
+	e.count = 0
+}
+
+// Append encodes p as the frame's next entry. On error the frame is left
+// exactly as before the call.
+func (e *FrameEncoder) Append(p *PDU) error {
+	if e.count >= MaxFramePDUs {
+		return ErrFrameFull
+	}
+	lenOff := len(e.buf)
+	buf := append(e.buf, 0, 0, 0, 0)
+	buf, err := p.MarshalAppend(buf)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(buf[lenOff:], uint32(len(buf)-lenOff-FrameEntrySize))
+	e.buf = buf
+	e.count++
+	return nil
+}
+
+// Count returns the number of PDUs appended since Begin.
+func (e *FrameEncoder) Count() int { return e.count }
+
+// Size returns the frame's current encoded size in bytes.
+func (e *FrameEncoder) Size() int { return len(e.buf) - e.start }
+
+// Bytes seals the frame (patching the entry count into the header) and
+// returns the buffer passed to Begin extended with the complete frame.
+// The encoder may be reused with Begin afterwards.
+func (e *FrameEncoder) Bytes() []byte {
+	binary.BigEndian.PutUint16(e.buf[e.start+3:], uint16(e.count))
+	return e.buf
+}
+
+// EncodeFrame is a convenience wrapper marshaling a batch into one frame.
+func EncodeFrame(batch []*PDU) ([]byte, error) {
+	var e FrameEncoder
+	e.Begin(nil)
+	for _, p := range batch {
+		if err := e.Append(p); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+// FrameDecoder iterates the PDUs of a batch frame in place. It performs
+// no allocation of its own; decoding into a reused scratch PDU keeps the
+// steady-state receive path allocation-free. Every error is terminal:
+// once Reset or Next fails, subsequent Next calls return the same error,
+// so a malformed frame can never cause an over-read or a stuck loop.
+type FrameDecoder struct {
+	rest      []byte
+	remaining int
+	err       error
+}
+
+// Reset points the decoder at frame b, validating the header. The
+// decoder reads from b in place, so b must stay alive and unmodified
+// until the last Next.
+func (d *FrameDecoder) Reset(b []byte) error {
+	d.rest, d.remaining = nil, 0
+	if len(b) < FrameHeaderSize {
+		d.err = fmt.Errorf("%w: %d header bytes", ErrFrameTruncated, len(b))
+		return d.err
+	}
+	if m := binary.BigEndian.Uint16(b); m != FrameMagic {
+		d.err = fmt.Errorf("%w: %04x", ErrBadFrameMagic, m)
+		return d.err
+	}
+	if v := b[2]; v != FrameVersion {
+		d.err = fmt.Errorf("%w: %d", ErrBadFrameVersion, v)
+		return d.err
+	}
+	d.remaining = int(binary.BigEndian.Uint16(b[3:5]))
+	d.rest = b[FrameHeaderSize:]
+	d.err = nil
+	return nil
+}
+
+// Next decodes the frame's next PDU into p (overwriting every field and
+// reusing p's ACK/Data capacity). It returns false with a nil error when
+// the frame is exhausted; false with an error when the frame is
+// malformed, after which the decoder stays in the error state.
+func (d *FrameDecoder) Next(p *PDU) (bool, error) {
+	if d.err != nil {
+		return false, d.err
+	}
+	if d.remaining == 0 {
+		if len(d.rest) != 0 {
+			d.err = fmt.Errorf("%w: %d bytes", ErrFrameTrailing, len(d.rest))
+			return false, d.err
+		}
+		return false, nil
+	}
+	if len(d.rest) < FrameEntrySize {
+		d.err = fmt.Errorf("%w: entry prefix", ErrFrameTruncated)
+		return false, d.err
+	}
+	plen := binary.BigEndian.Uint32(d.rest)
+	if uint64(plen) > uint64(len(d.rest)-FrameEntrySize) {
+		d.err = fmt.Errorf("%w: entry of %d bytes, %d left", ErrFrameTruncated, plen, len(d.rest)-FrameEntrySize)
+		return false, d.err
+	}
+	entry := d.rest[FrameEntrySize : FrameEntrySize+plen]
+	d.rest = d.rest[FrameEntrySize+plen:]
+	d.remaining--
+	if err := p.UnmarshalFrom(entry); err != nil {
+		d.err = err
+		return false, d.err
+	}
+	return true, nil
+}

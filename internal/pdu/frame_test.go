@@ -1,0 +1,218 @@
+package pdu
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func frameBatch() []*PDU {
+	return []*PDU{
+		{Kind: KindData, CID: 7, Src: 0, SEQ: 1, ACK: []Seq{1, 1, 1}, BUF: 10, LSrc: NoEntity, Data: []byte("first")},
+		{Kind: KindSync, CID: 7, Src: 0, SEQ: 2, ACK: []Seq{2, 1, 1}, BUF: 9, NeedAck: true, LSrc: NoEntity},
+		{Kind: KindAckOnly, CID: 7, Src: 0, ACK: []Seq{2, 2, 1}, LSrc: NoEntity},
+		{Kind: KindRet, CID: 7, Src: 0, ACK: []Seq{2, 2, 2}, LSrc: 1, LSeq: 5},
+	}
+}
+
+// decodeFrame decodes every PDU of a frame into fresh PDUs.
+func decodeFrame(t *testing.T, b []byte) []*PDU {
+	t.Helper()
+	var d FrameDecoder
+	if err := d.Reset(b); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	var out []*PDU
+	for {
+		var p PDU
+		ok, err := d.Next(&p)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, &p)
+	}
+}
+
+// TestFrameRoundTrip encodes a mixed batch and checks the decoder hands
+// back identical PDUs in append order.
+func TestFrameRoundTrip(t *testing.T) {
+	batch := frameBatch()
+	b, err := EncodeFrame(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeFrame(t, b)
+	if len(got) != len(batch) {
+		t.Fatalf("decoded %d PDUs, want %d", len(got), len(batch))
+	}
+	for i, p := range batch {
+		want, _ := p.Marshal()
+		have, _ := got[i].Marshal()
+		if !bytes.Equal(want, have) {
+			t.Errorf("PDU %d mismatch:\n want %v\n got  %v", i, p, got[i])
+		}
+	}
+}
+
+// TestFrameEmpty checks a zero-PDU frame round-trips (the encoder never
+// emits one, but the decoder must not choke on it).
+func TestFrameEmpty(t *testing.T) {
+	var e FrameEncoder
+	e.Begin(nil)
+	b := e.Bytes()
+	if len(b) != FrameHeaderSize {
+		t.Fatalf("empty frame is %d bytes, want %d", len(b), FrameHeaderSize)
+	}
+	if got := decodeFrame(t, b); len(got) != 0 {
+		t.Fatalf("decoded %d PDUs from empty frame", len(got))
+	}
+}
+
+// TestFrameEncoderReuse checks Begin resets state and the appended-to
+// buffer convention works (frame appended after a prefix).
+func TestFrameEncoderReuse(t *testing.T) {
+	batch := frameBatch()
+	var e FrameEncoder
+	e.Begin(nil)
+	if err := e.Append(batch[0]); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), e.Bytes()...)
+
+	prefix := []byte("xx")
+	e.Begin(prefix)
+	if e.Count() != 0 {
+		t.Fatalf("Count after Begin = %d", e.Count())
+	}
+	if err := e.Append(batch[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := e.Bytes()
+	if !bytes.Equal(out[:2], prefix) {
+		t.Fatalf("prefix clobbered: %q", out[:2])
+	}
+	if !bytes.Equal(out[2:], first) {
+		t.Fatalf("re-encoded frame differs from first encoding")
+	}
+	if e.Size() != len(first) {
+		t.Fatalf("Size = %d, want %d", e.Size(), len(first))
+	}
+}
+
+// TestFrameDecodeMalformed feeds the decoder truncated and corrupt frames:
+// each must surface an error (never panic), and the error must be terminal.
+func TestFrameDecodeMalformed(t *testing.T) {
+	good, err := EncodeFrame(frameBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		return mutate(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrFrameTruncated},
+		{"short header", good[:FrameHeaderSize-1], ErrFrameTruncated},
+		{"bad magic", corrupt(func(b []byte) []byte { b[0] ^= 0xFF; return b }), ErrBadFrameMagic},
+		{"bad version", corrupt(func(b []byte) []byte { b[2] = 99; return b }), ErrBadFrameVersion},
+		{"truncated entry prefix", good[:FrameHeaderSize+2], ErrFrameTruncated},
+		{"truncated entry body", good[:len(good)-1], ErrFrameTruncated},
+		{"oversized entry length", corrupt(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[FrameHeaderSize:], 1<<30)
+			return b
+		}), ErrFrameTruncated},
+		{"count larger than entries", corrupt(func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[3:5], 99)
+			return b
+		}), ErrFrameTruncated},
+		{"trailing bytes", corrupt(func(b []byte) []byte { return append(b, 0xEE) }), ErrFrameTrailing},
+		{"corrupt entry checksum", corrupt(func(b []byte) []byte {
+			b[len(b)-1] ^= 0xFF
+			return b
+		}), ErrBadChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d FrameDecoder
+			var p PDU
+			err := d.Reset(tc.in)
+			for err == nil {
+				var ok bool
+				ok, err = d.Next(&p)
+				if !ok && err == nil {
+					t.Fatalf("frame decoded cleanly, want %v", tc.want)
+				}
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want %v", err, tc.want)
+			}
+			// The error must be terminal: Next keeps failing identically.
+			if _, again := d.Next(&p); !errors.Is(again, tc.want) {
+				t.Fatalf("error not terminal: second Next returned %v", again)
+			}
+		})
+	}
+}
+
+// TestFrameCodecZeroAlloc proves the batch encode/decode hot path is
+// allocation-free in steady state: a warmed encoder buffer and scratch
+// decode PDU are reused across frames without allocating.
+func TestFrameCodecZeroAlloc(t *testing.T) {
+	batch := frameBatch()
+	var e FrameEncoder
+	buf := make([]byte, 0, 4096)
+	var d FrameDecoder
+	var scratch PDU
+	// Warm the scratch PDU's ACK/Data capacity.
+	e.Begin(buf)
+	for _, p := range batch {
+		if err := e.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := e.Bytes()
+	if err := d.Reset(warm); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ok, err := d.Next(&scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Begin(buf)
+		for _, p := range batch {
+			if err := e.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b := e.Bytes()
+		if err := d.Reset(b); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			ok, err := d.Next(&scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("frame codec hot path allocates %.1f times per frame, want 0", allocs)
+	}
+}

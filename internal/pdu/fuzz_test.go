@@ -40,6 +40,62 @@ func FuzzUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzFrameDecode throws arbitrary bytes at the batch-frame decoder: it
+// must never panic or over-read, and any frame it fully accepts must
+// re-encode to the identical bytes (the frame codec is canonical).
+func FuzzFrameDecode(f *testing.F) {
+	seedBatches := [][]*PDU{
+		{},
+		{{Kind: KindData, CID: 1, Src: 0, SEQ: 1, ACK: []Seq{1, 1}, LSrc: NoEntity, Data: []byte("solo")}},
+		{
+			{Kind: KindData, CID: 3, Src: 1, SEQ: 4, ACK: []Seq{2, 5, 1}, BUF: 8, LSrc: NoEntity, Data: []byte("a")},
+			{Kind: KindSync, CID: 3, Src: 1, SEQ: 5, ACK: []Seq{2, 6, 1}, NeedAck: true, LSrc: NoEntity},
+			{Kind: KindAckOnly, CID: 3, Src: 1, ACK: []Seq{2, 6, 2}, LSrc: NoEntity},
+			{Kind: KindRet, CID: 3, Src: 1, ACK: []Seq{2, 6, 2}, LSrc: 0, LSeq: 2},
+		},
+	}
+	for _, batch := range seedBatches {
+		b, err := EncodeFrame(batch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xC0, 0xBF})
+	f.Add(bytes.Repeat([]byte{0xC0, 0xBF, 0x01}, 20))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d FrameDecoder
+		if err := d.Reset(data); err != nil {
+			return
+		}
+		var batch []*PDU
+		for {
+			var p PDU
+			ok, err := d.Next(&p)
+			if err != nil {
+				// Terminal-error contract: the decoder must keep failing.
+				if _, again := d.Next(&p); again == nil {
+					t.Fatal("decoder error was not terminal")
+				}
+				return
+			}
+			if !ok {
+				break
+			}
+			batch = append(batch, &p)
+		}
+		out, err := EncodeFrame(batch)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("frame codec not canonical:\n in  %x\n out %x", data, out)
+		}
+	})
+}
+
 // FuzzCompare checks that the Theorem 4.1 relation is antisymmetric for
 // arbitrary well-formed PDU pairs.
 func FuzzCompare(f *testing.F) {

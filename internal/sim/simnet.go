@@ -128,30 +128,41 @@ func (n *Net) Size() int { return len(n.handlers) }
 // Stats returns a snapshot of the counters.
 func (n *Net) Stats() NetStats { return n.stats }
 
-// Broadcast schedules delivery of p from one entity to every other.
-func (n *Net) Broadcast(from pdu.EntityID, p *pdu.PDU) {
+// Broadcast schedules delivery of a batch (one datagram) from one entity
+// to every other.
+func (n *Net) Broadcast(from pdu.EntityID, batch ...*pdu.PDU) {
 	for to := range n.handlers {
 		if pdu.EntityID(to) == from {
 			continue
 		}
-		n.Send(from, pdu.EntityID(to), p)
+		n.Send(from, pdu.EntityID(to), batch...)
 	}
 }
 
-// Send schedules delivery of p on the from→to channel.
-func (n *Net) Send(from, to pdu.EntityID, p *pdu.PDU) {
-	n.stats.Sent++
+// Send schedules delivery of a batch on the from→to channel. The batch is
+// one datagram: it is delayed, lost, and duplicated as a unit, arrives as
+// one simulator event, and its PDUs reach the handler in append order —
+// so per-sender order holds within and across batches. Stats count PDUs.
+func (n *Net) Send(from, to pdu.EntityID, batch ...*pdu.PDU) {
+	if len(batch) == 0 {
+		return
+	}
+	n.stats.Sent += uint64(len(batch))
 	if n.blocked[[2]pdu.EntityID{from, to}] {
-		n.stats.Dropped++
+		n.stats.Dropped += uint64(len(batch))
 		return
 	}
 	if n.cfg.lossRate > 0 && n.rng.Float64() < n.cfg.lossRate {
-		n.stats.Dropped++
+		n.stats.Dropped += uint64(len(batch))
 		return
 	}
-	if n.cfg.drop != nil && n.cfg.drop(from, to, p) {
-		n.stats.Dropped++
-		return
+	if n.cfg.drop != nil {
+		for _, p := range batch {
+			if n.cfg.drop(from, to, p) {
+				n.stats.Dropped += uint64(len(batch))
+				return
+			}
+		}
 	}
 	copies := 1
 	if n.cfg.duplicateRate > 0 && n.rng.Float64() < n.cfg.duplicateRate {
@@ -164,11 +175,18 @@ func (n *Net) Send(from, to pdu.EntityID, p *pdu.PDU) {
 			at = prev + time.Nanosecond
 		}
 		n.lastAt[from][to] = at
-		clone := p.Clone()
+		clones := make([]*pdu.PDU, len(batch))
+		for i, p := range batch {
+			clones[i] = p.Clone()
+		}
 		n.sim.At(at, func() {
-			n.stats.Delivered++
-			if h := n.handlers[to]; h != nil {
-				h(from, clone)
+			n.stats.Delivered += uint64(len(clones))
+			h := n.handlers[to]
+			if h == nil {
+				return
+			}
+			for _, p := range clones {
+				h(from, p)
 			}
 		})
 	}

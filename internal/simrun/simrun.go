@@ -123,8 +123,9 @@ func (c *Cluster) scheduleTick(id pdu.EntityID) {
 	})
 }
 
-// dispatch routes an entity's output: PDUs onto the network, deliveries
-// into the per-entity record and the Tap histogram.
+// dispatch routes an entity's output: PDUs onto the network as one
+// batched datagram, deliveries into the per-entity record and the Tap
+// histogram.
 func (c *Cluster) dispatch(id pdu.EntityID, out core.Output) {
 	for _, p := range out.PDUs {
 		if p.Kind.Sequenced() && p.Src == id {
@@ -133,8 +134,8 @@ func (c *Cluster) dispatch(id pdu.EntityID, out core.Output) {
 				c.sendTimes[m] = c.Sim.Now()
 			}
 		}
-		c.Net.Broadcast(id, p)
 	}
+	c.Net.Broadcast(id, out.PDUs...)
 	for _, d := range out.Deliveries {
 		c.Delivered[id] = append(c.Delivered[id], d)
 		if sent, ok := c.sendTimes[trace.MsgID{Src: d.Src, Seq: d.SEQ}]; ok {

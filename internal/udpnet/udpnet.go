@@ -17,10 +17,15 @@ import (
 	"cobcast/internal/pdu"
 )
 
-// MaxDatagram is the largest datagram the transport accepts. PDU size
-// grows O(n) with cluster size plus the payload; 60 KiB fits loopback and
-// jumbo-frame LANs. Callers must keep payloads under this bound.
+// MaxDatagram is the largest datagram the transport accepts. Frame size
+// grows with batch size and O(n) per PDU via the ACK vector; 60 KiB fits
+// loopback and jumbo-frame LANs. Broadcast enforces this bound and
+// returns ErrDatagramTooLarge beyond it.
 const MaxDatagram = 60 * 1024
+
+// ErrDatagramTooLarge is returned by Broadcast for datagrams over
+// MaxDatagram; each rejection is also counted in Stats.Oversize.
+var ErrDatagramTooLarge = errors.New("udpnet: datagram exceeds MaxDatagram")
 
 // Stats counts transport-level events.
 type Stats struct {
@@ -30,6 +35,9 @@ type Stats struct {
 	Overrun uint64
 	// ReadErrors counts failed or short reads.
 	ReadErrors uint64
+	// Oversize counts datagrams rejected by Broadcast for exceeding
+	// MaxDatagram.
+	Oversize uint64
 }
 
 // Transport is a cobcast.Transport over UDP.
@@ -47,6 +55,7 @@ type Transport struct {
 	received   atomic.Uint64
 	overrun    atomic.Uint64
 	readErrors atomic.Uint64
+	oversize   atomic.Uint64
 }
 
 // New binds a UDP socket on local (e.g. "127.0.0.1:9001") and targets the
@@ -95,14 +104,18 @@ func (t *Transport) Stats() Stats {
 		Received:   t.received.Load(),
 		Overrun:    t.overrun.Load(),
 		ReadErrors: t.readErrors.Load(),
+		Oversize:   t.oversize.Load(),
 	}
 }
 
-// Broadcast sends the datagram to every peer. Per-peer send errors are
-// ignored beyond counting: UDP loss is the protocol's problem to repair.
+// Broadcast sends the datagram to every peer. Oversize datagrams are
+// rejected with ErrDatagramTooLarge before touching the socket; per-peer
+// send errors are ignored beyond counting: UDP loss is the protocol's
+// problem to repair.
 func (t *Transport) Broadcast(datagram []byte) error {
 	if len(datagram) > MaxDatagram {
-		return fmt.Errorf("udpnet: datagram %d bytes exceeds %d", len(datagram), MaxDatagram)
+		t.oversize.Add(1)
+		return fmt.Errorf("%w: %d bytes > %d", ErrDatagramTooLarge, len(datagram), MaxDatagram)
 	}
 	select {
 	case <-t.stop:

@@ -2,6 +2,7 @@ package udpnet
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 )
@@ -94,9 +95,23 @@ func TestValidation(t *testing.T) {
 }
 
 func TestOversizeDatagramRejected(t *testing.T) {
-	a, _ := pair(t, 0)
-	if err := a.Broadcast(make([]byte, MaxDatagram+1)); err == nil {
-		t.Error("oversize accepted")
+	a, b := pair(t, 0)
+	err := a.Broadcast(make([]byte, MaxDatagram+1))
+	if !errors.Is(err, ErrDatagramTooLarge) {
+		t.Errorf("oversize error = %v, want ErrDatagramTooLarge", err)
+	}
+	if s := a.Stats(); s.Oversize != 1 || s.Sent != 0 {
+		t.Errorf("after oversize reject: %+v, want Oversize=1 Sent=0", s)
+	}
+	// A datagram at exactly the bound still goes through.
+	if err := a.Broadcast(make([]byte, MaxDatagram)); err != nil {
+		t.Fatalf("max-size datagram rejected: %v", err)
+	}
+	if got := recvOne(t, b); len(got) != MaxDatagram {
+		t.Errorf("received %d bytes, want %d", len(got), MaxDatagram)
+	}
+	if s := a.Stats(); s.Oversize != 1 {
+		t.Errorf("Oversize moved on a valid send: %+v", s)
 	}
 }
 

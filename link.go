@@ -1,0 +1,246 @@
+package cobcast
+
+import (
+	"sync"
+
+	"cobcast/internal/network"
+	"cobcast/internal/pdu"
+)
+
+// inbound is one received datagram, in exactly one representation: pdus
+// for links whose substrate moves decoded PDUs (in-memory network), raw
+// for links whose substrate moves encoded batch frames (Transport). The
+// owning link interprets its own inbounds in deliver.
+type inbound struct {
+	pdus []*pdu.PDU
+	raw  []byte
+}
+
+// link is the node's single attachment point to whatever moves PDUs —
+// the layer that collapses the old port/trans duality. The loop
+// goroutine owns the send side: it stages outgoing PDUs with append and
+// coalesces them into one datagram per flush, which it calls whenever
+// its input queue goes idle, so every PDU produced by one input burst
+// rides together. A link must preserve per-sender datagram order, which
+// with the frame ordering contract preserves per-sender PDU order within
+// and across batches (the MC service contract).
+//
+// Ownership: append borrows the PDU pointer until the next flush; entity
+// output PDUs are immutable after creation (the sendlog retransmits them
+// bit-identically), so staging them is safe. deliver hands PDUs to fn
+// under the entity Receive contract: sequenced PDUs are owned by the
+// callee, unsequenced ones may be link scratch reused after fn returns.
+type link interface {
+	// append stages p for the next flush. It may flush early to respect
+	// substrate limits (datagram size, batch cap).
+	append(p *pdu.PDU)
+	// flush sends everything staged since the last flush as one
+	// datagram per destination. Send failures are dropped datagrams —
+	// indistinguishable from network loss, repaired by the protocol.
+	flush()
+	// recv is the unified inbox: one entry per arriving datagram. It is
+	// closed when the link or its substrate closes.
+	recv() <-chan inbound
+	// deliver decodes one inbound datagram and hands each PDU to fn in
+	// batch order, then releases the datagram's resources.
+	deliver(in inbound, fn func(p *pdu.PDU))
+	// close stops the link's pump goroutine and closes a transport the
+	// link owns. It is idempotent.
+	close() error
+}
+
+// memBatchMax bounds how many PDUs a memLink stages before flushing
+// early; it plays the role MaxDatagram plays for wire links and keeps a
+// long drain from growing the staging slice without bound.
+const memBatchMax = 128
+
+// memLink attaches a node to the in-memory network. PDUs move as
+// pointers: append stages them (the network clones at its boundary on
+// flush) and deliver's PDUs arrive already cloned and owned.
+type memLink struct {
+	port  *network.Port
+	batch []*pdu.PDU
+	in    chan inbound
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newMemLink(port *network.Port) *memLink {
+	l := &memLink{
+		port:  port,
+		batch: make([]*pdu.PDU, 0, memBatchMax),
+		in:    make(chan inbound),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go l.pump()
+	return l
+}
+
+func (l *memLink) append(p *pdu.PDU) {
+	l.batch = append(l.batch, p)
+	if len(l.batch) >= memBatchMax {
+		l.flush()
+	}
+}
+
+func (l *memLink) flush() {
+	if len(l.batch) == 0 {
+		return
+	}
+	_ = l.port.Broadcast(l.batch...) // fails only on Close
+	for i := range l.batch {
+		l.batch[i] = nil
+	}
+	l.batch = l.batch[:0]
+}
+
+func (l *memLink) recv() <-chan inbound { return l.in }
+
+// pump forwards the port inbox onto the unified inbound channel until
+// the network or the link closes.
+func (l *memLink) pump() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.stop:
+			return
+		case in, ok := <-l.port.Recv():
+			if !ok {
+				close(l.in)
+				return
+			}
+			select {
+			case l.in <- inbound{pdus: in.PDUs}:
+			case <-l.stop:
+				return
+			}
+		}
+	}
+}
+
+func (l *memLink) deliver(in inbound, fn func(p *pdu.PDU)) {
+	for _, p := range in.pdus {
+		fn(p)
+	}
+}
+
+func (l *memLink) close() error {
+	l.once.Do(func() {
+		close(l.stop)
+		<-l.done
+	})
+	return nil
+}
+
+// wireLink attaches a node to a Transport. append marshals each PDU
+// straight into an in-progress batch frame (flushing first if the PDU
+// would push the frame past MaxDatagram), flush broadcasts the sealed
+// frame, and deliver decodes arriving frames into a reused scratch PDU —
+// so the whole encode/decode hot path is allocation-free in steady state,
+// reusing one grown send buffer and the transport's datagram pool.
+type wireLink struct {
+	trans Transport
+	enc   pdu.FrameEncoder
+	// sendBuf is the frame build buffer, retained across flushes so it
+	// grows once; only the loop goroutine touches it.
+	sendBuf []byte
+	dec     pdu.FrameDecoder
+	scratch pdu.PDU
+	in   chan inbound
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+func newWireLink(trans Transport) *wireLink {
+	l := &wireLink{
+		trans:   trans,
+		sendBuf: make([]byte, 0, 4096),
+		in:      make(chan inbound),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	l.enc.Begin(l.sendBuf)
+	go l.pump()
+	return l
+}
+
+func (l *wireLink) append(p *pdu.PDU) {
+	if l.enc.Count() > 0 && l.enc.Size()+pdu.FrameEntrySize+p.EncodedSize() > MaxDatagram {
+		l.flush()
+	}
+	// An Append error means the PDU itself cannot be encoded (field
+	// overflow); dropping it is indistinguishable from transport loss.
+	_ = l.enc.Append(p)
+}
+
+func (l *wireLink) flush() {
+	if l.enc.Count() == 0 {
+		return
+	}
+	b := l.enc.Bytes()
+	// Loss and oversize are the transport's to count; the protocol
+	// repairs both via selective retransmission.
+	_ = l.trans.Broadcast(b)
+	l.sendBuf = b[:0]
+	l.enc.Begin(l.sendBuf)
+}
+
+func (l *wireLink) recv() <-chan inbound { return l.in }
+
+// pump forwards raw datagrams from the transport onto the unified
+// inbound channel until the transport or the link closes.
+func (l *wireLink) pump() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.stop:
+			return
+		case b, ok := <-l.trans.Recv():
+			if !ok {
+				close(l.in)
+				return
+			}
+			select {
+			case l.in <- inbound{raw: b}:
+			case <-l.stop:
+				pdu.PutDatagram(b)
+				return
+			}
+		}
+	}
+}
+
+func (l *wireLink) deliver(in inbound, fn func(p *pdu.PDU)) {
+	// A decode error means a truncated or corrupt frame tail: PDUs
+	// decoded before it stand, the rest are lost datagram content the
+	// protocol recovers via RET.
+	err := l.dec.Reset(in.raw)
+	for err == nil {
+		var ok bool
+		ok, err = l.dec.Next(&l.scratch)
+		if !ok {
+			break
+		}
+		// Sequenced PDUs are retained by the entity and must be cloned
+		// out of scratch; control PDUs are only read during Receive.
+		if l.scratch.Kind.Sequenced() {
+			fn(l.scratch.Clone())
+		} else {
+			fn(&l.scratch)
+		}
+	}
+	pdu.PutDatagram(in.raw)
+}
+
+func (l *wireLink) close() error {
+	var err error
+	l.once.Do(func() {
+		close(l.stop)
+		<-l.done
+		err = l.trans.Close()
+	})
+	return err
+}

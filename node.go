@@ -7,19 +7,23 @@ import (
 	"time"
 
 	"cobcast/internal/core"
-	"cobcast/internal/network"
 	"cobcast/internal/pdu"
 )
 
-// Transport moves marshaled PDU datagrams between nodes. Broadcast must
-// deliver (best-effort) to every other cluster member; the protocol
-// tolerates loss, duplication and cross-sender reordering, but each
-// pairwise channel must preserve per-sender order (UDP on a LAN and
-// in-memory channels both qualify). Broadcast must not retain the
-// datagram after returning — the node reuses the buffer for the next
-// send. Recv's channel is closed when the transport closes; slices it
-// delivers become owned by the node, which recycles pool-backed ones
-// via pdu.PutDatagram after decoding.
+// Transport moves encoded datagrams between nodes. Each datagram is one
+// batch frame (see internal/pdu: a versioned header followed by a
+// length-prefixed sequence of PDU encodings); the node's link layer
+// encodes and decodes frames, so a Transport only moves opaque byte
+// slices. Broadcast must deliver (best-effort) to every other cluster
+// member; the protocol tolerates loss, duplication and cross-sender
+// reordering, but each pairwise channel must preserve per-sender
+// datagram order (UDP on a LAN and in-memory channels both qualify) —
+// combined with the frame's in-order PDU layout this yields the MC
+// service's per-sender PDU order within and across batches. Broadcast
+// must not retain the datagram after returning: the node reuses the
+// frame buffer for the next send. Recv's channel is closed when the
+// transport closes; slices it delivers become owned by the node, which
+// recycles pool-backed ones via pdu.PutDatagram after decoding.
 type Transport interface {
 	Broadcast(datagram []byte) error
 	Recv() <-chan []byte
@@ -37,10 +41,13 @@ type Node struct {
 	n   int
 	ent *core.Entity
 
-	// Exactly one of these is set: port for in-process clusters (PDUs
-	// move without serialization), trans for external transports.
-	port  *network.Port
-	trans Transport
+	// lk is the node's sole attachment to the outside: a memLink for
+	// in-process clusters (PDUs move as pointers, no serialization) or a
+	// wireLink for external transports (PDUs move as batch frames). The
+	// loop goroutine stages outgoing PDUs on it and flushes once per
+	// input burst, so every PDU produced while draining the queue
+	// coalesces into one datagram.
+	lk link
 
 	submits  chan []byte
 	evicts   chan evictReq
@@ -50,9 +57,6 @@ type Node struct {
 	queue    deliveryQueue
 	start    time.Time
 	tick     time.Duration
-	// sendBuf is reused for every outgoing datagram: dispatch runs only
-	// on the loop goroutine and transports must not retain datagrams.
-	sendBuf []byte
 
 	stop      chan struct{}
 	loopDone  chan struct{}
@@ -71,20 +75,20 @@ func NewNode(id, n int, trans Transport, opts ...Option) (*Node, error) {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	return newNode(id, n, o, nil, trans)
+	return newNode(id, n, o, newWireLink(trans))
 }
 
-func newNode(id, n int, o options, port *network.Port, trans Transport) (*Node, error) {
+func newNode(id, n int, o options, lk link) (*Node, error) {
 	ent, err := core.New(o.coreConfig(id, n))
 	if err != nil {
+		_ = lk.close()
 		return nil, fmt.Errorf("cobcast: node %d: %w", id, err)
 	}
 	nd := &Node{
 		id:       id,
 		n:        n,
 		ent:      ent,
-		port:     port,
-		trans:    trans,
+		lk:       lk,
 		submits:  make(chan []byte, 64),
 		evicts:   make(chan evictReq),
 		statsReq: make(chan chan core.Stats),
@@ -201,9 +205,7 @@ func (nd *Node) Close() error {
 		nd.queue.close()
 		<-nd.pumpDone
 		close(nd.deliver)
-		if nd.trans != nil {
-			err = nd.trans.Close()
-		}
+		err = nd.lk.close()
 	})
 	return err
 }
@@ -211,55 +213,31 @@ func (nd *Node) Close() error {
 // now is the node's protocol clock: time since the node started.
 func (nd *Node) now() time.Duration { return time.Since(nd.start) }
 
-// loop serializes every entity input on one goroutine.
+// loop serializes every entity input on one goroutine. Outgoing PDUs are
+// staged on the link as they are produced; the loop flushes them as one
+// batched datagram only when its input queue goes idle, so a burst of
+// arrivals (or one input producing several PDUs) coalesces into a single
+// frame — flush-on-loop-idle batching.
 func (nd *Node) loop() {
 	defer close(nd.loopDone)
 	ticker := time.NewTicker(nd.tick)
 	defer ticker.Stop()
-
-	var inmem <-chan network.Inbound
-	var ext <-chan []byte
-	if nd.port != nil {
-		inmem = nd.port.Recv()
-	} else {
-		ext = nd.trans.Recv()
-	}
-
-	// scratch receives every external datagram decode, reusing its ACK
-	// and Data capacity. Control PDUs (the steady-state majority) are
-	// only read during Receive, so the entity can take scratch itself;
-	// sequenced PDUs are retained by the entity and must be cloned out.
-	var scratch pdu.PDU
+	in := nd.lk.recv()
 
 	for {
+		// Block for the next input…
 		select {
 		case <-nd.stop:
 			return
 		case data := <-nd.submits:
 			nd.dispatch(nd.ent.Submit(data, nd.now()))
 		case req := <-nd.evicts:
-			out, err := nd.ent.Evict(pdu.EntityID(req.id), nd.now())
-			req.reply <- err
-			nd.dispatch(out)
-		case in, ok := <-inmem:
+			nd.handleEvict(req)
+		case b, ok := <-in:
 			if !ok {
 				return
 			}
-			nd.receive(in.PDU)
-		case b, ok := <-ext:
-			if !ok {
-				return
-			}
-			err := scratch.UnmarshalFrom(b)
-			pdu.PutDatagram(b)
-			if err != nil {
-				continue // corrupted datagram; protocol recovers via RET
-			}
-			if scratch.Kind.Sequenced() {
-				nd.receive(scratch.Clone())
-			} else {
-				nd.receive(&scratch)
-			}
+			nd.lk.deliver(b, nd.receive)
 		case <-ticker.C:
 			nd.dispatch(nd.ent.Tick(nd.now()))
 		case reply := <-nd.statsReq:
@@ -267,7 +245,40 @@ func (nd *Node) loop() {
 		case reply := <-nd.idleReq:
 			reply <- nd.ent.Quiescent()
 		}
+		// …then drain everything already pending without blocking, so
+		// the PDUs all of it produces share one flush.
+		drained := false
+		for !drained {
+			select {
+			case <-nd.stop:
+				return
+			case data := <-nd.submits:
+				nd.dispatch(nd.ent.Submit(data, nd.now()))
+			case req := <-nd.evicts:
+				nd.handleEvict(req)
+			case b, ok := <-in:
+				if !ok {
+					return
+				}
+				nd.lk.deliver(b, nd.receive)
+			case <-ticker.C:
+				nd.dispatch(nd.ent.Tick(nd.now()))
+			case reply := <-nd.statsReq:
+				reply <- nd.ent.Stats()
+			case reply := <-nd.idleReq:
+				reply <- nd.ent.Quiescent()
+			default:
+				drained = true
+			}
+		}
+		nd.lk.flush()
 	}
+}
+
+func (nd *Node) handleEvict(req evictReq) {
+	out, err := nd.ent.Evict(pdu.EntityID(req.id), nd.now())
+	req.reply <- err
+	nd.dispatch(out)
 }
 
 func (nd *Node) receive(p *pdu.PDU) {
@@ -278,18 +289,11 @@ func (nd *Node) receive(p *pdu.PDU) {
 	nd.dispatch(out)
 }
 
+// dispatch stages an entity's output PDUs on the link (sent at the next
+// flush) and queues its deliveries.
 func (nd *Node) dispatch(out core.Output) {
 	for _, p := range out.PDUs {
-		if nd.port != nil {
-			_ = nd.port.Broadcast(p) // in-memory broadcast fails only on Close
-			continue
-		}
-		b, err := p.MarshalAppend(nd.sendBuf[:0])
-		if err != nil {
-			continue
-		}
-		nd.sendBuf = b            // keep the grown buffer for the next send
-		_ = nd.trans.Broadcast(b) // transport loss is indistinguishable from network loss
+		nd.lk.append(p)
 	}
 	for _, d := range out.Deliveries {
 		nd.queue.push(Message{Src: int(d.Src), Seq: uint64(d.SEQ), Data: d.Data, LTime: d.LTime})

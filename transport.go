@@ -4,14 +4,21 @@ import (
 	"cobcast/internal/udpnet"
 )
 
-// MaxDatagram is the largest PDU datagram the UDP transport accepts.
-// PDU size grows O(n) with cluster size plus the payload, so payloads
-// must stay comfortably below this bound.
+// MaxDatagram is the largest datagram the UDP transport accepts. A
+// datagram carries one batch frame whose size grows with the number of
+// batched PDUs and O(n) per PDU via the ACK vector, so payloads must
+// stay comfortably below this bound. The node's link layer flushes a
+// frame before it would cross MaxDatagram.
 const MaxDatagram = udpnet.MaxDatagram
+
+// ErrDatagramTooLarge is returned by UDPTransport.Broadcast for
+// datagrams over MaxDatagram; rejections are counted in
+// TransportStats.Oversize.
+var ErrDatagramTooLarge = udpnet.ErrDatagramTooLarge
 
 // TransportStats counts transport-level events on a UDPTransport.
 type TransportStats struct {
-	// Sent and Received count datagrams.
+	// Sent and Received count datagrams (batch frames, not PDUs).
 	Sent     uint64
 	Received uint64
 	// Overrun counts datagrams dropped at a full inbox — the paper's
@@ -19,6 +26,8 @@ type TransportStats struct {
 	Overrun uint64
 	// ReadErrors counts failed socket reads.
 	ReadErrors uint64
+	// Oversize counts datagrams rejected for exceeding MaxDatagram.
+	Oversize uint64
 }
 
 // UDPTransport is a Transport over UDP, substituting for the paper's
@@ -54,15 +63,18 @@ func (u *UDPTransport) Stats() TransportStats {
 		Received:   s.Received,
 		Overrun:    s.Overrun,
 		ReadErrors: s.ReadErrors,
+		Oversize:   s.Oversize,
 	}
 }
 
-// Broadcast implements Transport. The datagram is handed to the kernel
-// before returning, so the caller may reuse the buffer immediately.
+// Broadcast implements Transport. The datagram (one batch frame) is
+// handed to the kernel before returning, so the caller may reuse the
+// buffer immediately; oversize datagrams fail with ErrDatagramTooLarge.
 func (u *UDPTransport) Broadcast(datagram []byte) error { return u.t.Broadcast(datagram) }
 
-// Recv implements Transport. Delivered slices are pool-backed; the node
-// loop recycles them via pdu.PutDatagram after decoding.
+// Recv implements Transport. Delivered slices are whole datagrams (batch
+// frames) backed by the pdu datagram pool; the node's link layer decodes
+// each frame and recycles the buffer via pdu.PutDatagram.
 func (u *UDPTransport) Recv() <-chan []byte { return u.t.Recv() }
 
 // Close implements Transport.

@@ -1,6 +1,7 @@
 package cobcast_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -94,8 +95,12 @@ func TestUDPTransportOversizeDatagram(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	if err := tr.Broadcast(make([]byte, cobcast.MaxDatagram+1)); err == nil {
-		t.Error("oversize datagram accepted")
+	err = tr.Broadcast(make([]byte, cobcast.MaxDatagram+1))
+	if !errors.Is(err, cobcast.ErrDatagramTooLarge) {
+		t.Errorf("oversize error = %v, want ErrDatagramTooLarge", err)
+	}
+	if s := tr.Stats(); s.Oversize != 1 {
+		t.Errorf("Oversize = %d, want 1 (stats %+v)", s.Oversize, s)
 	}
 }
 
