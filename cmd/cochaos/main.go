@@ -1,0 +1,266 @@
+// Command cochaos drives the deterministic chaos harness (internal/chaos)
+// from the shell: bounded parallel seed sweeps for CI, and single-seed
+// replays with full trace dumps for debugging.
+//
+// Sweep 500 seeds on 4 workers, shrinking failures and writing their
+// configs + traces for artifact upload:
+//
+//	cochaos -sweep 500 -par 4 -shrink -faildir chaos-failures
+//
+// Replay one seed (for instance a sweep failure) standalone, verbosely,
+// dumping its trace:
+//
+//	cochaos -seed 4242 -v -trace failing.jsonl
+//
+// Append a failing seed's (shrunk) config to the regression corpus:
+//
+//	cochaos -seed 4242 -shrink -corpus internal/chaos/corpus
+//
+// Exit status: 0 all runs passed, 1 at least one invariant violated,
+// 2 usage or harness error.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cobcast/internal/chaos"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type options struct {
+	sweep   int
+	start   int64
+	par     int
+	seed    int64
+	shrink  bool
+	verbose bool
+	trace   string
+	faildir string
+	corpus  string
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cochaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.IntVar(&o.sweep, "sweep", 0, "run this many consecutive seeds (sweep mode)")
+	fs.Int64Var(&o.start, "start", 1, "first seed of the sweep")
+	fs.IntVar(&o.par, "par", 4, "parallel workers for the sweep")
+	fs.Int64Var(&o.seed, "seed", 0, "replay this single seed (replay mode)")
+	fs.BoolVar(&o.shrink, "shrink", false, "shrink failing configs to minimal form")
+	fs.BoolVar(&o.verbose, "v", false, "print per-run statistics")
+	fs.StringVar(&o.trace, "trace", "", "replay mode: write the run's JSON-lines trace here")
+	fs.StringVar(&o.faildir, "faildir", "", "write failing configs and traces into this directory")
+	fs.StringVar(&o.corpus, "corpus", "", "append failing (shrunk) configs to this corpus directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case o.sweep > 0 && o.seed != 0:
+		fmt.Fprintln(stderr, "cochaos: -sweep and -seed are mutually exclusive")
+		return 2
+	case o.sweep > 0:
+		return sweep(o, stdout, stderr)
+	case o.seed != 0:
+		return replay(o, stdout, stderr)
+	default:
+		fmt.Fprintln(stderr, "cochaos: need -sweep N or -seed N")
+		fs.Usage()
+		return 2
+	}
+}
+
+// failure is one seed that violated an invariant during a sweep.
+type failure struct {
+	Seed      int64        `json:"seed"`
+	Predicate string       `json:"predicate"`
+	Detail    string       `json:"detail"`
+	Config    chaos.Config `json:"config"`
+	Shrunk    chaos.Config `json:"shrunk_config,omitempty"`
+	trace     []byte
+}
+
+func sweep(o options, stdout, stderr io.Writer) int {
+	if o.par < 1 {
+		o.par = 1
+	}
+	seeds := make(chan int64)
+	var mu sync.Mutex
+	var failures []failure
+	var passed int
+	var agg struct {
+		submitted                   int
+		dropped, retx, parked, dups uint64
+		dataSent, syncSent          uint64
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < o.par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				cfg := chaos.FromSeed(seed)
+				res, err := chaos.Run(cfg)
+				mu.Lock()
+				if err == nil {
+					passed++
+					agg.submitted += res.Submitted
+					agg.dropped += res.Net.Dropped
+					agg.retx += res.Stats.Retransmitted
+					agg.parked += res.Stats.Parked
+					agg.dups += res.Stats.Duplicates
+					agg.dataSent += res.Stats.DataSent
+					agg.syncSent += res.Stats.SyncSent + res.Stats.AckOnlySent
+					mu.Unlock()
+					continue
+				}
+				f := failure{Seed: seed, Config: cfg, Detail: err.Error()}
+				var v *chaos.Violation
+				if errors.As(err, &v) {
+					f.Predicate = v.Predicate
+				}
+				if res != nil {
+					f.trace = res.TraceJSON
+				}
+				if o.shrink && f.Predicate != "" {
+					if min, ok, _ := chaos.Shrink(cfg, 64); ok {
+						f.Shrunk = min
+					}
+				}
+				failures = append(failures, f)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := int64(0); i < int64(o.sweep); i++ {
+		seeds <- o.start + i
+	}
+	close(seeds)
+	wg.Wait()
+
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Seed < failures[j].Seed })
+	fmt.Fprintf(stdout, "cochaos: %d/%d seeds passed (seeds %d..%d)\n",
+		passed, o.sweep, o.start, o.start+int64(o.sweep)-1)
+	if o.verbose || len(failures) == 0 {
+		fmt.Fprintf(stdout, "coverage: %d submissions, %d datagram PDUs dropped, %d retransmitted, %d parked, %d duplicate discards, %d DATA + %d SYNC/ACKONLY sends\n",
+			agg.submitted, agg.dropped, agg.retx, agg.parked, agg.dups, agg.dataSent, agg.syncSent)
+	}
+	for _, f := range failures {
+		fmt.Fprintf(stderr, "FAIL seed %d: [%s] %s\n", f.Seed, f.Predicate, f.Detail)
+		fmt.Fprintf(stderr, "  replay: go run ./cmd/cochaos -seed %d -v -trace seed-%d.jsonl\n", f.Seed, f.Seed)
+		if err := persistFailure(o, f, stderr); err != nil {
+			fmt.Fprintln(stderr, "cochaos:", err)
+			return 2
+		}
+	}
+	if len(failures) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func replay(o options, stdout, stderr io.Writer) int {
+	cfg := chaos.FromSeed(o.seed)
+	if o.verbose {
+		b, _ := json.MarshalIndent(cfg, "", "  ")
+		fmt.Fprintf(stdout, "seed %d expands to:\n%s\n", o.seed, b)
+	}
+	res, err := chaos.Run(cfg)
+	if res != nil {
+		if o.trace != "" {
+			if werr := os.WriteFile(o.trace, res.TraceJSON, 0o644); werr != nil {
+				fmt.Fprintln(stderr, "cochaos:", werr)
+				return 2
+			}
+			fmt.Fprintf(stdout, "trace (%d events, sha256 %s) written to %s\n",
+				res.Summary.Events, res.TraceDigest, o.trace)
+		}
+		if o.verbose {
+			fmt.Fprintf(stdout, "submitted %d, delivered %d, virtual elapsed %v (faults ceased at %v)\n",
+				res.Submitted, res.Stats.Delivered, res.VirtualElapsed, res.FaultEnd)
+			fmt.Fprintf(stdout, "net: %d sent, %d delivered, %d dropped; retransmitted %d, parked %d, duplicates %d\n",
+				res.Net.Sent, res.Net.Delivered, res.Net.Dropped,
+				res.Stats.Retransmitted, res.Stats.Parked, res.Stats.Duplicates)
+		}
+	}
+	if err == nil {
+		fmt.Fprintf(stdout, "seed %d: all predicates hold\n", o.seed)
+		return 0
+	}
+	f := failure{Seed: o.seed, Config: cfg, Detail: err.Error()}
+	var v *chaos.Violation
+	if !errors.As(err, &v) {
+		fmt.Fprintln(stderr, "cochaos:", err)
+		return 2
+	}
+	f.Predicate = v.Predicate
+	if res != nil {
+		f.trace = res.TraceJSON
+	}
+	fmt.Fprintf(stderr, "FAIL seed %d: [%s] %s\n", f.Seed, f.Predicate, f.Detail)
+	if o.shrink {
+		if min, ok, runs := chaos.Shrink(cfg, 64); ok {
+			f.Shrunk = min
+			b, _ := json.MarshalIndent(min, "", "  ")
+			fmt.Fprintf(stdout, "shrunk (%d runs) to:\n%s\n", runs, b)
+		}
+	}
+	if err := persistFailure(o, f, stderr); err != nil {
+		fmt.Fprintln(stderr, "cochaos:", err)
+		return 2
+	}
+	return 1
+}
+
+// persistFailure writes the failing config + trace into -faildir (for CI
+// artifact upload) and appends the minimal config to -corpus if asked.
+func persistFailure(o options, f failure, stderr io.Writer) error {
+	if o.faildir != "" {
+		if err := os.MkdirAll(o.faildir, 0o755); err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			return err
+		}
+		cfgPath := filepath.Join(o.faildir, fmt.Sprintf("seed-%d.config.json", f.Seed))
+		if err := os.WriteFile(cfgPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		if f.trace != nil {
+			tracePath := filepath.Join(o.faildir, fmt.Sprintf("seed-%d.trace.jsonl", f.Seed))
+			if err := os.WriteFile(tracePath, f.trace, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stderr, "  artifacts: %s\n", cfgPath)
+	}
+	if o.corpus != "" {
+		cfg := f.Config
+		if f.Shrunk != (chaos.Config{}) {
+			cfg = f.Shrunk
+		}
+		path, err := chaos.AppendCorpus(o.corpus, chaos.CorpusEntry{
+			Name:      fmt.Sprintf("seed-%d", f.Seed),
+			Note:      fmt.Sprintf("sweep failure at seed %d", f.Seed),
+			Predicate: f.Predicate,
+			Config:    cfg,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "  corpus: %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,401 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cobcast/internal/core"
+	"cobcast/internal/pdu"
+	"cobcast/internal/sim"
+	"cobcast/internal/simrun"
+	"cobcast/internal/trace"
+	"cobcast/internal/workload"
+)
+
+// Violation is a failed invariant: the error Run returns when the
+// protocol, not the harness, is wrong. Predicate names the broken
+// property ("information-preserved", "liveness-drain", ...) so corpus
+// entries and CI artifacts can say what a seed once broke.
+type Violation struct {
+	Predicate string `json:"predicate"`
+	Detail    string `json:"detail"`
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("chaos: %s violated: %s", v.Predicate, v.Detail)
+}
+
+// Predicate names checked by Run, in checking order.
+const (
+	PredLivenessDelivered = "liveness-delivered"
+	PredInformation       = "information-preserved"
+	PredLocalOrder        = "local-order-preserved"
+	PredCausalOrder       = "causality-preserved"
+	PredTotalOrder        = "total-order-preserved"
+	PredCOService         = "co-service"
+	PredLivenessDrain     = "liveness-drain"
+)
+
+// Result reports one completed chaos run (returned even when Run also
+// returns a Violation, so failures still carry their evidence).
+type Result struct {
+	Config Config
+	// Submitted is the number of application broadcasts actually issued.
+	Submitted int
+	// VirtualElapsed is the virtual time at quiescence (or at abandonment).
+	VirtualElapsed time.Duration
+	// FaultEnd is the virtual time after which the harness injected no
+	// further loss; everything later is pure protocol recovery.
+	FaultEnd time.Duration
+	// Stats sums the entity counters; Net counts simulated-network PDUs.
+	Stats core.Stats
+	Net   sim.NetStats
+	// Summary aggregates the recorded trace.
+	Summary trace.Summary
+	// TraceJSON is the full JSON-lines trace; TraceDigest its SHA-256.
+	// The digest is the determinism witness: same Config ⇒ same digest.
+	TraceJSON   []byte
+	TraceDigest string
+}
+
+// schedule is the concrete fault plan derived from Config.Seed. It exists
+// only inside Run; corpus entries store the Config and re-derive it.
+type schedule struct {
+	baseDelay [][]time.Duration // per directed link
+	lossRate  [][]float64       // per directed link
+	windows   []faultWindow
+}
+
+type faultWindow struct {
+	start, end time.Duration
+	partition  []int // entity→group (0/1) when a partition; nil for a pause
+	paused     pdu.EntityID
+}
+
+// Run executes one chaos run. It returns a non-nil *Violation error when
+// an invariant fails, ErrBadConfig for unusable configs, and nil when
+// every predicate holds. The Result is non-nil whenever the config was
+// runnable.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// The chaos RNG: first derives the static schedule (below, in fixed
+	// order), then serves fault rolls during the run (in simulator-event
+	// order, which is itself deterministic).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := buildWorkload(cfg, rng)
+
+	// Submission times: generator think time plus chaos spacing, so even
+	// gap-free workloads spread across the fault horizon.
+	type submission struct {
+		at time.Duration
+		m  workload.Message
+	}
+	var subs []submission
+	var at time.Duration
+	for {
+		m, ok := gen.Next()
+		if !ok {
+			break
+		}
+		at += m.Gap
+		if cfg.MeanGapUS > 0 {
+			at += time.Duration(rng.Intn(cfg.MeanGapUS+1)) * time.Microsecond
+		}
+		subs = append(subs, submission{at: at, m: m})
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("%w: workload produced no messages", ErrBadConfig)
+	}
+	submitEnd := subs[len(subs)-1].at
+	// All injected loss ceases at faultEnd so the drain phase converges;
+	// duplication and delay jitter may continue (they cannot stall the
+	// protocol).
+	faultEnd := submitEnd + 10*time.Millisecond
+
+	sched := deriveSchedule(cfg, rng, faultEnd)
+
+	// The net options need the cluster's virtual clock before the cluster
+	// exists; capture through a pointer filled in below.
+	var cl *simrun.Cluster
+	now := func() time.Duration { return cl.Sim.Now() }
+
+	burstLeft := make([]int, cfg.N)
+	dropDatagram := func(from, to pdu.EntityID, _ int) bool {
+		if now() >= faultEnd {
+			return false
+		}
+		if burstLeft[to] > 0 {
+			burstLeft[to]--
+			return true
+		}
+		if r := sched.lossRate[from][to]; r > 0 && rng.Float64() < r {
+			return true
+		}
+		if cfg.BurstProb > 0 && rng.Float64() < cfg.BurstProb {
+			// Receive-buffer overrun at to: this datagram and the next
+			// BurstLen-1 addressed to it are lost together.
+			burstLeft[to] = cfg.BurstLen - 1
+			return true
+		}
+		return false
+	}
+	jitterUS := cfg.JitterUS
+	delay := func(from, to pdu.EntityID, netRNG *rand.Rand) time.Duration {
+		d := sched.baseDelay[from][to]
+		if jitterUS > 0 {
+			d += time.Duration(netRNG.Intn(jitterUS+1)) * time.Microsecond
+		}
+		return d
+	}
+
+	c, err := simrun.New(simrun.Options{
+		N: cfg.N,
+		Core: core.Config{
+			TotalOrder: cfg.TotalOrder,
+			// SuspectAfter stays zero: eviction would legitimately shed a
+			// paused entity, and information-preserved requires all N to
+			// deliver everything.
+		},
+		Net: []sim.NetOption{
+			sim.NetSeed(cfg.Seed),
+			sim.NetDelay(delay),
+			sim.NetDuplicateRate(cfg.Duplicate),
+			sim.NetDatagramFilter(dropDatagram),
+		},
+		Trace: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: build cluster: %w", err)
+	}
+	cl = c
+
+	for _, s := range subs {
+		c.SubmitAt(s.m.Sender, s.m.Payload, s.at)
+	}
+	for _, w := range sched.windows {
+		w := w
+		if w.partition != nil {
+			c.Sim.At(w.start, func() { applyPartition(c.Net, w.partition, true) })
+			c.Sim.At(w.end, func() { applyPartition(c.Net, w.partition, false) })
+		} else {
+			c.Sim.At(w.start, func() { c.Net.Isolate(w.paused) })
+			c.Sim.At(w.end, func() { c.Net.Rejoin(w.paused) })
+		}
+	}
+
+	res := &Result{Config: cfg, Submitted: c.Submitted(), FaultEnd: faultEnd}
+	finish := func() {
+		res.VirtualElapsed = c.Sim.Now()
+		res.Stats = c.TotalStats()
+		res.Net = c.Net.Stats()
+		events := c.Recorder.Events()
+		res.Summary = trace.Summarize(events)
+		var buf bytes.Buffer
+		_ = c.Recorder.WriteJSON(&buf)
+		res.TraceJSON = buf.Bytes()
+		res.TraceDigest, _ = trace.DigestEvents(events)
+	}
+
+	// Liveness: every broadcast delivered everywhere and the cluster
+	// quiescent within a generous recovery budget after faults cease.
+	deadline := faultEnd + 3*time.Second
+	if _, err := c.RunToQuiescence(deadline); err != nil {
+		finish()
+		return res, &Violation{Predicate: PredLivenessDelivered, Detail: err.Error()}
+	}
+	finish()
+
+	// Safety: the trace checkers, each reported under its own name.
+	an, err := c.Analyze()
+	if err != nil {
+		return res, fmt.Errorf("chaos: analyze trace: %w", err)
+	}
+	if err := an.CheckInformationPreserved(); err != nil {
+		return res, &Violation{Predicate: PredInformation, Detail: err.Error()}
+	}
+	if err := an.CheckLocalOrderPreserved(); err != nil {
+		return res, &Violation{Predicate: PredLocalOrder, Detail: err.Error()}
+	}
+	if err := an.CheckCausalOrderPreserved(); err != nil {
+		return res, &Violation{Predicate: PredCausalOrder, Detail: err.Error()}
+	}
+	if cfg.TotalOrder {
+		if err := an.CheckTotalOrderPreserved(); err != nil {
+			return res, &Violation{Predicate: PredTotalOrder, Detail: err.Error()}
+		}
+	}
+	if err := an.CheckCOService(); err != nil {
+		return res, &Violation{Predicate: PredCOService, Detail: err.Error()}
+	}
+
+	// Liveness: no DATA PDU stuck anywhere. Trailing SYNCs legitimately
+	// remain in the logs (needsToSpeak tracks only data obligations), so
+	// only the data-specific drain fields must be zero.
+	for i, d := range c.Drains() {
+		switch {
+		case d.DataResident != 0:
+			return res, drainViolation(i, "resident DATA PDUs", d.DataResident)
+		case d.ParkedData != 0:
+			return res, drainViolation(i, "parked DATA PDUs", d.ParkedData)
+		case d.PendingSubmits != 0:
+			return res, drainViolation(i, "flow-blocked submissions", d.PendingSubmits)
+		case d.SendLogData != 0:
+			return res, drainViolation(i, "unconfirmed DATA in sendlog", d.SendLogData)
+		case d.ReleasePending != 0:
+			return res, drainViolation(i, "PDUs held by TO release stage", d.ReleasePending)
+		}
+	}
+	return res, nil
+}
+
+func drainViolation(entity int, what string, n int) *Violation {
+	return &Violation{
+		Predicate: PredLivenessDrain,
+		Detail:    fmt.Sprintf("entity %d quiesced with %d %s", entity, n, what),
+	}
+}
+
+// buildWorkload maps the config's shape name to a generator, drawing
+// sub-seeds and shape parameters from the chaos RNG.
+func buildWorkload(cfg Config, rng *rand.Rand) workload.Generator {
+	n, msgs, size := cfg.N, cfg.Messages, cfg.PayloadSize
+	switch cfg.Workload {
+	case WorkloadSingle:
+		return workload.NewSingleSource(pdu.EntityID(rng.Intn(n)), msgs, size)
+	case WorkloadBursty:
+		burstLen := 2 + rng.Intn(3)
+		bursts := (msgs + burstLen - 1) / burstLen
+		return workload.NewBursty(n, bursts, burstLen, size, 4*cfg.meanGap(), rng.Int63())
+	case WorkloadInteractive:
+		return workload.NewInteractive(n, msgs, size, cfg.meanGap(), rng.Int63())
+	case WorkloadMixed:
+		transfer := msgs / 2
+		if transfer < 1 {
+			transfer = 1
+		}
+		chatter := msgs - transfer
+		if chatter < 1 {
+			chatter = 1
+		}
+		return workload.NewMixed(rng.Int63(),
+			workload.NewSingleSource(pdu.EntityID(rng.Intn(n)), transfer, size),
+			workload.NewInteractive(n, chatter, size, cfg.meanGap(), rng.Int63()),
+		)
+	default: // WorkloadContinuous
+		perSender := (msgs + n - 1) / n
+		return workload.NewContinuous(n, perSender, size)
+	}
+}
+
+// deriveSchedule draws the static fault plan: per-link delays and loss
+// rates, which entities are slow, and disjoint partition/pause windows
+// that all close before faultEnd.
+func deriveSchedule(cfg Config, rng *rand.Rand, faultEnd time.Duration) schedule {
+	n := cfg.N
+	slow := make([]bool, n)
+	for k := 0; k < cfg.SlowEntities; k++ {
+		for {
+			i := rng.Intn(n)
+			if !slow[i] {
+				slow[i] = true
+				break
+			}
+		}
+	}
+	s := schedule{
+		baseDelay: make([][]time.Duration, n),
+		lossRate:  make([][]float64, n),
+	}
+	base := cfg.delayBase()
+	for i := 0; i < n; i++ {
+		s.baseDelay[i] = make([]time.Duration, n)
+		s.lossRate[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := base/4 + time.Duration(rng.Int63n(int64(base)/4*3+1))
+			if slow[i] || slow[j] {
+				d *= 8
+			}
+			s.baseDelay[i][j] = d
+			if cfg.Loss > 0 {
+				s.lossRate[i][j] = rng.Float64() * cfg.Loss
+			}
+		}
+	}
+
+	// Fault windows: one per slot of the fault horizon, so windows never
+	// overlap. Overlap would corrupt healing — Net.blocked is a plain
+	// bool map, and an Unblock from one fault would heal another's cuts.
+	k := cfg.Partitions + cfg.Pauses
+	if k == 0 {
+		return s
+	}
+	horizon := faultEnd - 2*time.Millisecond
+	if horizon <= 0 {
+		return s
+	}
+	kinds := make([]bool, 0, k) // true = partition
+	for i := 0; i < cfg.Partitions; i++ {
+		kinds = append(kinds, true)
+	}
+	for i := 0; i < cfg.Pauses; i++ {
+		kinds = append(kinds, false)
+	}
+	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+	slot := horizon / time.Duration(k)
+	for i, isPartition := range kinds {
+		slotStart := 2*time.Millisecond + slot*time.Duration(i)
+		start := slotStart + time.Duration(rng.Int63n(int64(slot)/4+1))
+		length := slot/4 + time.Duration(rng.Int63n(int64(slot)/2+1))
+		end := start + length
+		if max := slotStart + slot - time.Microsecond; end > max {
+			end = max
+		}
+		w := faultWindow{start: start, end: end}
+		if isPartition {
+			w.partition = bipartition(n, rng)
+		} else {
+			w.paused = pdu.EntityID(rng.Intn(n))
+		}
+		s.windows = append(s.windows, w)
+	}
+	return s
+}
+
+// bipartition assigns each entity to group 0 or 1, both non-empty.
+func bipartition(n int, rng *rand.Rand) []int {
+	groups := make([]int, n)
+	for {
+		ones := 0
+		for i := range groups {
+			groups[i] = rng.Intn(2)
+			ones += groups[i]
+		}
+		if ones > 0 && ones < n {
+			return groups
+		}
+	}
+}
+
+// applyPartition blocks (or heals) every cross-group channel.
+func applyPartition(net *sim.Net, groups []int, cut bool) {
+	for i := range groups {
+		for j := range groups {
+			if i == j || groups[i] == groups[j] {
+				continue
+			}
+			if cut {
+				net.Block(pdu.EntityID(i), pdu.EntityID(j))
+			} else {
+				net.Unblock(pdu.EntityID(i), pdu.EntityID(j))
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestFromSeedStaysInBounds checks the exploration distribution honors
+// its documented envelope for many seeds.
+func TestFromSeedStaysInBounds(t *testing.T) {
+	for seed := int64(0); seed < 2000; seed++ {
+		cfg := FromSeed(seed)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if cfg.N < 2 || cfg.N > 8 {
+			t.Fatalf("seed %d: n=%d outside 2..8", seed, cfg.N)
+		}
+		if cfg.Loss > 0.30 {
+			t.Fatalf("seed %d: loss=%v > 0.30", seed, cfg.Loss)
+		}
+		if cfg.Duplicate > 0.10 {
+			t.Fatalf("seed %d: duplicate=%v > 0.10", seed, cfg.Duplicate)
+		}
+	}
+}
+
+// TestSweep runs a bounded seed sweep and requires every predicate to
+// hold; it also asserts the sweep genuinely exercised the fault machinery
+// (drops, retransmissions, parking, duplicates) rather than passing
+// vacuously. CI's chaos-sweep job runs the 500-seed version through
+// cmd/cochaos.
+func TestSweep(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	var agg struct {
+		dropped, retx, parked, dups uint64
+		partitions, pauses, toRuns  int
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		cfg := FromSeed(seed)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d (%+v): %v", seed, cfg, err)
+		}
+		if res.Submitted == 0 || res.Stats.Delivered == 0 {
+			t.Fatalf("seed %d: empty run (%d submitted)", seed, res.Submitted)
+		}
+		agg.dropped += res.Net.Dropped
+		agg.retx += res.Stats.Retransmitted
+		agg.parked += res.Stats.Parked
+		agg.dups += res.Stats.Duplicates
+		agg.partitions += cfg.Partitions
+		agg.pauses += cfg.Pauses
+		if cfg.TotalOrder {
+			agg.toRuns++
+		}
+	}
+	if agg.dropped == 0 {
+		t.Error("sweep injected no datagram loss")
+	}
+	if agg.retx == 0 {
+		t.Error("sweep triggered no retransmissions")
+	}
+	if agg.parked == 0 {
+		t.Error("sweep produced no out-of-order parking")
+	}
+	if agg.dups == 0 {
+		t.Error("sweep produced no duplicate discards")
+	}
+	if agg.partitions == 0 || agg.pauses == 0 {
+		t.Errorf("sweep scheduled %d partitions, %d pauses; want both > 0",
+			agg.partitions, agg.pauses)
+	}
+	if !testing.Short() && agg.toRuns == 0 {
+		t.Error("sweep never exercised total-order mode")
+	}
+}
+
+// TestDeterminism is the contract: same seed, byte-identical trace.
+func TestDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 17, 42} {
+		cfg := FromSeed(seed)
+		a, errA := Run(cfg)
+		b, errB := Run(cfg)
+		if errA != nil || errB != nil {
+			t.Fatalf("seed %d: run errors %v / %v", seed, errA, errB)
+		}
+		if a.TraceDigest != b.TraceDigest {
+			t.Fatalf("seed %d: trace digests differ: %s vs %s", seed, a.TraceDigest, b.TraceDigest)
+		}
+		if !bytes.Equal(a.TraceJSON, b.TraceJSON) {
+			t.Fatalf("seed %d: traces not byte-identical", seed)
+		}
+		if a.VirtualElapsed != b.VirtualElapsed || a.Net != b.Net {
+			t.Fatalf("seed %d: run statistics differ", seed)
+		}
+	}
+}
+
+// TestCorpusReplay replays every checked-in regression config and
+// requires all predicates to hold now.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("corpus is empty; expected checked-in entries")
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := Run(e.Config)
+			if err != nil {
+				t.Fatalf("corpus entry %s (%s): %v", e.Name, e.Note, err)
+			}
+			if res.Submitted == 0 {
+				t.Fatalf("corpus entry %s ran empty", e.Name)
+			}
+		})
+	}
+}
+
+// TestCorpusRoundTrip exercises append + load + append-only refusal.
+func TestCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e := CorpusEntry{
+		Note:      "synthetic",
+		Predicate: PredLivenessDrain,
+		Config:    FromSeed(99),
+	}
+	path, err := AppendCorpus(dir, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendCorpus(dir, CorpusEntry{Name: "seed-99", Config: FromSeed(99)}); err == nil {
+		t.Fatal("overwriting an existing entry should fail")
+	}
+	got, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "seed-99" || got[0].Config != e.Config {
+		t.Fatalf("round trip mismatch: %+v (from %s)", got, path)
+	}
+	if es, err := LoadCorpus(dir + "/missing"); err != nil || es != nil {
+		t.Fatalf("missing dir should be empty corpus, got %v, %v", es, err)
+	}
+}
+
+// TestShrinkWithMinimizes drives the shrinker with a synthetic failure
+// predicate and checks it reaches the minimal failing config.
+func TestShrinkWithMinimizes(t *testing.T) {
+	cfg := Config{
+		Seed: 7, N: 8, Workload: WorkloadContinuous, Messages: 64,
+		PayloadSize: 32, MeanGapUS: 500, DelayBaseUS: 500, JitterUS: 900,
+		Loss: 0.3, Duplicate: 0.1, BurstProb: 0.05, BurstLen: 4,
+		Partitions: 2, Pauses: 2, SlowEntities: 1,
+	}
+	// Fails whenever a partition exists and at least 4 messages flow:
+	// everything else should shrink away.
+	fails := func(c Config) bool { return c.Partitions >= 1 && c.Messages >= 4 }
+	min, runs := ShrinkWith(cfg, fails, 200)
+	if !fails(min) {
+		t.Fatal("shrinker returned a passing config")
+	}
+	if min.Messages != 4 || min.Partitions != 1 {
+		t.Errorf("not minimal: messages=%d partitions=%d", min.Messages, min.Partitions)
+	}
+	if min.Pauses != 0 || min.Loss != 0 || min.Duplicate != 0 || min.BurstProb != 0 ||
+		min.JitterUS != 0 || min.SlowEntities != 0 || min.N != 2 {
+		t.Errorf("irrelevant knobs survived shrinking: %+v", min)
+	}
+	if runs > 200 {
+		t.Errorf("shrinker overspent: %d runs", runs)
+	}
+}
+
+// TestShrinkConfirmsFailureFirst checks Shrink refuses configs that pass.
+func TestShrinkConfirmsFailureFirst(t *testing.T) {
+	cfg := FromSeed(5)
+	if _, ok, _ := Shrink(cfg, 3); ok {
+		t.Fatal("Shrink claimed a passing config fails")
+	}
+}
+
+// TestViolationError pins the error wording used by cochaos and CI logs.
+func TestViolationError(t *testing.T) {
+	v := &Violation{Predicate: PredCausalOrder, Detail: "entity 1 delivered s0#2 before s0#1"}
+	var err error = v
+	var got *Violation
+	if !errors.As(err, &got) || got.Predicate != PredCausalOrder {
+		t.Fatal("Violation does not round-trip through errors.As")
+	}
+	if want := "chaos: causality-preserved violated: entity 1 delivered s0#2 before s0#1"; v.Error() != want {
+		t.Fatalf("Error() = %q, want %q", v.Error(), want)
+	}
+}
+
+// TestBadConfigRejected checks Run surfaces config errors as ErrBadConfig,
+// not Violations.
+func TestBadConfigRejected(t *testing.T) {
+	_, err := Run(Config{Seed: 1, N: 1, Workload: WorkloadSingle, Messages: 1})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("got %v, want ErrBadConfig", err)
+	}
+	var v *Violation
+	if errors.As(err, &v) {
+		t.Fatal("config error misreported as a Violation")
+	}
+}

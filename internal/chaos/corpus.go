@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorpusEntry is one checked-in regression config: a run that once
+// violated a predicate (shrunk to minimal form) or a pinned adversarial
+// configuration worth replaying forever. The chaos test suite replays
+// every entry under plain go test and asserts all predicates now hold.
+type CorpusEntry struct {
+	// Name is the file stem, unique within the corpus.
+	Name string `json:"name"`
+	// Note says why the entry exists (what it once broke, or what regime
+	// it pins).
+	Note string `json:"note,omitempty"`
+	// Predicate is the invariant the config originally violated; empty
+	// for pinned-adversarial entries that never failed.
+	Predicate string `json:"predicate,omitempty"`
+	// Config replays the run.
+	Config Config `json:"config"`
+}
+
+// LoadCorpus reads every *.json entry in dir, sorted by name for
+// deterministic replay order. A missing directory is an empty corpus.
+func LoadCorpus(dir string) ([]CorpusEntry, error) {
+	des, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("chaos corpus: %w", err)
+	}
+	var out []CorpusEntry
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("chaos corpus: %w", err)
+		}
+		var e CorpusEntry
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("chaos corpus %s: %w", de.Name(), err)
+		}
+		if e.Name == "" {
+			e.Name = strings.TrimSuffix(de.Name(), ".json")
+		}
+		if err := e.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("chaos corpus %s: %w", de.Name(), err)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// AppendCorpus writes entry as dir/<name>.json (creating dir), refusing
+// to overwrite an existing entry so corpus growth is append-only.
+func AppendCorpus(dir string, e CorpusEntry) (string, error) {
+	if e.Name == "" {
+		e.Name = fmt.Sprintf("seed-%d", e.Config.Seed)
+	}
+	if err := e.Config.Validate(); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("chaos corpus: %w", err)
+	}
+	path := filepath.Join(dir, e.Name+".json")
+	if _, err := os.Stat(path); err == nil {
+		return "", fmt.Errorf("chaos corpus: entry %s already exists", e.Name)
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("chaos corpus: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", fmt.Errorf("chaos corpus: %w", err)
+	}
+	return path, nil
+}

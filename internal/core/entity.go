@@ -857,3 +857,55 @@ func (e *Entity) PendingSubmits() int { return len(e.pendingSubmits) }
 // Quiescent reports whether this entity owes the cluster nothing: no
 // undelivered data, no queued submissions, no unanswered NeedAck.
 func (e *Entity) Quiescent() bool { return !e.needsToSpeak() }
+
+// DrainState is a snapshot of everything an entity still holds in its
+// receive and send pipelines. The chaos harness's liveness predicates
+// read it at quiesce: every DATA PDU must have left the pipeline (the
+// *Data fields and DataResident must be zero), while trailing SYNC PDUs
+// may legitimately remain in the logs — once nothing is left to deliver,
+// no entity owes the cluster the confirmations that would flush them.
+type DrainState struct {
+	// Parked counts out-of-order arrivals awaiting gap repair;
+	// ParkedData counts the DATA PDUs among them.
+	Parked     int
+	ParkedData int
+	// RRL, PRL and Acked count PDUs in the accepted, pre-acknowledged
+	// and commit stages respectively.
+	RRL   int
+	PRL   int
+	Acked int
+	// ReleasePending counts DATA PDUs held by the total-order stable-
+	// release stage (always 0 in CO mode).
+	ReleasePending int
+	// PendingSubmits counts flow-blocked application submissions.
+	PendingSubmits int
+	// SendLog counts own PDUs retained for retransmission; SendLogData
+	// counts the DATA PDUs among them.
+	SendLog     int
+	SendLogData int
+	// DataResident counts accepted-but-undelivered DATA PDUs.
+	DataResident int
+}
+
+// Drain returns the entity's pipeline snapshot.
+func (e *Entity) Drain() DrainState {
+	d := DrainState{
+		Parked:         e.parkedTotal,
+		ParkedData:     e.parkedData,
+		RRL:            e.rrlTotal,
+		PRL:            e.prl.Len(),
+		Acked:          e.ackedTotal,
+		PendingSubmits: len(e.pendingSubmits),
+		SendLog:        len(e.sendlog),
+		DataResident:   e.dataResident,
+	}
+	for _, p := range e.sendlog {
+		if p.Kind == pdu.KindData {
+			d.SendLogData++
+		}
+	}
+	if e.to != nil {
+		d.ReleasePending = e.to.pending.Len()
+	}
+	return d
+}

@@ -1,0 +1,146 @@
+package msglog
+
+import (
+	"math/rand"
+	"testing"
+
+	"cobcast/internal/pdu"
+)
+
+// history is a valid causal broadcast history: the PDUs in global
+// creation order, each stamped with its source's ACK view at send time.
+type history struct {
+	n    int
+	pdus []*pdu.PDU
+}
+
+// genHistory simulates n sources broadcasting msgs sequenced PDUs with
+// protocol-faithful ACK stamps. Each source's view holds the next
+// sequence number it expects from every source; a view entry advances
+// only by in-order, causally closed acceptance: a source takes a PDU
+// only once its view dominates the PDU's own ACK stamp, the state the CO
+// pipeline guarantees before a PDU reaches the PRL (gaps are repaired by
+// RET and pre-acknowledgment waits for cluster-wide acceptance). Under
+// causal closure the Theorem 4.1 test is a strict partial order — it
+// coincides with true causal precedence — which is exactly the regime in
+// which CPI's insert-before-first-successor rule is order-independent.
+// (Without closure the sequence-number test is not transitive and no
+// insertion discipline could keep every pair ordered.)
+func genHistory(rng *rand.Rand, n, msgs int) history {
+	view := make([][]pdu.Seq, n) // view[i][j]: next SEQ i expects from j
+	for i := range view {
+		view[i] = make([]pdu.Seq, n)
+		for j := range view[i] {
+			view[i][j] = 1
+		}
+	}
+	h := history{n: n}
+	sent := make([]pdu.Seq, n) // highest SEQ broadcast by each source
+	bySrc := make([][]*pdu.PDU, n)
+	dominates := func(view []pdu.Seq, ack []pdu.Seq) bool {
+		for k := range ack {
+			if view[k] < ack[k] {
+				return false
+			}
+		}
+		return true
+	}
+	for len(h.pdus) < msgs {
+		i := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			// i broadcasts: stamp with its current view, then self-accept.
+			ack := make([]pdu.Seq, n)
+			copy(ack, view[i])
+			sent[i]++
+			p := &pdu.PDU{
+				Kind: pdu.KindData, Src: pdu.EntityID(i), SEQ: sent[i], ACK: ack,
+				LSrc: pdu.NoEntity,
+			}
+			h.pdus = append(h.pdus, p)
+			bySrc[i] = append(bySrc[i], p)
+			view[i][i] = sent[i] + 1
+			continue
+		}
+		// i accepts the next in-order PDU from a random other source, if
+		// one exists and i already holds its causal past.
+		j := rng.Intn(n)
+		if j == i || view[i][j] > sent[j] {
+			continue
+		}
+		if m := bySrc[j][view[i][j]-1]; dominates(view[i], m.ACK) {
+			view[i][j]++
+		}
+	}
+	return h
+}
+
+// TestCPIPropertyRandomInterleavings is the CPI correctness property:
+// inserting the PDUs of a valid causal history into an empty log in ANY
+// order via InsertCPI yields a causality-preserved (hence local-order-
+// preserved) permutation of the history. Runs well over 1k seeded
+// shuffles across varying cluster sizes and history lengths.
+func TestCPIPropertyRandomInterleavings(t *testing.T) {
+	shuffles := 1500
+	if testing.Short() {
+		shuffles = 200
+	}
+	for seed := 0; seed < shuffles; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + rng.Intn(5)
+		msgs := 10 + rng.Intn(31)
+		h := genHistory(rng, n, msgs)
+
+		shuffled := make([]*pdu.PDU, len(h.pdus))
+		copy(shuffled, h.pdus)
+		rng.Shuffle(len(shuffled), func(a, b int) {
+			shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+		})
+
+		var l Log
+		for _, p := range shuffled {
+			l.InsertCPI(p)
+		}
+		got := l.Slice()
+		if len(got) != len(h.pdus) {
+			t.Fatalf("seed %d: log has %d PDUs, inserted %d", seed, len(got), len(h.pdus))
+		}
+		if !IsCausalityPreserved(got) {
+			t.Fatalf("seed %d (n=%d, %d msgs): log not causality-preserved after shuffle",
+				seed, n, msgs)
+		}
+		if !IsLocalOrderPreserved(got) {
+			t.Fatalf("seed %d: log not local-order-preserved after shuffle", seed)
+		}
+		if !IsInformationPreserved(got, h.pdus) || !IsInformationPreserved(h.pdus, got) {
+			t.Fatalf("seed %d: log is not a permutation of the history", seed)
+		}
+	}
+}
+
+// TestCPIPropertyWorstCaseOrders drives the same property through the
+// adversarial fixed orders a random shuffle rarely produces: fully
+// reversed and interleaved-by-source histories.
+func TestCPIPropertyWorstCaseOrders(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := genHistory(rng, 4, 32)
+		reversed := make([]*pdu.PDU, len(h.pdus))
+		for i, p := range h.pdus {
+			reversed[len(h.pdus)-1-i] = p
+		}
+		orders := [][]*pdu.PDU{h.pdus, reversed}
+		for oi, order := range orders {
+			var l Log
+			for _, p := range order {
+				l.InsertCPI(p)
+			}
+			got := l.Slice()
+			if !IsCausalityPreserved(got) || !IsLocalOrderPreserved(got) {
+				t.Fatalf("seed %d order %d: CPI broke ordering", seed, oi)
+			}
+			if len(got) != len(h.pdus) {
+				t.Fatalf("seed %d order %d: lost PDUs", seed, oi)
+			}
+		}
+	}
+}

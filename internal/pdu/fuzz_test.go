@@ -96,6 +96,94 @@ func FuzzFrameDecode(f *testing.F) {
 	})
 }
 
+// fuzzDatagram is the shared body of the per-kind decoder fuzz targets.
+// Accepted datagrams must re-encode canonically, survive a double decode
+// with identity fields intact, and decode identically into a dirty
+// scratch PDU (slice reuse cannot leak state between datagrams).
+// Rejected datagrams must fail in both decoders and leave the scratch
+// usable for the next datagram (the terminal-error contract).
+func fuzzDatagram(f *testing.F, seeds []*PDU) {
+	for _, p := range seeds {
+		b, err := p.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		// Corrupted and truncated siblings seed the reject path.
+		bad := append([]byte(nil), b...)
+		bad[len(bad)-1] ^= 0xFF
+		f.Add(bad)
+		f.Add(b[:len(b)-3])
+	}
+	good, err := (&PDU{Kind: KindData, CID: 7, Src: 1, SEQ: 3,
+		ACK: []Seq{2, 4}, LSrc: NoEntity, Data: []byte("known-good")}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scratch := &PDU{ACK: []Seq{9, 9, 9}, Data: []byte("dirty-scratch-bytes")}
+		fresh, err := Unmarshal(data)
+		if err != nil {
+			if err2 := scratch.UnmarshalFrom(data); err2 == nil {
+				t.Fatalf("UnmarshalFrom accepted what Unmarshal rejected (%v)", err)
+			}
+			if err := scratch.UnmarshalFrom(good); err != nil {
+				t.Fatalf("scratch poisoned by failed decode: %v", err)
+			}
+			return
+		}
+		out, err := fresh.Marshal()
+		if err != nil {
+			t.Fatalf("accepted PDU failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("codec not canonical:\n in  %x\n out %x", data, out)
+		}
+		q, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-encoded datagram rejected: %v", err)
+		}
+		if q.Kind != fresh.Kind || q.Src != fresh.Src || q.SEQ != fresh.SEQ ||
+			q.LSrc != fresh.LSrc || q.LSeq != fresh.LSeq || q.CID != fresh.CID {
+			t.Fatalf("round trip changed identity fields:\n %+v\n %+v", fresh, q)
+		}
+		if err := scratch.UnmarshalFrom(data); err != nil {
+			t.Fatalf("dirty-scratch decode disagreed with fresh decode: %v", err)
+		}
+		out2, err := scratch.MarshalAppend(nil)
+		if err != nil {
+			t.Fatalf("scratch re-encode: %v", err)
+		}
+		if !bytes.Equal(out2, data) {
+			t.Fatalf("dirty-scratch decode not canonical:\n in  %x\n out %x", data, out2)
+		}
+	})
+}
+
+// FuzzDTUnmarshal focuses the wire decoder on DT (data transmission)
+// datagrams: empty and large payloads, wide ACK vectors, flow-control and
+// confirmation flags.
+func FuzzDTUnmarshal(f *testing.F) {
+	fuzzDatagram(f, []*PDU{
+		{Kind: KindData, CID: 1, Src: 0, SEQ: 1, ACK: []Seq{1, 1}, LSrc: NoEntity, Data: []byte("dt")},
+		{Kind: KindData, CID: 2, Src: 3, SEQ: 900, ACK: []Seq{5, 0, 17, 2}, BUF: 4096,
+			NeedAck: true, LSrc: NoEntity},
+		{Kind: KindData, CID: 3, Src: 7, SEQ: 2, ACK: []Seq{1, 1, 1, 1, 1, 1, 1, 2},
+			LSrc: NoEntity, Data: bytes.Repeat([]byte{0xAB}, 512)},
+	})
+}
+
+// FuzzRETUnmarshal focuses the wire decoder on RET (retransmission
+// request) datagrams, whose LSrc/LSeq fields address the lost PDU; the
+// shared body asserts those survive the round trip.
+func FuzzRETUnmarshal(f *testing.F) {
+	fuzzDatagram(f, []*PDU{
+		{Kind: KindRet, CID: 1, Src: 3, ACK: []Seq{1, 2, 3, 4}, LSrc: 1, LSeq: 9},
+		{Kind: KindRet, CID: 5, Src: 0, SEQ: 12, ACK: []Seq{8, 11}, LSrc: 0, LSeq: 1, NeedAck: true},
+		{Kind: KindRet, CID: 9, Src: 2, ACK: []Seq{0, 0, 0}, LSrc: 2, LSeq: 1 << 40},
+	})
+}
+
 // FuzzCompare checks that the Theorem 4.1 relation is antisymmetric for
 // arbitrary well-formed PDU pairs.
 func FuzzCompare(f *testing.F) {

@@ -147,6 +147,13 @@ func (r Relation) String() string {
 // Both PDUs must be sequenced and their ACK vectors must cover each
 // other's sources; Compare panics otherwise because calling it on control
 // PDUs is a programming error, not a runtime condition.
+//
+// Stamps where each PDU acknowledges the other (a causal cycle) cannot
+// arise in any valid protocol history, but can arrive from a corrupt or
+// hostile peer whose datagram still passes the checksum. Compare reports
+// such contradictory pairs as Concurrent so the relation stays
+// antisymmetric on arbitrary inputs rather than answering Precedes in
+// both directions.
 func Compare(p, q *PDU) Relation {
 	if !p.Kind.Sequenced() || !q.Kind.Sequenced() {
 		panic("pdu: Compare called on unsequenced PDU")
@@ -161,13 +168,18 @@ func Compare(p, q *PDU) Relation {
 			return Concurrent // the same PDU; callers treat as coincident
 		}
 	}
-	if p.SEQ < q.ACK[p.Src] {
+	pBeforeQ := p.SEQ < q.ACK[p.Src]
+	qBeforeP := q.SEQ < p.ACK[q.Src]
+	switch {
+	case pBeforeQ && qBeforeP:
+		return Concurrent // contradictory stamps; see above
+	case pBeforeQ:
 		return Precedes
-	}
-	if q.SEQ < p.ACK[q.Src] {
+	case qBeforeP:
 		return Follows
+	default:
+		return Concurrent
 	}
-	return Concurrent
 }
 
 // CausallyPrecedes reports whether p ≺ q under Theorem 4.1.

@@ -196,6 +196,33 @@ func TestNetDropFilter(t *testing.T) {
 	}
 }
 
+func TestNetDatagramFilter(t *testing.T) {
+	s := New()
+	calls := 0
+	net := NewNet(s, 2, NetDatagramFilter(func(_, to pdu.EntityID, pdus int) bool {
+		calls++
+		return to == 1 && calls == 2 // drop the second datagram whole
+	}))
+	var got []pdu.Seq
+	net.Attach(1, func(_ pdu.EntityID, p *pdu.PDU) { got = append(got, p.SEQ) })
+	mk := func(seq pdu.Seq) *pdu.PDU {
+		return &pdu.PDU{Kind: pdu.KindSync, Src: 0, SEQ: seq, ACK: []pdu.Seq{1, 1}}
+	}
+	net.Send(0, 1, mk(1), mk(2)) // batch of 2: one filter call
+	net.Send(0, 1, mk(3), mk(4)) // dropped as a unit
+	net.Send(0, 1, mk(5))
+	s.Run()
+	if calls != 3 {
+		t.Errorf("filter consulted %d times, want once per datagram (3)", calls)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 5 {
+		t.Errorf("got = %v, want [1 2 5]", got)
+	}
+	if st := net.Stats(); st.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2 (PDUs of the dropped datagram)", st.Dropped)
+	}
+}
+
 func TestNetDuplicateRate(t *testing.T) {
 	s := New()
 	net := NewNet(s, 2, NetDuplicateRate(1.0))

@@ -19,6 +19,7 @@ type netConfig struct {
 	duplicateRate float64
 	seed          int64
 	drop          func(from, to pdu.EntityID, p *pdu.PDU) bool
+	dropDatagram  func(from, to pdu.EntityID, pdus int) bool
 }
 
 // NetDelay sets a per-channel propagation-delay model; the RNG allows
@@ -45,6 +46,17 @@ func NetSeed(s int64) NetOption { return func(c *netConfig) { c.seed = s } }
 // NetDropFilter installs a targeted-loss hook for failure injection.
 func NetDropFilter(fn func(from, to pdu.EntityID, p *pdu.PDU) bool) NetOption {
 	return func(c *netConfig) { c.drop = fn }
+}
+
+// NetDatagramFilter installs a per-datagram loss hook, consulted exactly
+// once per transmission (after the blocked-channel and uniform loss-rate
+// checks) with the datagram's PDU count; returning true drops the whole
+// datagram. Unlike NetDropFilter it sees each datagram once regardless of
+// batch size, which lets fault models that consume randomness — per-link
+// loss rates, correlated buffer-overrun bursts — stay deterministic under
+// batching changes.
+func NetDatagramFilter(fn func(from, to pdu.EntityID, pdus int) bool) NetOption {
+	return func(c *netConfig) { c.dropDatagram = fn }
 }
 
 // NetStats counts simulated-network events.
@@ -153,6 +165,10 @@ func (n *Net) Send(from, to pdu.EntityID, batch ...*pdu.PDU) {
 		return
 	}
 	if n.cfg.lossRate > 0 && n.rng.Float64() < n.cfg.lossRate {
+		n.stats.Dropped += uint64(len(batch))
+		return
+	}
+	if n.cfg.dropDatagram != nil && n.cfg.dropDatagram(from, to, len(batch)) {
 		n.stats.Dropped += uint64(len(batch))
 		return
 	}

@@ -222,6 +222,17 @@ func (c *Cluster) TapSamples() []time.Duration {
 	return out
 }
 
+// Drains returns each entity's pipeline snapshot. The chaos harness's
+// liveness predicates read it after RunToQuiescence to assert no DATA PDU
+// is stuck anywhere in the cluster.
+func (c *Cluster) Drains() []core.DrainState {
+	out := make([]core.DrainState, c.n)
+	for i, e := range c.Entities {
+		out[i] = e.Drain()
+	}
+	return out
+}
+
 // Analyze runs the trace checkers over the recorded run. It requires the
 // cluster to have been created with Trace: true.
 func (c *Cluster) Analyze() (*trace.Analysis, error) {

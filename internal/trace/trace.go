@@ -8,6 +8,8 @@ package trace
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -111,6 +113,20 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// DigestEvents returns the SHA-256 hex digest of the trace's JSON-lines
+// encoding — the byte-identity witness behind the chaos harness's
+// determinism contract (same seed ⇒ identical trace ⇒ identical digest).
+func DigestEvents(events []Event) (string, error) {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return "", fmt.Errorf("digest trace event: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // ReadJSON parses a JSON-lines trace.

@@ -190,6 +190,65 @@ func (g *Interactive) Next() (Message, bool) {
 // Total implements Generator.
 func (g *Interactive) Total() int { return g.count }
 
+// Mixed interleaves several generators into one stream: each Next picks a
+// random non-exhausted sub-generator. It models the heterogeneous traffic
+// of a real session — a file transfer running under conversational
+// chatter — and gives the chaos harness a workload shape no single
+// generator produces.
+type Mixed struct {
+	gens []Generator
+	rng  *rand.Rand
+	left []int
+	rem  int
+}
+
+var _ Generator = (*Mixed)(nil)
+
+// NewMixed combines the given generators under one seeded interleaving.
+func NewMixed(seed int64, gens ...Generator) *Mixed {
+	m := &Mixed{gens: gens, rng: rand.New(rand.NewSource(seed)), left: make([]int, len(gens))}
+	for i, g := range gens {
+		m.left[i] = g.Total()
+		m.rem += g.Total()
+	}
+	return m
+}
+
+// Next implements Generator. The pick is weighted by each sub-generator's
+// remaining count, so long streams do not starve short ones (nor vice
+// versa) and the draw costs one RNG call.
+func (m *Mixed) Next() (Message, bool) {
+	for m.rem > 0 {
+		k := m.rng.Intn(m.rem)
+		for i, g := range m.gens {
+			if k >= m.left[i] {
+				k -= m.left[i]
+				continue
+			}
+			msg, ok := g.Next()
+			if !ok {
+				// The sub-generator overstated Total; retire it.
+				m.rem -= m.left[i]
+				m.left[i] = 0
+				break
+			}
+			m.left[i]--
+			m.rem--
+			return msg, true
+		}
+	}
+	return Message{}, false
+}
+
+// Total implements Generator.
+func (m *Mixed) Total() int {
+	t := 0
+	for _, g := range m.gens {
+		t += g.Total()
+	}
+	return t
+}
+
 // Drain collects every message from a generator (helper for tests and
 // simulator harnesses).
 func Drain(g Generator) []Message {

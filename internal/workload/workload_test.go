@@ -101,6 +101,57 @@ func TestBurstyDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestMixedInterleavesAllSubStreams(t *testing.T) {
+	g := NewMixed(5,
+		NewSingleSource(0, 10, 16),
+		NewBursty(3, 4, 3, 16, time.Millisecond, 2),
+		NewInteractive(3, 8, 16, time.Millisecond, 3),
+	)
+	want := 10 + 12 + 8
+	if g.Total() != want {
+		t.Fatalf("Total = %d, want %d", g.Total(), want)
+	}
+	msgs := Drain(g)
+	if len(msgs) != want {
+		t.Fatalf("drained %d, want %d", len(msgs), want)
+	}
+	// Every sub-stream's messages appear, and not as one contiguous run
+	// each (the streams genuinely interleave).
+	fromSingle := 0
+	for _, m := range msgs {
+		if m.Sender == 0 && len(m.Payload) == 16 {
+			fromSingle++
+		}
+	}
+	if fromSingle < 10 {
+		t.Errorf("single-source messages missing: %d < 10", fromSingle)
+	}
+	firstHalfSingle := 0
+	for _, m := range msgs[:want/2] {
+		if m.Sender == 0 {
+			firstHalfSingle++
+		}
+	}
+	if firstHalfSingle == 0 || firstHalfSingle >= 10+12/3+8/3 {
+		t.Errorf("streams did not interleave: %d single-source messages in first half", firstHalfSingle)
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("generator produced past Total")
+	}
+}
+
+func TestMixedDeterministicPerSeed(t *testing.T) {
+	mk := func() *Mixed {
+		return NewMixed(11, NewSingleSource(1, 6, 16), NewContinuous(3, 4, 16))
+	}
+	a, b := Drain(mk()), Drain(mk())
+	for i := range a {
+		if a[i].Sender != b[i].Sender || a[i].Gap != b[i].Gap {
+			t.Fatal("same seed produced different interleaving")
+		}
+	}
+}
+
 func TestInteractive(t *testing.T) {
 	g := NewInteractive(3, 50, 16, 10*time.Millisecond, 7)
 	msgs := Drain(g)

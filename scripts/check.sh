@@ -20,4 +20,13 @@ go test -race ./...
 echo '>> benchmark smoke (BenchmarkFig8Tco, 100 iterations)'
 go test . -run '^$' -bench 'BenchmarkFig8Tco' -benchtime=100x -benchmem
 
+# go test accepts only one -fuzz pattern per invocation, hence the loop.
+echo '>> fuzz smoke (1s per target)'
+for target in FuzzUnmarshal FuzzFrameDecode FuzzCompare FuzzDTUnmarshal FuzzRETUnmarshal; do
+	go test ./internal/pdu -run '^$' -fuzz "^${target}\$" -fuzztime 1s
+done
+
+echo '>> chaos sweep smoke (60 seeds)'
+go run ./cmd/cochaos -sweep 60 -par 4
+
 echo '>> all checks passed'
