@@ -14,6 +14,7 @@ import (
 
 	"cobcast/internal/core"
 	"cobcast/internal/experiments"
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/sim"
 	"cobcast/internal/simrun"
@@ -475,11 +476,12 @@ func BenchmarkMarshalAppend(b *testing.B) {
 	}
 }
 
-// BenchmarkHotPathCodec is the full datagram round trip as the node loop
+// benchHotPathCodec is the full datagram round trip as the node loop
 // runs it: pooled buffer out of pdu.GetDatagram, MarshalAppend into it,
-// UnmarshalFrom into a scratch PDU, buffer back to the pool. Steady state
-// must report 0 allocs/op.
-func BenchmarkHotPathCodec(b *testing.B) {
+// UnmarshalFrom into a scratch PDU, buffer back to the pool. When lm/tm
+// are non-nil it also pays the per-datagram bookkeeping the wireLink and
+// udpnet add around the codec (experiment E11).
+func benchHotPathCodec(b *testing.B, lm *obsv.LinkMetrics, tm *obsv.TransportMetrics) {
 	p := &pdu.PDU{
 		Kind: pdu.KindData, CID: 1, Src: 2, SEQ: 99,
 		ACK: make([]pdu.Seq, 8), BUF: 1024, LSrc: pdu.NoEntity,
@@ -493,11 +495,30 @@ func BenchmarkHotPathCodec(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		lm.Flush(1, false)
+		if tm != nil {
+			tm.Sent.Inc()
+			tm.Received.Inc()
+		}
 		if err := scratch.UnmarshalFrom(buf); err != nil {
 			b.Fatal(err)
 		}
 		pdu.PutDatagram(buf)
 	}
+}
+
+// BenchmarkHotPathCodec is the uninstrumented codec round trip. Steady
+// state must report 0 allocs/op.
+func BenchmarkHotPathCodec(b *testing.B) {
+	benchHotPathCodec(b, nil, nil)
+}
+
+// BenchmarkHotPathCodecInstrumented is the same round trip with live
+// link and transport metrics attached, as a node registered on an obsv
+// registry pays it. Must also stay at 0 allocs/op; the ns/op delta vs
+// BenchmarkHotPathCodec is the instrumentation cost per datagram.
+func BenchmarkHotPathCodecInstrumented(b *testing.B) {
+	benchHotPathCodec(b, obsv.NewLinkMetrics(), &obsv.TransportMetrics{})
 }
 
 // BenchmarkHotPathPipeline drives a lossless n-entity mesh closed-loop:
@@ -509,6 +530,19 @@ func BenchmarkHotPathCodec(b *testing.B) {
 // iterations, exposing steady-state amortized cost and allocations of
 // the incremental confirmation minima.
 func BenchmarkHotPathPipeline(b *testing.B) {
+	benchHotPathPipeline(b, func() *obsv.EntityMetrics { return nil })
+}
+
+// BenchmarkHotPathPipelineInstrumented is the same closed-loop mesh with
+// a live EntityMetrics on every entity: each input additionally mirrors
+// its stat deltas into atomic counters and feeds the latency histograms.
+// The ns/op delta vs BenchmarkHotPathPipeline is the per-message cost of
+// the obsv layer (experiment E11).
+func BenchmarkHotPathPipelineInstrumented(b *testing.B) {
+	benchHotPathPipeline(b, obsv.NewEntityMetrics)
+}
+
+func benchHotPathPipeline(b *testing.B, metrics func() *obsv.EntityMetrics) {
 	type envelope struct {
 		src int
 		p   *pdu.PDU
@@ -522,6 +556,7 @@ func BenchmarkHotPathPipeline(b *testing.B) {
 					ID: pdu.EntityID(i), N: n,
 					Window:                 1 << 20,
 					DisableDeferredConfirm: true,
+					Metrics:                metrics(),
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -40,6 +40,9 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		netOpts = append(netOpts, network.WithUniformDelay(o.netDelay))
 	}
 	memnet := network.New(n, netOpts...)
+	if o.registry != nil {
+		o.registry.RegisterNetwork("memnet", memnet.Metrics())
+	}
 	c := &Cluster{net: memnet, nodes: make([]*Node, n)}
 	for i := 0; i < n; i++ {
 		nd, err := newNode(i, n, o, newMemLink(memnet.Endpoint(pdu.EntityID(i))))

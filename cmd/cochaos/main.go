@@ -16,6 +16,11 @@
 //
 //	cochaos -seed 4242 -shrink -corpus internal/chaos/corpus
 //
+// Replay with a live /metrics + /statez + pprof endpoint, kept up for
+// five minutes after the run so it can be scraped:
+//
+//	cochaos -seed 4242 -obsv 127.0.0.1:9090 -hold 5m
+//
 // Exit status: 0 all runs passed, 1 at least one invariant violated,
 // 2 usage or harness error.
 package main
@@ -30,8 +35,12 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"cobcast/internal/chaos"
+	"cobcast/internal/core"
+	"cobcast/internal/metrics"
+	"cobcast/obsv"
 )
 
 func main() {
@@ -48,6 +57,8 @@ type options struct {
 	trace   string
 	faildir string
 	corpus  string
+	obsv    string
+	hold    time.Duration
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -63,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.trace, "trace", "", "replay mode: write the run's JSON-lines trace here")
 	fs.StringVar(&o.faildir, "faildir", "", "write failing configs and traces into this directory")
 	fs.StringVar(&o.corpus, "corpus", "", "append failing (shrunk) configs to this corpus directory")
+	fs.StringVar(&o.obsv, "obsv", "", "replay mode: serve /metrics, /statez and pprof on this address during the run")
+	fs.DurationVar(&o.hold, "hold", 0, "replay mode: keep the -obsv endpoint up this long after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -89,6 +102,24 @@ type failure struct {
 	Config    chaos.Config `json:"config"`
 	Shrunk    chaos.Config `json:"shrunk_config,omitempty"`
 	trace     []byte
+	perEntity []core.Stats
+}
+
+// perEntityTable renders each entity's protocol counters as an aligned
+// table — the first thing to read when a seed fails: it shows where the
+// pipeline stalled (acceptance, loss detection, commit, delivery).
+func perEntityTable(per []core.Stats) string {
+	t := metrics.NewTable("per-entity protocol counters",
+		"node", "data", "sync", "ackonly", "ret", "recv", "accepted", "dup", "parked",
+		"f1", "f2", "retx", "committed", "delivered", "cpi", "cpi-pos", "deferred")
+	for i, s := range per {
+		t.AddRow(i, s.DataSent, s.SyncSent, s.AckOnlySent, s.RetSent,
+			s.DataRecv+s.SyncRecv+s.AckOnlyRecv+s.RetRecv,
+			s.Accepted, s.Duplicates, s.Parked,
+			s.F1Detections, s.F2Detections, s.Retransmitted,
+			s.Committed, s.Delivered, s.CPIDisplaced, s.CPIDisplacement, s.DeferredConfirms)
+	}
+	return t.String()
 }
 
 func sweep(o options, stdout, stderr io.Writer) int {
@@ -132,6 +163,7 @@ func sweep(o options, stdout, stderr io.Writer) int {
 				}
 				if res != nil {
 					f.trace = res.TraceJSON
+					f.perEntity = res.PerEntity
 				}
 				if o.shrink && f.Predicate != "" {
 					if min, ok, _ := chaos.Shrink(cfg, 64); ok {
@@ -159,6 +191,9 @@ func sweep(o options, stdout, stderr io.Writer) int {
 	for _, f := range failures {
 		fmt.Fprintf(stderr, "FAIL seed %d: [%s] %s\n", f.Seed, f.Predicate, f.Detail)
 		fmt.Fprintf(stderr, "  replay: go run ./cmd/cochaos -seed %d -v -trace seed-%d.jsonl\n", f.Seed, f.Seed)
+		if f.perEntity != nil {
+			fmt.Fprintln(stderr, perEntityTable(f.perEntity))
+		}
 		if err := persistFailure(o, f, stderr); err != nil {
 			fmt.Fprintln(stderr, "cochaos:", err)
 			return 2
@@ -176,7 +211,18 @@ func replay(o options, stdout, stderr io.Writer) int {
 		b, _ := json.MarshalIndent(cfg, "", "  ")
 		fmt.Fprintf(stdout, "seed %d expands to:\n%s\n", o.seed, b)
 	}
-	res, err := chaos.Run(cfg)
+	var reg *obsv.Registry
+	if o.obsv != "" {
+		reg = obsv.NewRegistry()
+		srv, err := obsv.Serve(reg, o.obsv)
+		if err != nil {
+			fmt.Fprintln(stderr, "cochaos: obsv endpoint:", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "observability: http://%s/metrics /statez /debug/pprof/\n", srv.Addr())
+	}
+	res, err := chaos.RunWithRegistry(cfg, reg)
 	if res != nil {
 		if o.trace != "" {
 			if werr := os.WriteFile(o.trace, res.TraceJSON, 0o644); werr != nil {
@@ -193,6 +239,13 @@ func replay(o options, stdout, stderr io.Writer) int {
 				res.Net.Sent, res.Net.Delivered, res.Net.Dropped,
 				res.Stats.Retransmitted, res.Stats.Parked, res.Stats.Duplicates)
 		}
+		if o.verbose || o.trace != "" {
+			fmt.Fprintln(stdout, perEntityTable(res.PerEntity))
+		}
+	}
+	if o.obsv != "" && o.hold > 0 {
+		fmt.Fprintf(stdout, "holding endpoint for %v (ctrl-c to stop early)\n", o.hold)
+		time.Sleep(o.hold)
 	}
 	if err == nil {
 		fmt.Fprintf(stdout, "seed %d: all predicates hold\n", o.seed)

@@ -5,6 +5,7 @@
 //
 //	coload -n 4 -msgs 2000 -rate 5000 -size 128 -loss 0.05
 //	coload -n 3 -msgs 500 -total        # total-order mode
+//	coload -n 4 -msgs 1e9 -obsv 127.0.0.1:9090   # watch /metrics live
 package main
 
 import (
@@ -16,8 +17,8 @@ import (
 	"time"
 
 	"cobcast"
-
 	"cobcast/internal/metrics"
+	"cobcast/obsv"
 )
 
 func main() {
@@ -30,15 +31,16 @@ func main() {
 		seed  = flag.Int64("seed", 1, "loss RNG seed")
 		total = flag.Bool("total", false, "use total-order delivery")
 		wait  = flag.Duration("timeout", 2*time.Minute, "overall deadline")
+		addr  = flag.String("obsv", "", "serve /metrics, /statez and pprof on this address during the run (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
-	if err := run(*n, *msgs, *rate, *size, *loss, *seed, *total, *wait); err != nil {
+	if err := run(*n, *msgs, *rate, *size, *loss, *seed, *total, *wait, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "coload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bool, wait time.Duration) error {
+func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bool, wait time.Duration, obsvAddr string) error {
 	opts := []cobcast.Option{
 		cobcast.WithLossRate(loss),
 		cobcast.WithSeed(seed),
@@ -47,6 +49,16 @@ func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bo
 	}
 	if total {
 		opts = append(opts, cobcast.WithTotalOrder())
+	}
+	if obsvAddr != "" {
+		reg := obsv.NewRegistry()
+		opts = append(opts, cobcast.WithObservability(reg))
+		srv, err := obsv.Serve(reg, obsvAddr)
+		if err != nil {
+			return fmt.Errorf("obsv endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics /statez /debug/pprof/\n", srv.Addr())
 	}
 	cluster, err := cobcast.NewCluster(n, opts...)
 	if err != nil {

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"cobcast/internal/core"
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 )
 
@@ -64,17 +65,37 @@ type Stats struct {
 	SyncSent    uint64
 	AckOnlySent uint64
 	RetSent     uint64
+	// DataRecv, SyncRecv, AckOnlyRecv, RetRecv count valid received
+	// PDUs by kind.
+	DataRecv    uint64
+	SyncRecv    uint64
+	AckOnlyRecv uint64
+	RetRecv     uint64
 	// Accepted counts in-order PDU acceptances; Duplicates and Parked
 	// count duplicate and out-of-order arrivals.
 	Accepted   uint64
 	Duplicates uint64
 	Parked     uint64
+	// F1Detections and F2Detections count loss detections by failure
+	// condition: a sequence gap revealed by a sequenced PDU (F1) versus
+	// by an acknowledgment vector (F2).
+	F1Detections uint64
+	F2Detections uint64
 	// Retransmitted counts own PDUs rebroadcast on request.
 	Retransmitted uint64
-	// Preacked, Acked and Delivered count pipeline progress.
+	// Preacked, Acked, Committed and Delivered count pipeline progress.
 	Preacked  uint64
 	Acked     uint64
+	Committed uint64
 	Delivered uint64
+	// CPIDisplaced counts causality-preserved insertions that had to
+	// reorder (not tail appends); CPIDisplacement sums the entries each
+	// one bypassed.
+	CPIDisplaced    uint64
+	CPIDisplacement uint64
+	// DeferredConfirms counts confirmations emitted by the deferred
+	// confirmation timer/all-heard rule.
+	DeferredConfirms uint64
 	// FlowBlocked counts broadcasts that waited for the flow-control
 	// window.
 	FlowBlocked uint64
@@ -90,22 +111,32 @@ type Stats struct {
 
 func fromCoreStats(s core.Stats) Stats {
 	return Stats{
-		DataSent:      s.DataSent,
-		SyncSent:      s.SyncSent,
-		AckOnlySent:   s.AckOnlySent,
-		RetSent:       s.RetSent,
-		Accepted:      s.Accepted,
-		Duplicates:    s.Duplicates,
-		Parked:        s.Parked,
-		Retransmitted: s.Retransmitted,
-		Preacked:      s.Preacked,
-		Acked:         s.Acked,
-		Delivered:     s.Delivered,
-		FlowBlocked:   s.FlowBlocked,
-		MaxResident:   s.MaxResident,
-		InvalidPDUs:   s.InvalidPDUs,
-		Evicted:       s.Evicted,
-		AutoSuspected: s.AutoSuspected,
+		DataSent:         s.DataSent,
+		SyncSent:         s.SyncSent,
+		AckOnlySent:      s.AckOnlySent,
+		RetSent:          s.RetSent,
+		DataRecv:         s.DataRecv,
+		SyncRecv:         s.SyncRecv,
+		AckOnlyRecv:      s.AckOnlyRecv,
+		RetRecv:          s.RetRecv,
+		Accepted:         s.Accepted,
+		Duplicates:       s.Duplicates,
+		Parked:           s.Parked,
+		F1Detections:     s.F1Detections,
+		F2Detections:     s.F2Detections,
+		Retransmitted:    s.Retransmitted,
+		Preacked:         s.Preacked,
+		Acked:            s.Acked,
+		Committed:        s.Committed,
+		Delivered:        s.Delivered,
+		CPIDisplaced:     s.CPIDisplaced,
+		CPIDisplacement:  s.CPIDisplacement,
+		DeferredConfirms: s.DeferredConfirms,
+		FlowBlocked:      s.FlowBlocked,
+		MaxResident:      s.MaxResident,
+		InvalidPDUs:      s.InvalidPDUs,
+		Evicted:          s.Evicted,
+		AutoSuspected:    s.AutoSuspected,
 	}
 }
 
@@ -120,6 +151,7 @@ type options struct {
 	tickInterval        time.Duration
 	totalOrder          bool
 	suspectAfter        time.Duration
+	registry            *obsv.Registry
 
 	// In-memory network knobs (NewCluster only).
 	netDelay    time.Duration
@@ -231,6 +263,18 @@ func WithTotalOrder() Option {
 // for the extension's limitations.
 func WithSuspectTimeout(d time.Duration) Option {
 	return optionFunc(func(o *options) { o.suspectAfter = d })
+}
+
+// WithObservability attaches live instrumentation: every node created
+// with this option publishes its protocol counters, latency histograms,
+// link flush metrics and state snapshots into reg (NewCluster also
+// publishes the in-memory network counters; NewNode the transport's,
+// when it exposes them). Construct the registry with the public
+// cobcast/obsv package, serve it over HTTP with obsv.Serve, or render
+// it directly with Registry.WriteMetrics/WriteStatez. Without this
+// option the engine runs instrumentation-free.
+func WithObservability(reg *obsv.Registry) Option {
+	return optionFunc(func(o *options) { o.registry = reg })
 }
 
 // WithNetworkDelay sets the in-memory network's uniform propagation delay

@@ -5,15 +5,24 @@
 // requests were issued, and how many PDUs were selectively rebroadcast —
 // and verifies every node still delivered the full stream in per-source
 // order.
+//
+// The cluster runs with live observability attached (WithObservability):
+// while it runs, /metrics, /statez and /debug/pprof/ are served on an
+// ephemeral local port, and the closing report quotes the registry's own
+// loss-detection counters.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 	"time"
 
 	"cobcast"
+	"cobcast/obsv"
 )
 
 func main() {
@@ -22,17 +31,26 @@ func main() {
 		perNode  = 25
 		lossRate = 0.25
 	)
+	reg := obsv.NewRegistry()
 	cluster, err := cobcast.NewCluster(nodes,
 		cobcast.WithLossRate(lossRate),
 		cobcast.WithSeed(99),
 		cobcast.WithDeferredAckInterval(time.Millisecond),
 		cobcast.WithRetransmitTimeout(4*time.Millisecond),
 		cobcast.WithWindow(8),
+		cobcast.WithObservability(reg),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
+
+	srv, err := obsv.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("observability: http://%s/metrics (also /statez, /debug/pprof/)\n", srv.Addr())
 
 	total := nodes * perNode
 	var wg sync.WaitGroup
@@ -93,4 +111,17 @@ func main() {
 		retReq, retx)
 	fmt.Printf("           %d out-of-order PDUs parked and replayed in order\n", parked)
 	fmt.Println("every node delivered the complete stream in per-source order")
+
+	// The same story as told by the /metrics endpoint: quote the
+	// loss-detection counter family from the registry's exposition.
+	var buf bytes.Buffer
+	if err := reg.WriteMetrics(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("as seen on /metrics:")
+	for sc := bufio.NewScanner(&buf); sc.Scan(); {
+		if strings.HasPrefix(sc.Text(), "cobcast_loss_detections_total") {
+			fmt.Println("  " + sc.Text())
+		}
+	}
 }

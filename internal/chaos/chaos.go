@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cobcast/internal/core"
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/sim"
 	"cobcast/internal/simrun"
@@ -50,9 +51,11 @@ type Result struct {
 	// FaultEnd is the virtual time after which the harness injected no
 	// further loss; everything later is pure protocol recovery.
 	FaultEnd time.Duration
-	// Stats sums the entity counters; Net counts simulated-network PDUs.
-	Stats core.Stats
-	Net   sim.NetStats
+	// Stats sums the entity counters; PerEntity is each entity's own
+	// counters (indexed by entity ID); Net counts simulated-network PDUs.
+	Stats     core.Stats
+	PerEntity []core.Stats
+	Net       sim.NetStats
 	// Summary aggregates the recorded trace.
 	Summary trace.Summary
 	// TraceJSON is the full JSON-lines trace; TraceDigest its SHA-256.
@@ -79,7 +82,14 @@ type faultWindow struct {
 // an invariant fails, ErrBadConfig for unusable configs, and nil when
 // every predicate holds. The Result is non-nil whenever the config was
 // runnable.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (*Result, error) { return RunWithRegistry(cfg, nil) }
+
+// RunWithRegistry is Run with live instrumentation: when reg is non-nil
+// every entity publishes its counters and state snapshots into it, so an
+// obsv HTTP endpoint can watch the run. Instrumentation does not affect
+// the run's determinism (the trace digest is identical with and without
+// a registry).
+func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -167,7 +177,8 @@ func Run(cfg Config) (*Result, error) {
 			sim.NetDuplicateRate(cfg.Duplicate),
 			sim.NetDatagramFilter(dropDatagram),
 		},
-		Trace: true,
+		Trace:    true,
+		Registry: reg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: build cluster: %w", err)
@@ -192,6 +203,10 @@ func Run(cfg Config) (*Result, error) {
 	finish := func() {
 		res.VirtualElapsed = c.Sim.Now()
 		res.Stats = c.TotalStats()
+		res.PerEntity = make([]core.Stats, cfg.N)
+		for i, e := range c.Entities {
+			res.PerEntity[i] = e.Stats()
+		}
 		res.Net = c.Net.Stats()
 		events := c.Recorder.Events()
 		res.Summary = trace.Summarize(events)

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cobcast/internal/obsv"
+	"cobcast/internal/obsv/promtext"
+)
+
+// vitalsSeed is a chaos seed whose run exercises every recovery path at
+// once: F1 and F2 loss detections, selective retransmissions served,
+// and CPI insertions that displace queued PDUs. (Most seeds do; this
+// one is small — n=3 — and fast.)
+const vitalsSeed = 4
+
+// TestEndpointShowsRecoveryVitals is the acceptance check for the obsv
+// layer: replay a lossy chaos seed with the HTTP endpoint up, then read
+// the protocol's recovery story back out of /metrics and /statez.
+func TestEndpointShowsRecoveryVitals(t *testing.T) {
+	reg := obsv.NewRegistry()
+	srv, err := obsv.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	res, runErr := RunWithRegistry(FromSeed(vitalsSeed), reg)
+	if runErr != nil {
+		t.Fatalf("seed %d: %v", vitalsSeed, runErr)
+	}
+	if s := res.Stats; s.F1Detections == 0 || s.F2Detections == 0 ||
+		s.Retransmitted == 0 || s.CPIDisplacement == 0 {
+		t.Fatalf("seed %d no longer exercises all vitals: %+v — pick another seed", vitalsSeed, s)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promtext.Parse(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("/metrics not valid exposition: %v", err)
+	}
+
+	checks := []struct {
+		family string
+		labels map[string]string
+		want   uint64
+	}{
+		{"cobcast_loss_detections_total", map[string]string{"cond": "f1"}, res.Stats.F1Detections},
+		{"cobcast_loss_detections_total", map[string]string{"cond": "f2"}, res.Stats.F2Detections},
+		{"cobcast_retransmissions_served_total", nil, res.Stats.Retransmitted},
+		{"cobcast_cpi_displacement_positions_total", nil, res.Stats.CPIDisplacement},
+		{"cobcast_delivered_total", nil, res.Stats.Delivered},
+	}
+	for _, c := range checks {
+		got, ok := fams.Value(c.family, c.labels)
+		if !ok {
+			t.Errorf("%s%v: no samples on /metrics", c.family, c.labels)
+			continue
+		}
+		if uint64(got) != c.want {
+			t.Errorf("%s%v = %v on /metrics, run counted %d", c.family, c.labels, got, c.want)
+		}
+		if got == 0 {
+			t.Errorf("%s%v is zero — endpoint does not show the recovery", c.family, c.labels)
+		}
+	}
+
+	// Latency histograms observed something.
+	for _, hist := range []string{"cobcast_deliver_latency_us", "cobcast_ack_wait_us"} {
+		fam, ok := fams[hist]
+		if !ok {
+			t.Errorf("histogram %s missing from /metrics", hist)
+			continue
+		}
+		var count float64
+		for _, s := range fam.Samples {
+			if s.Name == hist+"_count" {
+				count += s.Value
+			}
+		}
+		if count == 0 {
+			t.Errorf("histogram %s observed nothing", hist)
+		}
+	}
+
+	// /statez: the run quiesced, so every DATA depth is back to zero.
+	resp, err = http.Get("http://" + srv.Addr() + "/statez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statez obsv.Statez
+	if err := json.Unmarshal(body, &statez); err != nil {
+		t.Fatalf("/statez not valid JSON: %v", err)
+	}
+	if len(statez.Nodes) != res.Config.N {
+		t.Fatalf("/statez has %d nodes, want %d", len(statez.Nodes), res.Config.N)
+	}
+	for _, s := range statez.Nodes {
+		if s.DataResident != 0 || s.ParkedData != 0 || s.SendLogData != 0 ||
+			s.ReleasePending != 0 || s.PendingSubmits != 0 {
+			t.Errorf("node %s DATA depths not drained at quiesce: %+v", s.Node, s)
+		}
+		if !s.Quiescent {
+			t.Errorf("node %s not quiescent at quiesce", s.Node)
+		}
+	}
+}
+
+// TestRegistryPreservesDeterminism asserts the instrumented run is the
+// same run: identical trace digest and counters with and without a
+// registry attached.
+func TestRegistryPreservesDeterminism(t *testing.T) {
+	cfg := FromSeed(vitalsSeed)
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := RunWithRegistry(cfg, obsv.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TraceDigest != instr.TraceDigest {
+		t.Fatalf("trace digest diverges: %s vs %s", plain.TraceDigest, instr.TraceDigest)
+	}
+	if plain.Stats != instr.Stats {
+		t.Fatalf("stats diverge:\nplain %+v\ninstr %+v", plain.Stats, instr.Stats)
+	}
+}
+
+// TestResultPerEntitySumsToStats pins the new per-entity breakdown to
+// the aggregate.
+func TestResultPerEntitySumsToStats(t *testing.T) {
+	res, err := Run(FromSeed(vitalsSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerEntity) != res.Config.N {
+		t.Fatalf("PerEntity has %d entries, want %d", len(res.PerEntity), res.Config.N)
+	}
+	var delivered, f1, retx uint64
+	for _, s := range res.PerEntity {
+		delivered += s.Delivered
+		f1 += s.F1Detections
+		retx += s.Retransmitted
+	}
+	if delivered != res.Stats.Delivered || f1 != res.Stats.F1Detections || retx != res.Stats.Retransmitted {
+		t.Fatalf("per-entity sums (deliv %d, f1 %d, retx %d) != aggregate %+v",
+			delivered, f1, retx, res.Stats)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/trace"
 )
@@ -78,6 +79,13 @@ type Config struct {
 	// Tracer, if non-nil, records send/accept/deliver/retransmit events
 	// for the trace checkers.
 	Tracer *trace.Recorder
+	// Metrics, if non-nil, receives live instrumentation: the entity
+	// mirrors its Stats counters into the atomic EntityMetrics after
+	// every input (so scrapers on other goroutines read them without
+	// touching entity state) and feeds the delivery-latency and
+	// ack-wait histograms. Nil keeps the engine free of any
+	// instrumentation cost beyond one untaken branch per input.
+	Metrics *obsv.EntityMetrics
 	// DisableDeferredConfirm turns off automatic SYNC/ACKONLY emission.
 	// Scripted tests (such as the Table 1 golden test) use it to control
 	// every PDU on the wire; production configurations leave it false.
@@ -170,6 +178,12 @@ type Stats struct {
 	SyncSent    uint64
 	AckOnlySent uint64
 	RetSent     uint64
+	// DataRecv, SyncRecv, AckOnlyRecv and RetRecv count valid received
+	// PDUs by kind (counted after validation, before duplicate checks).
+	DataRecv    uint64
+	SyncRecv    uint64
+	AckOnlyRecv uint64
+	RetRecv     uint64
 	// Accepted counts in-order acceptances (including self-acceptances
 	// and retransmitted PDUs accepted after repair).
 	Accepted uint64
@@ -177,13 +191,30 @@ type Stats struct {
 	Duplicates uint64
 	// Parked counts out-of-order sequenced PDUs buffered pending repair.
 	Parked uint64
+	// F1Detections counts loss detections by failure condition F1 (a
+	// sequenced PDU beyond REQ, or a sender's own ACK column beyond our
+	// evidence); F2Detections counts detections by F2 (an ACK entry for
+	// a third source beyond our evidence). See §4.3.
+	F1Detections uint64
+	F2Detections uint64
 	// Retransmitted counts own PDUs rebroadcast in response to RET.
 	Retransmitted uint64
-	// Preacked and Acked count pipeline progress; Delivered counts DATA
+	// Preacked and Acked count pipeline progress; Committed counts PDUs
+	// through the causal-closure commit stage; Delivered counts DATA
 	// PDUs handed to the application.
 	Preacked  uint64
 	Acked     uint64
+	Committed uint64
 	Delivered uint64
+	// CPIDisplaced counts CPI insertions into the PRL that were not
+	// tail appends; CPIDisplacement sums the entries bypassed across
+	// them (total reorder distance).
+	CPIDisplaced    uint64
+	CPIDisplacement uint64
+	// DeferredConfirms counts confirmations emitted by the deferred
+	// confirmation rule (§5): SYNC or ACKONLY PDUs sent because the
+	// all-heard condition or the deferred-ack timer fired.
+	DeferredConfirms uint64
 	// FlowBlocked counts submissions that had to wait for the window.
 	FlowBlocked uint64
 	// MaxResident is the peak number of PDUs simultaneously held in the

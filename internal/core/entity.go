@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cobcast/internal/msglog"
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/trace"
 )
@@ -112,6 +113,18 @@ type Entity struct {
 	dataResident   int
 
 	stats Stats
+
+	// Live instrumentation (Config.Metrics); all nil unless attached.
+	// published is the prefix of stats already mirrored into m, so
+	// publishStats only touches atomics for counters that moved.
+	// sentAt timestamps own DATA broadcasts for the deliver-latency
+	// histogram; acceptAt[k] is a FIFO of acceptance times from source
+	// k for the ack-wait histogram — valid because acceptance and
+	// commit are both strictly per-source sequence-ordered.
+	m         *obsv.EntityMetrics
+	published Stats
+	sentAt    map[pdu.Seq]time.Duration
+	acceptAt  []timeQueue
 }
 
 // New creates an entity in its initial state (SEQ = 1, every REQ/AL/PAL
@@ -173,6 +186,11 @@ func New(cfg Config) (*Entity, error) {
 	if cfg.TotalOrder {
 		e.to = newTOState(n)
 	}
+	if cfg.Metrics != nil {
+		e.m = cfg.Metrics
+		e.sentAt = make(map[pdu.Seq]time.Duration)
+		e.acceptAt = make([]timeQueue, n)
+	}
 	return e, nil
 }
 
@@ -206,15 +224,28 @@ func (e *Entity) Receive(p *pdu.PDU, now time.Duration) (Output, error) {
 	var out Output
 	if p == nil {
 		e.stats.InvalidPDUs++
+		e.publishStats()
 		return out, ErrNilPDU
 	}
 	if err := p.Validate(e.n); err != nil {
 		e.stats.InvalidPDUs++
+		e.publishStats()
 		return out, fmt.Errorf("receive at %d: %w", e.me, err)
 	}
 	if p.CID != e.cfg.ClusterID {
 		e.stats.InvalidPDUs++
+		e.publishStats()
 		return out, fmt.Errorf("%w: got %d want %d", ErrWrongCluster, p.CID, e.cfg.ClusterID)
+	}
+	switch p.Kind {
+	case pdu.KindData:
+		e.stats.DataRecv++
+	case pdu.KindSync:
+		e.stats.SyncRecv++
+	case pdu.KindAckOnly:
+		e.stats.AckOnlyRecv++
+	case pdu.KindRet:
+		e.stats.RetRecv++
 	}
 
 	e.noteHeard(p.Src, now)
@@ -261,6 +292,7 @@ func (e *Entity) finish(now time.Duration, out *Output) {
 	e.runPack()
 	e.runAck(now, out)
 	e.maybeConfirm(now, out)
+	e.publishStats()
 }
 
 // foldInfo merges the PDU's receipt confirmations into AL and BUF. ACK
@@ -357,11 +389,20 @@ func (e *Entity) detectGaps(p *pdu.PDU) {
 			continue
 		}
 		if p.ACK[j] > e.known[j] {
+			// known[j] never trails req[j], so strengthened evidence
+			// always names PDUs this entity has not accepted: a
+			// detection, not a confirmation.
 			e.known[j] = p.ACK[j] // F2
+			e.stats.F2Detections++
 		}
 	}
 	if p.Kind.Sequenced() && p.Src != e.me && p.SEQ+1 > e.known[p.Src] {
 		e.known[p.Src] = p.SEQ + 1 // F1
+		if p.SEQ > e.req[p.Src] {
+			// In-order arrivals raise evidence too but reveal no gap;
+			// only a PDU ahead of REQ is a detection.
+			e.stats.F1Detections++
+		}
 	}
 	// The sender's own ACK entry equals its next sequence number (it has
 	// self-accepted everything it sent), so it is F1-grade evidence for
@@ -370,6 +411,7 @@ func (e *Entity) detectGaps(p *pdu.PDU) {
 	// forever without anyone learning the PDU exists.
 	if p.Src != e.me && p.ACK[p.Src] > e.known[p.Src] {
 		e.known[p.Src] = p.ACK[p.Src]
+		e.stats.F1Detections++
 	}
 }
 
@@ -433,6 +475,9 @@ func (e *Entity) accept(p *pdu.PDU, now time.Duration) {
 		e.recvSince[src] = true
 	}
 	e.stats.Accepted++
+	if e.m != nil {
+		e.acceptAt[src].push(now)
+	}
 	e.noteResident()
 	e.trace(trace.Accept, src, p.SEQ, p.Kind, now)
 }
@@ -465,7 +510,10 @@ func (e *Entity) runPack() {
 					e.raisePAL(m, pdu.EntityID(k), p.ACK[m])
 				}
 			}
-			e.prl.InsertCPI(p)
+			if d := e.prl.InsertCPI(p); d > 0 {
+				e.stats.CPIDisplaced++
+				e.stats.CPIDisplacement += uint64(d)
+			}
 			e.stats.Preacked++
 			if pdu.EntityID(k) == e.me {
 				// Everyone has accepted our PDU: it can never be asked
@@ -522,6 +570,12 @@ func (e *Entity) commitReady(now time.Duration, out *Output) {
 				e.ackedQ[k].Dequeue()
 				e.ackedTotal--
 				e.committed[k] = p.SEQ
+				e.stats.Committed++
+				if e.m != nil {
+					if t, ok := e.acceptAt[k].pop(); ok {
+						e.m.AckWaitUS.Observe(micros(now - t))
+					}
+				}
 				progress = true
 				if e.to != nil {
 					// TO mode: stamp the logical time and hand DATA to the
@@ -532,6 +586,7 @@ func (e *Entity) commitReady(now time.Duration, out *Output) {
 				if p.Kind == pdu.KindData {
 					e.dataResident--
 					e.stats.Delivered++
+					e.observeDeliverLatency(p, now)
 					out.Deliveries = append(out.Deliveries, Delivery{Src: p.Src, SEQ: p.SEQ, Data: p.Data})
 					e.trace(trace.Deliver, p.Src, p.SEQ, p.Kind, now)
 				}
@@ -600,6 +655,7 @@ func (e *Entity) maybeConfirm(now time.Duration, out *Output) {
 	if !allHeard && now < e.speakDeadline {
 		return
 	}
+	e.stats.DeferredConfirms++
 	if e.windowOpen() {
 		e.broadcastSequenced(pdu.KindSync, nil, now, out)
 		return
@@ -637,6 +693,9 @@ func (e *Entity) broadcastSequenced(kind pdu.Kind, data []byte, now time.Duratio
 	e.sendlog[p.SEQ] = p
 	if kind == pdu.KindData {
 		e.stats.DataSent++
+		if e.m != nil {
+			e.sentAt[p.SEQ] = now
+		}
 	} else {
 		e.stats.SyncSent++
 	}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"cobcast/internal/obsv"
+	"cobcast/internal/pdu"
+)
+
+// timeQueue is a FIFO of timestamps with an amortized-O(1) head, used
+// for the per-source accept→commit histogram. Both acceptance and
+// commit are strictly per-source sequence-ordered (the PRL can reorder
+// same-source PDUs under loss, but InsertBySeq in the commit stage
+// restores the order), so a plain FIFO pairs each commit with its
+// acceptance time without carrying sequence numbers.
+type timeQueue struct {
+	ts   []time.Duration
+	head int
+}
+
+func (q *timeQueue) push(t time.Duration) { q.ts = append(q.ts, t) }
+
+func (q *timeQueue) pop() (time.Duration, bool) {
+	if q.head >= len(q.ts) {
+		return 0, false
+	}
+	t := q.ts[q.head]
+	q.head++
+	if q.head == len(q.ts) {
+		q.ts = q.ts[:0]
+		q.head = 0
+	}
+	return t, true
+}
+
+// micros converts a duration to whole microseconds for the histograms,
+// clamping negatives (defensive: callers pass non-decreasing nows).
+func micros(d time.Duration) uint64 {
+	if d < 0 {
+		return 0
+	}
+	return uint64(d / time.Microsecond)
+}
+
+// observeDeliverLatency feeds the broadcast→deliver histogram for this
+// entity's own DATA PDUs. No-op unless metrics are attached and the
+// PDU is a locally submitted DATA with a recorded send time.
+func (e *Entity) observeDeliverLatency(p *pdu.PDU, now time.Duration) {
+	if e.m == nil || p.Src != e.me || p.Kind != pdu.KindData {
+		return
+	}
+	if t, ok := e.sentAt[p.SEQ]; ok {
+		e.m.DeliverLatencyUS.Observe(micros(now - t))
+		delete(e.sentAt, p.SEQ)
+	}
+}
+
+// publishStats mirrors the Stats counters that moved since the last
+// call into the attached atomic EntityMetrics. Running it once per
+// input (end of finish, plus the Receive error returns) keeps the
+// scraper-visible counters at most one input behind the owner
+// goroutine while the hot path pays a single nil check when metrics
+// are off and only touched-counter atomic adds when they are on.
+// Deriving the atomics from Stats deltas also makes the two counting
+// schemes equal by construction.
+func (e *Entity) publishStats() {
+	m := e.m
+	if m == nil {
+		return
+	}
+	s, p := &e.stats, &e.published
+	pub := func(c *obsv.Counter, cur uint64, prev *uint64) {
+		if d := cur - *prev; d != 0 {
+			c.Add(d)
+			*prev = cur
+		}
+	}
+	pub(&m.DataSent, s.DataSent, &p.DataSent)
+	pub(&m.SyncSent, s.SyncSent, &p.SyncSent)
+	pub(&m.AckOnlySent, s.AckOnlySent, &p.AckOnlySent)
+	pub(&m.RetSent, s.RetSent, &p.RetSent)
+	pub(&m.DataRecv, s.DataRecv, &p.DataRecv)
+	pub(&m.SyncRecv, s.SyncRecv, &p.SyncRecv)
+	pub(&m.AckOnlyRecv, s.AckOnlyRecv, &p.AckOnlyRecv)
+	pub(&m.RetRecv, s.RetRecv, &p.RetRecv)
+	pub(&m.Accepted, s.Accepted, &p.Accepted)
+	pub(&m.Duplicates, s.Duplicates, &p.Duplicates)
+	pub(&m.Parked, s.Parked, &p.Parked)
+	pub(&m.F1Detections, s.F1Detections, &p.F1Detections)
+	pub(&m.F2Detections, s.F2Detections, &p.F2Detections)
+	pub(&m.RetServed, s.Retransmitted, &p.Retransmitted)
+	pub(&m.Preacked, s.Preacked, &p.Preacked)
+	pub(&m.Acked, s.Acked, &p.Acked)
+	pub(&m.Committed, s.Committed, &p.Committed)
+	pub(&m.Delivered, s.Delivered, &p.Delivered)
+	pub(&m.CPIDisplaced, s.CPIDisplaced, &p.CPIDisplaced)
+	pub(&m.CPIDisplacement, s.CPIDisplacement, &p.CPIDisplacement)
+	pub(&m.DeferredConfirms, s.DeferredConfirms, &p.DeferredConfirms)
+	pub(&m.FlowBlocked, s.FlowBlocked, &p.FlowBlocked)
+	pub(&m.InvalidPDUs, s.InvalidPDUs, &p.InvalidPDUs)
+}
+
+// Snapshot copies the entity's live protocol state for /statez and the
+// depth gauges. Like every other method it must run on the entity's
+// owner goroutine (the node loop services snapshot requests between
+// inputs; the sim takes them between virtual-time steps); the returned
+// value is plain data, safe to hand to any goroutine.
+func (e *Entity) Snapshot() obsv.StateSnapshot {
+	s := obsv.StateSnapshot{
+		Node:           strconv.Itoa(int(e.me)),
+		Seq:            uint64(e.seq),
+		REQ:            make([]uint64, e.n),
+		MinAL:          make([]uint64, e.n),
+		MinPAL:         make([]uint64, e.n),
+		Committed:      make([]uint64, e.n),
+		RRL:            make([]int, e.n),
+		PRL:            e.prl.Len(),
+		ARL:            e.ackedTotal,
+		Parked:         e.parkedTotal,
+		SendLog:        len(e.sendlog),
+		PendingSubmits: len(e.pendingSubmits),
+		BufFree:        e.availBuf(),
+		BufUnits:       e.cfg.BufferUnits,
+		ParkedData:     e.parkedData,
+		DataResident:   e.dataResident,
+		Quiescent:      e.Quiescent(),
+	}
+	for _, p := range e.sendlog {
+		if p.Kind == pdu.KindData {
+			s.SendLogData++
+		}
+	}
+	if e.to != nil {
+		s.ReleasePending = e.to.pending.Len()
+	}
+	for k := 0; k < e.n; k++ {
+		s.REQ[k] = uint64(e.req[k])
+		s.MinAL[k] = uint64(e.minAL[k])
+		s.MinPAL[k] = uint64(e.minPAL[k])
+		s.Committed[k] = uint64(e.committed[k])
+		s.RRL[k] = e.rrl[k].Len()
+	}
+	return s
+}

@@ -149,6 +149,7 @@ func (e *Entity) releaseTotal(now time.Duration, out *Output) {
 		p := head.p
 		e.dataResident--
 		e.stats.Delivered++
+		e.observeDeliverLatency(p, now)
 		out.Deliveries = append(out.Deliveries, Delivery{
 			Src: p.Src, SEQ: p.SEQ, Data: p.Data, LTime: head.key.lt,
 		})

@@ -180,11 +180,16 @@ func (l *Log) Slice() []*pdu.PDU {
 // In the common case — PDUs arriving in causal order — no entry follows
 // p, the successor-witness bounds prove it, and p is appended at the tail
 // in O(1) without scanning.
-func (l *Log) InsertCPI(p *pdu.PDU) {
+//
+// It returns p's displacement: the number of entries p was inserted in
+// front of, 0 for a tail append. The successor-witness bounds are
+// conservative, so a slow-path scan that finds no successor also
+// returns 0.
+func (l *Log) InsertCPI(p *pdu.PDU) int {
 	if l.noSuccessorIn(p) {
 		l.pdus = append(l.pdus, p)
 		l.noteInsert(p)
-		return
+		return 0
 	}
 	// The scan applies pdu.CausallyPrecedes(p, q) unrolled to the
 	// one-directional Theorem 4.1 test: this loop runs once per resident
@@ -203,10 +208,12 @@ func (l *Log) InsertCPI(p *pdu.PDU) {
 			break
 		}
 	}
+	displaced := len(l.pdus) - at
 	l.pdus = append(l.pdus, nil)
 	copy(l.pdus[at+1:], l.pdus[at:])
 	l.pdus[at] = p
 	l.noteInsert(p)
+	return displaced
 }
 
 // InsertBySeq inserts p keeping the log sorted by ascending SEQ. It is

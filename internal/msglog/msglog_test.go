@@ -116,6 +116,33 @@ func TestInsertCPIIntoEmptyAndTail(t *testing.T) {
 	}
 }
 
+// TestInsertCPIDisplacement pins the return value: the number of queued
+// PDUs the insertion bypassed — 0 for empty-log and tail appends (both
+// fast paths and a full scan that finds no successor), the entry count
+// behind the insertion point otherwise.
+func TestInsertCPIDisplacement(t *testing.T) {
+	tbl := table1()
+	var prl Log
+	steps := []struct {
+		name string
+		want int
+	}{
+		{"a", 0}, // empty log
+		{"c", 0}, // tail: a ≺ c
+		{"e", 0}, // tail: c ≺ e
+		{"d", 1}, // lands between c and e: bypasses e
+		{"b", 2}, // lands between c and d: bypasses d and e
+	}
+	for _, s := range steps {
+		if got := prl.InsertCPI(tbl[s.name]); got != s.want {
+			t.Errorf("InsertCPI(%s) displaced %d, want %d", s.name, got, s.want)
+		}
+	}
+	if got := names(prl.Slice(), tbl); got != "acbde" {
+		t.Fatalf("PRL order = %q, want acbde", got)
+	}
+}
+
 func TestInsertCPIAfterDequeue(t *testing.T) {
 	// InsertCPI must respect the logical top after dequeues shifted head.
 	tbl := table1()

@@ -22,9 +22,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 )
 
@@ -141,11 +141,11 @@ type Net struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	sent             atomic.Uint64
-	delivered        atomic.Uint64
-	droppedLoss      atomic.Uint64
-	droppedOverrun   atomic.Uint64
-	droppedPartition atomic.Uint64
+	// m holds the network counters on the shared obsv atomic type.
+	// transmit (sender goroutines) and runPipe (per-channel goroutines)
+	// increment concurrently; Stats and registry scrapers load from any
+	// goroutine.
+	m obsv.NetworkMetrics
 }
 
 // ErrClosed is returned by sends on a closed network.
@@ -221,11 +221,11 @@ func (n *Net) runPipe(from, to pdu.EntityID, pipe chan Inbound) {
 			}
 			select {
 			case n.ports[to].inbox <- in:
-				n.delivered.Add(uint64(len(in.PDUs)))
+				n.m.Delivered.Add(uint64(len(in.PDUs)))
 			default:
 				// Receive-buffer overrun: the paper's loss model. The
 				// whole datagram is lost with its slot.
-				n.droppedOverrun.Add(uint64(len(in.PDUs)))
+				n.m.DroppedOverrun.Add(uint64(len(in.PDUs)))
 			}
 		}
 	}
@@ -277,13 +277,17 @@ func (n *Net) Rejoin(i pdu.EntityID) {
 // Stats returns a snapshot of the network counters.
 func (n *Net) Stats() Stats {
 	return Stats{
-		Sent:             n.sent.Load(),
-		Delivered:        n.delivered.Load(),
-		DroppedLoss:      n.droppedLoss.Load(),
-		DroppedOverrun:   n.droppedOverrun.Load(),
-		DroppedPartition: n.droppedPartition.Load(),
+		Sent:             n.m.Sent.Load(),
+		Delivered:        n.m.Delivered.Load(),
+		DroppedLoss:      n.m.DroppedLoss.Load(),
+		DroppedOverrun:   n.m.DroppedOverrun.Load(),
+		DroppedPartition: n.m.DroppedPartition.Load(),
 	}
 }
+
+// Metrics returns the live counters for registry registration; the
+// returned pointer stays valid for the network's lifetime.
+func (n *Net) Metrics() *obsv.NetworkMetrics { return &n.m }
 
 // Close shuts the network down. Inboxes are closed after all channel
 // goroutines exit; in-flight PDUs may be discarded.
@@ -320,19 +324,19 @@ func (n *Net) transmit(from, to pdu.EntityID, batch []*pdu.PDU) error {
 	duplicated := n.cfg.duplicateRate > 0 && n.rng.Float64() < n.cfg.duplicateRate
 	n.mu.Unlock()
 
-	n.sent.Add(uint64(len(batch)))
+	n.m.Sent.Add(uint64(len(batch)))
 	if blocked {
-		n.droppedPartition.Add(uint64(len(batch)))
+		n.m.DroppedPartition.Add(uint64(len(batch)))
 		return nil
 	}
 	if lost {
-		n.droppedLoss.Add(uint64(len(batch)))
+		n.m.DroppedLoss.Add(uint64(len(batch)))
 		return nil
 	}
 	if n.cfg.drop != nil {
 		for _, p := range batch {
 			if n.cfg.drop(from, to, p) {
-				n.droppedLoss.Add(uint64(len(batch)))
+				n.m.DroppedLoss.Add(uint64(len(batch)))
 				return nil
 			}
 		}
@@ -352,7 +356,7 @@ func (n *Net) transmit(from, to pdu.EntityID, batch []*pdu.PDU) error {
 		select {
 		case n.ports[to].pipes[from] <- in:
 		default:
-			n.droppedOverrun.Add(uint64(len(in.PDUs)))
+			n.m.DroppedOverrun.Add(uint64(len(in.PDUs)))
 		}
 	}
 	return nil

@@ -1,0 +1,82 @@
+package obsv_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cobcast/internal/obsv"
+	"cobcast/internal/obsv/promtext"
+)
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := testRegistry()
+	srv, err := obsv.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	resp, body := get(t, base+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if _, err := promtext.Parse(strings.NewReader(string(body))); err != nil {
+		t.Fatalf("/metrics not valid exposition: %v", err)
+	}
+
+	resp, body = get(t, base+"/statez")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statez status %d", resp.StatusCode)
+	}
+	var statez obsv.Statez
+	if err := json.Unmarshal(body, &statez); err != nil {
+		t.Fatalf("/statez not valid JSON: %v", err)
+	}
+	if len(statez.Nodes) != 1 || statez.Nodes[0].Seq != 7 {
+		t.Fatalf("/statez content: %+v", statez)
+	}
+
+	resp, body = get(t, base+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatal("pprof index does not list profiles")
+	}
+
+	resp, _ = get(t, base+"/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, base+"/nosuch")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeBadAddress(t *testing.T) {
+	if _, err := obsv.Serve(obsv.NewRegistry(), "256.0.0.1:bad"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package obsv
+
+// EntityMetrics counts every protocol edge of one core.Entity. The
+// entity's owner goroutine increments; scrapers read concurrently via
+// atomic loads. All fields are inline (no pointers to chase) except
+// the histograms, which are allocated by NewEntityMetrics.
+type EntityMetrics struct {
+	// PDUs sent, by kind. DataSent counts sequenced DT broadcasts,
+	// SyncSent sequenced no-payload confirmations, AckOnlySent
+	// unsequenced ACKONLY PDUs, RetSent RET requests issued.
+	DataSent, SyncSent, AckOnlySent, RetSent Counter
+
+	// PDUs received, by kind (before any validity/duplicate checks).
+	DataRecv, SyncRecv, AckOnlyRecv, RetRecv Counter
+
+	// Acceptance pipeline (§4.2): accepted into AL, duplicates
+	// dropped, PDUs parked waiting for a predecessor.
+	Accepted, Duplicates, Parked Counter
+
+	// Loss detection (§4.3): F1 fires when a sequenced PDU arrives
+	// ahead of REQ for its source; F2 fires when an ACK vector
+	// reveals PDUs we have not seen.
+	F1Detections, F2Detections Counter
+
+	// RetServed counts selective retransmissions this entity served
+	// from its sendlog in response to RET PDUs.
+	RetServed Counter
+
+	// PACK/ACK transitions (§4.4–4.5) and the commit/delivery tail.
+	Preacked, Acked, Committed, Delivered Counter
+
+	// CPI (causality-preserved insertion) displacement: CPIDisplaced
+	// counts insertions that were not tail appends; CPIDisplacement
+	// sums how many entries each displaced insertion bypassed.
+	CPIDisplaced, CPIDisplacement Counter
+
+	// DeferredConfirms counts deferred-confirmation firings (§5):
+	// SYNC or ACKONLY PDUs emitted by the confirmation timer because
+	// the entity had been silent.
+	DeferredConfirms Counter
+
+	// FlowBlocked counts submissions stalled by the flow window;
+	// InvalidPDUs counts malformed or mis-addressed receptions.
+	FlowBlocked, InvalidPDUs Counter
+
+	// DeliverLatencyUS observes broadcast→local-deliver latency of
+	// this entity's own DATA PDUs, in microseconds. AckWaitUS
+	// observes accept→commit time (how long a PDU waited for the
+	// cluster to confirm it), in microseconds.
+	DeliverLatencyUS *Histogram
+	AckWaitUS        *Histogram
+}
+
+// NewEntityMetrics allocates an EntityMetrics with default histogram
+// boundaries.
+func NewEntityMetrics() *EntityMetrics {
+	return &EntityMetrics{
+		DeliverLatencyUS: NewHistogram(LatencyBucketsUS()...),
+		AckWaitUS:        NewHistogram(LatencyBucketsUS()...),
+	}
+}
+
+// LinkMetrics counts link-layer flush behaviour for one node.
+type LinkMetrics struct {
+	// Flushes counts flush operations that put at least one PDU on
+	// the wire; FlushedPDUs sums the PDUs across them. EarlyFlushes
+	// counts flushes forced mid-batch because the next PDU would
+	// have overflowed the datagram (wireLink) or batch cap (memLink).
+	Flushes, FlushedPDUs, EarlyFlushes Counter
+
+	// FlushBatch observes PDUs-per-flush.
+	FlushBatch *Histogram
+}
+
+// NewLinkMetrics allocates a LinkMetrics with default batch buckets.
+func NewLinkMetrics() *LinkMetrics {
+	return &LinkMetrics{FlushBatch: NewHistogram(BatchBuckets()...)}
+}
+
+// Flush records one flush of n PDUs, early if it was forced before the
+// loop went idle. Safe on a nil receiver.
+func (m *LinkMetrics) Flush(n int, early bool) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.Flushes.Inc()
+	m.FlushedPDUs.Add(uint64(n))
+	if early {
+		m.EarlyFlushes.Inc()
+	}
+	m.FlushBatch.Observe(uint64(n))
+}
+
+// TransportMetrics counts datagram-level UDP transport activity
+// (internal/udpnet). It is also the storage for udpnet's own Stats —
+// a single counting scheme rather than parallel sets of atomics.
+type TransportMetrics struct {
+	// Sent/Received count datagrams on the wire. Overrun counts
+	// inbound datagrams dropped because the receive queue was full,
+	// ReadErrors transient socket read errors, Oversize local sends
+	// rejected for exceeding the datagram budget.
+	Sent, Received, Overrun, ReadErrors, Oversize Counter
+}
+
+// NetworkMetrics counts the in-memory simulated network
+// (internal/network). All counters are in PDUs, not datagrams, so they
+// stay comparable across batching configurations: Sent counts
+// point-to-point PDU transmissions, Delivered PDUs handed to inboxes,
+// and the Dropped counters the fault classes.
+type NetworkMetrics struct {
+	Sent, Delivered                               Counter
+	DroppedLoss, DroppedOverrun, DroppedPartition Counter
+}
+
+// StateSnapshot is a consistent point-in-time copy of one entity's
+// protocol state, taken on the entity's owner goroutine (see
+// core.Entity.Snapshot). Plain slices and integers so it marshals
+// directly to JSON for /statez.
+type StateSnapshot struct {
+	Node string `json:"node"`
+
+	// Seq is the entity's own send sequence number; REQ[k] the next
+	// expected sequence from source k; Committed[k] the highest
+	// sequence from k confirmed by every live entity.
+	Seq       uint64   `json:"seq"`
+	REQ       []uint64 `json:"req"`
+	MinAL     []uint64 `json:"min_al"`
+	MinPAL    []uint64 `json:"min_pal"`
+	Committed []uint64 `json:"committed"`
+
+	// Log depths: RRL per source, PRL/ARL total, parked PDUs waiting
+	// for predecessors, sendlog PDUs retained for retransmission,
+	// submissions queued behind the flow window.
+	RRL            []int `json:"rrl"`
+	PRL            int   `json:"prl"`
+	ARL            int   `json:"arl"`
+	Parked         int   `json:"parked"`
+	SendLog        int   `json:"sendlog"`
+	PendingSubmits int   `json:"pending_submits"`
+
+	// DATA-specific depths: the ones a healthy cluster drains to zero
+	// at quiescence. Trailing SYNCs may legitimately remain in the
+	// aggregate depths above, so liveness questions ("is anything
+	// stuck?") should read these. ReleasePending counts DATA PDUs held
+	// by the total-order release stage (always 0 in CO mode).
+	ParkedData     int `json:"parked_data"`
+	SendLogData    int `json:"sendlog_data"`
+	DataResident   int `json:"data_resident"`
+	ReleasePending int `json:"release_pending"`
+
+	// BufFree is the remaining buffer allocation in units; BufUnits
+	// the configured total, so occupancy = BufUnits - BufFree.
+	BufFree  uint32 `json:"buf_free"`
+	BufUnits uint32 `json:"buf_units"`
+
+	// Quiescent reports whether the entity has no unconfirmed local
+	// sends and no buffered remote PDUs.
+	Quiescent bool `json:"quiescent"`
+}

@@ -1,0 +1,141 @@
+package obsv
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero value loads %d", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("got %d, want 8000", got)
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for _, v := range []uint64{5, 10, 11, 25, 31, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count %d, want 6", s.Count)
+	}
+	if s.Sum != 5+10+11+25+31+1000 {
+		t.Fatalf("sum %d", s.Sum)
+	}
+	// Cumulative: ≤10 → {5,10}=2; ≤20 → +{11}=3; ≤30 → +{25}=4; +Inf → 6.
+	want := []uint64{2, 3, 4, 6}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (full %v)", i, s.Cumulative[i], w, s.Cumulative)
+		}
+	}
+	if s.Cumulative[len(s.Cumulative)-1] != s.Count {
+		t.Fatal("last cumulative bucket != count")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // all in the first bucket
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %v, want 10 (first bound)", q)
+	}
+	h.Observe(1 << 40) // overflow bucket
+	s = h.Snapshot()
+	if q := s.Quantile(1.0); !math.IsInf(q, 1) {
+		t.Fatalf("p100 = %v, want +Inf", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(7) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+}
+
+func TestNewHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds accepted")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+func TestLinkMetricsFlushNilSafe(t *testing.T) {
+	var m *LinkMetrics
+	m.Flush(3, true) // must not panic
+	lm := NewLinkMetrics()
+	lm.Flush(0, false) // empty flushes are not recorded
+	if lm.Flushes.Load() != 0 {
+		t.Fatal("zero-PDU flush recorded")
+	}
+	lm.Flush(4, true)
+	lm.Flush(2, false)
+	if lm.Flushes.Load() != 2 || lm.FlushedPDUs.Load() != 6 || lm.EarlyFlushes.Load() != 1 {
+		t.Fatalf("flush counters: %d flushes, %d pdus, %d early",
+			lm.Flushes.Load(), lm.FlushedPDUs.Load(), lm.EarlyFlushes.Load())
+	}
+	if s := lm.FlushBatch.Snapshot(); s.Count != 2 || s.Sum != 6 {
+		t.Fatalf("batch histogram count=%d sum=%d", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LatencyBucketsUS()...)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 500; i++ {
+				h.Observe(i * 7)
+				_ = h.Snapshot() // concurrent snapshots must stay monotone
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 2000 {
+		t.Fatalf("count %d, want 2000", s.Count)
+	}
+	for i := 1; i < len(s.Cumulative); i++ {
+		if s.Cumulative[i] < s.Cumulative[i-1] {
+			t.Fatal("cumulative counts not monotone")
+		}
+	}
+}

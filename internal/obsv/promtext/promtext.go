@@ -1,0 +1,276 @@
+// Package promtext is a minimal validator for the Prometheus text
+// exposition format (version 0.0.4) — just enough parsing to let tests
+// assert that an endpoint's output is well-formed and to read sample
+// values back out. It is intentionally not a full client: no escaping
+// beyond what our renderer emits, no timestamps, no exemplars.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Sample is one metric line.
+type Sample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// suffix on histogram series.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: a # TYPE declaration plus its samples.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram
+	Help    string
+	Samples []Sample
+}
+
+// Families maps family name to its parsed family.
+type Families map[string]*Family
+
+// sampleLine matches `name{labels} value` or `name value`.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+
+// labelPair matches one `key="value"` pair.
+var labelPair = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+
+// Parse validates r as text exposition and returns the families. It
+// enforces the structural rules the format requires: every sample is
+// preceded by its family's single # TYPE line, sample names extend the
+// family name only with the histogram suffixes, values parse as floats,
+// and histogram series have monotone cumulative buckets whose +Inf
+// bucket equals their _count.
+func Parse(r io.Reader) (Families, error) {
+	fams := Families{}
+	var cur *Family
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: HELP without text: %q", lineNo, line)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			fams[name] = &Family{Name: name, Help: rest[len(name)+1:]}
+			cur = fams[name]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			f, ok := fams[name]
+			if !ok {
+				f = &Family{Name: name}
+				fams[name] = f
+			}
+			if f.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if len(f.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			f.Type = typ
+			cur = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name, rawLabels, rawValue := m[1], m[3], m[4]
+		labels := map[string]string{}
+		if rawLabels != "" {
+			for _, pair := range strings.Split(rawLabels, ",") {
+				lm := labelPair.FindStringSubmatch(pair)
+				if lm == nil {
+					return nil, fmt.Errorf("line %d: malformed label pair %q", lineNo, pair)
+				}
+				labels[lm[1]] = lm[2]
+			}
+		}
+		value, err := strconv.ParseFloat(rawValue, 64)
+		if err != nil && rawValue != "+Inf" && rawValue != "-Inf" && rawValue != "NaN" {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, rawValue, err)
+		}
+		f := familyFor(fams, cur, name)
+		if f == nil {
+			return nil, fmt.Errorf("line %d: sample %s outside any declared family", lineNo, name)
+		}
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyFor resolves which declared family a sample belongs to: its
+// exact name, or for histograms the name minus a _bucket/_sum/_count
+// suffix. cur breaks the tie in favour of the family being emitted.
+func familyFor(fams Families, cur *Family, sample string) *Family {
+	if cur != nil && sampleOf(cur, sample) {
+		return cur
+	}
+	for _, f := range fams {
+		if sampleOf(f, sample) {
+			return f
+		}
+	}
+	return nil
+}
+
+func sampleOf(f *Family, sample string) bool {
+	if sample == f.Name {
+		return f.Type != "histogram" && f.Type != "summary"
+	}
+	if f.Type == "histogram" || f.Type == "summary" {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if sample == f.Name+suf {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkHistogram verifies each labelled series (grouped by every label
+// except le) has monotone cumulative buckets, a +Inf bucket, and
+// +Inf == _count.
+func checkHistogram(f *Family) error {
+	type series struct {
+		last    float64
+		lastLE  string
+		inf     float64
+		hasInf  bool
+		count   float64
+		hasCnt  bool
+		buckets int
+	}
+	byKey := map[string]*series{}
+	key := func(labels map[string]string) string {
+		var parts []string
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		// Order-insensitive join is fine for a validity check.
+		for i := 0; i < len(parts); i++ {
+			for j := i + 1; j < len(parts); j++ {
+				if parts[j] < parts[i] {
+					parts[i], parts[j] = parts[j], parts[i]
+				}
+			}
+		}
+		return strings.Join(parts, ",")
+	}
+	get := func(labels map[string]string) *series {
+		k := key(labels)
+		s, ok := byKey[k]
+		if !ok {
+			s = &series{}
+			byKey[k] = s
+		}
+		return s
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			sr := get(s.Labels)
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			if s.Value < sr.last {
+				return fmt.Errorf("%s: bucket le=%q (%.0f) below previous le=%q (%.0f)",
+					f.Name, le, s.Value, sr.lastLE, sr.last)
+			}
+			sr.last, sr.lastLE = s.Value, le
+			sr.buckets++
+			if le == "+Inf" {
+				sr.inf, sr.hasInf = s.Value, true
+			}
+		case f.Name + "_count":
+			sr := get(s.Labels)
+			sr.count, sr.hasCnt = s.Value, true
+		}
+	}
+	for k, sr := range byKey {
+		if sr.buckets == 0 {
+			continue
+		}
+		if !sr.hasInf {
+			return fmt.Errorf("%s{%s}: no +Inf bucket", f.Name, k)
+		}
+		if !sr.hasCnt {
+			return fmt.Errorf("%s{%s}: no _count", f.Name, k)
+		}
+		if sr.inf != sr.count {
+			return fmt.Errorf("%s{%s}: +Inf bucket %.0f != count %.0f", f.Name, k, sr.inf, sr.count)
+		}
+	}
+	return nil
+}
+
+// Value sums the values of every sample in family name whose labels
+// include all of want. Missing families sum to 0 with ok=false.
+func (f Families) Value(name string, want map[string]string) (float64, bool) {
+	fam, ok := f[name]
+	if !ok {
+		return 0, false
+	}
+	var sum float64
+	matched := false
+	for _, s := range fam.Samples {
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			sum += s.Value
+			matched = true
+		}
+	}
+	return sum, matched
+}

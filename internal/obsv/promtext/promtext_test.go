@@ -1,0 +1,55 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAcceptsWellFormed(t *testing.T) {
+	in := `# HELP x_total Things.
+# TYPE x_total counter
+x_total{node="0"} 3
+x_total{node="1"} 4
+# HELP h_us Latency.
+# TYPE h_us histogram
+h_us_bucket{node="0",le="10"} 1
+h_us_bucket{node="0",le="+Inf"} 2
+h_us_sum{node="0"} 25
+h_us_count{node="0"} 2
+# HELP g Depth.
+# TYPE g gauge
+g{node="0"} 5
+`
+	fams, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fams.Value("x_total", nil); !ok || v != 7 {
+		t.Fatalf("x_total sum = %v (%v)", v, ok)
+	}
+	if v, ok := fams.Value("x_total", map[string]string{"node": "1"}); !ok || v != 4 {
+		t.Fatalf("x_total{node=1} = %v (%v)", v, ok)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without family": "x_total 3\n",
+		"duplicate TYPE":        "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"TYPE after samples":    "# HELP x h\nx 1\n# TYPE x counter\n",
+		"bad value":             "# TYPE x counter\nx banana\n",
+		"bad label pair":        "# TYPE x counter\nx{node=0} 1\n",
+		"unknown type":          "# TYPE x foo\nx 1\n",
+		"non-monotone buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"10\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"inf != count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"10\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"missing inf bucket": "# TYPE h histogram\n" +
+			"h_bucket{le=\"10\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, in)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// SnapshotFunc produces a point-in-time state snapshot of one entity.
+// ok is false when the snapshot could not be taken (for example the
+// node's loop was busy past the snapshot deadline); the scraper then
+// simply omits that node rather than blocking.
+type SnapshotFunc func() (StateSnapshot, bool)
+
+// Registry is the collection point the runtime publishes metrics into
+// and the HTTP endpoint scrapes from. Registration happens at node
+// construction; scraping happens on arbitrary goroutines. All counter
+// reads are atomic loads, so a scrape never blocks the protocol.
+type Registry struct {
+	mu         sync.Mutex
+	nodes      []nodeEntry
+	transports []labeledTransport
+	networks   []labeledNetwork
+}
+
+type nodeEntry struct {
+	label string
+	em    *EntityMetrics
+	lm    *LinkMetrics
+	snap  SnapshotFunc
+}
+
+type labeledTransport struct {
+	label string
+	m     *TransportMetrics
+}
+
+type labeledNetwork struct {
+	label string
+	m     *NetworkMetrics
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// uniqueLabel disambiguates duplicate labels (two clusters in one
+// process, say) by suffixing #2, #3, ... so Prometheus series stay
+// distinct.
+func uniqueLabel(label string, taken func(string) bool) string {
+	if !taken(label) {
+		return label
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s#%d", label, i)
+		if !taken(cand) {
+			return cand
+		}
+	}
+}
+
+// RegisterNode publishes one node's entity metrics, link metrics, and
+// snapshot provider under the given label. Any of the three may be
+// nil. It returns the (possibly disambiguated) label actually used.
+func (r *Registry) RegisterNode(label string, em *EntityMetrics, lm *LinkMetrics, snap SnapshotFunc) string {
+	if r == nil {
+		return label
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	label = uniqueLabel(label, func(s string) bool {
+		for _, n := range r.nodes {
+			if n.label == s {
+				return true
+			}
+		}
+		return false
+	})
+	r.nodes = append(r.nodes, nodeEntry{label: label, em: em, lm: lm, snap: snap})
+	return label
+}
+
+// RegisterTransport publishes one UDP transport's datagram counters.
+func (r *Registry) RegisterTransport(label string, m *TransportMetrics) string {
+	if r == nil || m == nil {
+		return label
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	label = uniqueLabel(label, func(s string) bool {
+		for _, t := range r.transports {
+			if t.label == s {
+				return true
+			}
+		}
+		return false
+	})
+	r.transports = append(r.transports, labeledTransport{label: label, m: m})
+	return label
+}
+
+// RegisterNetwork publishes one in-memory network's counters.
+func (r *Registry) RegisterNetwork(label string, m *NetworkMetrics) string {
+	if r == nil || m == nil {
+		return label
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	label = uniqueLabel(label, func(s string) bool {
+		for _, n := range r.networks {
+			if n.label == s {
+				return true
+			}
+		}
+		return false
+	})
+	r.networks = append(r.networks, labeledNetwork{label: label, m: m})
+	return label
+}
+
+// snapshotLists copies the registration lists so rendering happens
+// without holding the registry lock.
+func (r *Registry) snapshotLists() (nodes []nodeEntry, transports []labeledTransport, networks []labeledNetwork) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nodes = append(nodes, r.nodes...)
+	transports = append(transports, r.transports...)
+	networks = append(networks, r.networks...)
+	return
+}
+
+// entityCounterFamilies maps EntityMetrics fields onto Prometheus
+// counter families. Families with a kind/cond label share one TYPE
+// line across variants, as the exposition format requires.
+type entitySample struct {
+	extra string // extra label pair rendered verbatim, e.g. `,kind="data"`
+	get   func(*EntityMetrics) *Counter
+}
+
+type entityFamily struct {
+	name, help string
+	samples    []entitySample
+}
+
+var entityCounterFamilies = []entityFamily{
+	{"cobcast_pdus_sent_total", "PDUs sent by this entity, by kind.", []entitySample{
+		{`,kind="data"`, func(m *EntityMetrics) *Counter { return &m.DataSent }},
+		{`,kind="sync"`, func(m *EntityMetrics) *Counter { return &m.SyncSent }},
+		{`,kind="ackonly"`, func(m *EntityMetrics) *Counter { return &m.AckOnlySent }},
+		{`,kind="ret"`, func(m *EntityMetrics) *Counter { return &m.RetSent }},
+	}},
+	{"cobcast_pdus_received_total", "PDUs received by this entity, by kind.", []entitySample{
+		{`,kind="data"`, func(m *EntityMetrics) *Counter { return &m.DataRecv }},
+		{`,kind="sync"`, func(m *EntityMetrics) *Counter { return &m.SyncRecv }},
+		{`,kind="ackonly"`, func(m *EntityMetrics) *Counter { return &m.AckOnlyRecv }},
+		{`,kind="ret"`, func(m *EntityMetrics) *Counter { return &m.RetRecv }},
+	}},
+	{"cobcast_accepted_total", "Sequenced PDUs accepted into the acknowledge list.", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.Accepted }},
+	}},
+	{"cobcast_duplicates_total", "Duplicate sequenced PDUs discarded.", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.Duplicates }},
+	}},
+	{"cobcast_parked_total", "Out-of-order PDUs parked awaiting a predecessor.", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.Parked }},
+	}},
+	{"cobcast_loss_detections_total", "Loss detections by condition: F1 = sequence gap, F2 = ACK-vector evidence.", []entitySample{
+		{`,cond="f1"`, func(m *EntityMetrics) *Counter { return &m.F1Detections }},
+		{`,cond="f2"`, func(m *EntityMetrics) *Counter { return &m.F2Detections }},
+	}},
+	{"cobcast_retransmissions_served_total", "Selective retransmissions served from the send log.", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.RetServed }},
+	}},
+	{"cobcast_preacked_total", "PDUs moved to the pre-acknowledged list (PACK transition).", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.Preacked }},
+	}},
+	{"cobcast_acked_total", "PDUs fully acknowledged (ACK transition).", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.Acked }},
+	}},
+	{"cobcast_committed_total", "PDUs committed (confirmed cluster-wide, ready for delivery ordering).", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.Committed }},
+	}},
+	{"cobcast_delivered_total", "Messages delivered to the application.", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.Delivered }},
+	}},
+	{"cobcast_cpi_displaced_total", "CPI insertions that were not tail appends.", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.CPIDisplaced }},
+	}},
+	{"cobcast_cpi_displacement_positions_total", "Total list positions bypassed by displaced CPI insertions.", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.CPIDisplacement }},
+	}},
+	{"cobcast_deferred_confirms_total", "Deferred-confirmation timer firings (SYNC/ACKONLY emitted).", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.DeferredConfirms }},
+	}},
+	{"cobcast_flow_blocked_total", "Submissions stalled by the flow window.", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.FlowBlocked }},
+	}},
+	{"cobcast_invalid_pdus_total", "Malformed or mis-addressed PDUs rejected.", []entitySample{
+		{"", func(m *EntityMetrics) *Counter { return &m.InvalidPDUs }},
+	}},
+}
+
+var linkCounterFamilies = []struct {
+	name, help string
+	get        func(*LinkMetrics) *Counter
+}{
+	{"cobcast_link_flushes_total", "Link flushes that put at least one PDU on the wire.", func(m *LinkMetrics) *Counter { return &m.Flushes }},
+	{"cobcast_link_flushed_pdus_total", "PDUs flushed by the link layer.", func(m *LinkMetrics) *Counter { return &m.FlushedPDUs }},
+	{"cobcast_link_early_flushes_total", "Flushes forced mid-batch by the datagram/batch cap.", func(m *LinkMetrics) *Counter { return &m.EarlyFlushes }},
+}
+
+var transportCounterFamilies = []struct {
+	name, help string
+	get        func(*TransportMetrics) *Counter
+}{
+	{"cobcast_transport_datagrams_sent_total", "Datagrams sent by the UDP transport.", func(m *TransportMetrics) *Counter { return &m.Sent }},
+	{"cobcast_transport_datagrams_received_total", "Datagrams received by the UDP transport.", func(m *TransportMetrics) *Counter { return &m.Received }},
+	{"cobcast_transport_overruns_total", "Inbound datagrams dropped on receive-queue overrun.", func(m *TransportMetrics) *Counter { return &m.Overrun }},
+	{"cobcast_transport_read_errors_total", "Transient socket read errors.", func(m *TransportMetrics) *Counter { return &m.ReadErrors }},
+	{"cobcast_transport_oversize_total", "Local sends rejected for exceeding the datagram budget.", func(m *TransportMetrics) *Counter { return &m.Oversize }},
+}
+
+// WriteMetrics renders every registered metric in Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	nodes, transports, networks := r.snapshotLists()
+
+	bw := &errWriter{w: w}
+	for _, fam := range entityCounterFamilies {
+		wroteHeader := false
+		for _, n := range nodes {
+			if n.em == nil {
+				continue
+			}
+			if !wroteHeader {
+				bw.printf("# HELP %s %s\n# TYPE %s counter\n", fam.name, fam.help, fam.name)
+				wroteHeader = true
+			}
+			for _, s := range fam.samples {
+				bw.printf("%s{node=%q%s} %d\n", fam.name, n.label, s.extra, s.get(n.em).Load())
+			}
+		}
+	}
+	writeHistFamily(bw, "cobcast_deliver_latency_us", "Broadcast-to-deliver latency of own DATA PDUs, microseconds.", nodes,
+		func(m *EntityMetrics) *Histogram { return m.DeliverLatencyUS })
+	writeHistFamily(bw, "cobcast_ack_wait_us", "Accept-to-commit wait per PDU, microseconds.", nodes,
+		func(m *EntityMetrics) *Histogram { return m.AckWaitUS })
+
+	for _, fam := range linkCounterFamilies {
+		wroteHeader := false
+		for _, n := range nodes {
+			if n.lm == nil {
+				continue
+			}
+			if !wroteHeader {
+				bw.printf("# HELP %s %s\n# TYPE %s counter\n", fam.name, fam.help, fam.name)
+				wroteHeader = true
+			}
+			bw.printf("%s{node=%q} %d\n", fam.name, n.label, fam.get(n.lm).Load())
+		}
+	}
+	{
+		wroteHeader := false
+		for _, n := range nodes {
+			if n.lm == nil || n.lm.FlushBatch == nil {
+				continue
+			}
+			if !wroteHeader {
+				bw.printf("# HELP cobcast_link_flush_batch_pdus PDUs per link flush.\n# TYPE cobcast_link_flush_batch_pdus histogram\n")
+				wroteHeader = true
+			}
+			writeHistogram(bw, "cobcast_link_flush_batch_pdus", n.label, n.lm.FlushBatch.Snapshot())
+		}
+	}
+
+	for _, fam := range transportCounterFamilies {
+		wroteHeader := false
+		for _, t := range transports {
+			if !wroteHeader {
+				bw.printf("# HELP %s %s\n# TYPE %s counter\n", fam.name, fam.help, fam.name)
+				wroteHeader = true
+			}
+			bw.printf("%s{transport=%q} %d\n", fam.name, t.label, fam.get(t.m).Load())
+		}
+	}
+
+	if len(networks) > 0 {
+		bw.printf("# HELP cobcast_net_pdus_sent_total Point-to-point PDU transmissions on the in-memory network.\n# TYPE cobcast_net_pdus_sent_total counter\n")
+		for _, n := range networks {
+			bw.printf("cobcast_net_pdus_sent_total{net=%q} %d\n", n.label, n.m.Sent.Load())
+		}
+		bw.printf("# HELP cobcast_net_pdus_delivered_total PDUs delivered by the in-memory network.\n# TYPE cobcast_net_pdus_delivered_total counter\n")
+		for _, n := range networks {
+			bw.printf("cobcast_net_pdus_delivered_total{net=%q} %d\n", n.label, n.m.Delivered.Load())
+		}
+		bw.printf("# HELP cobcast_net_pdus_dropped_total PDUs dropped by the in-memory network, by fault class.\n# TYPE cobcast_net_pdus_dropped_total counter\n")
+		for _, n := range networks {
+			bw.printf("cobcast_net_pdus_dropped_total{net=%q,cause=\"loss\"} %d\n", n.label, n.m.DroppedLoss.Load())
+			bw.printf("cobcast_net_pdus_dropped_total{net=%q,cause=\"overrun\"} %d\n", n.label, n.m.DroppedOverrun.Load())
+			bw.printf("cobcast_net_pdus_dropped_total{net=%q,cause=\"partition\"} %d\n", n.label, n.m.DroppedPartition.Load())
+		}
+	}
+
+	// Live-state gauges, derived from whatever snapshots are
+	// obtainable right now. Nodes whose snapshot provider declines
+	// (busy loop) are omitted from this scrape.
+	var snaps []snappedNode
+	for _, n := range nodes {
+		if n.snap == nil {
+			continue
+		}
+		if s, ok := n.snap(); ok {
+			snaps = append(snaps, snappedNode{n.label, s})
+		}
+	}
+	writeGauge(bw, "cobcast_seq", "Entity send sequence number.", snaps, func(s StateSnapshot) int64 { return int64(s.Seq) })
+	writeGauge(bw, "cobcast_rrl_depth", "Receive/retransmission list depth, summed over sources.", snaps, func(s StateSnapshot) int64 {
+		var t int64
+		for _, d := range s.RRL {
+			t += int64(d)
+		}
+		return t
+	})
+	writeGauge(bw, "cobcast_prl_depth", "Pre-acknowledged list depth.", snaps, func(s StateSnapshot) int64 { return int64(s.PRL) })
+	writeGauge(bw, "cobcast_arl_depth", "Acknowledged (commit-ready) list depth.", snaps, func(s StateSnapshot) int64 { return int64(s.ARL) })
+	writeGauge(bw, "cobcast_parked_pdus", "PDUs parked awaiting predecessors.", snaps, func(s StateSnapshot) int64 { return int64(s.Parked) })
+	writeGauge(bw, "cobcast_data_resident", "Accepted-but-undelivered DATA PDUs (drains to 0 at quiescence).", snaps, func(s StateSnapshot) int64 { return int64(s.DataResident) })
+	writeGauge(bw, "cobcast_sendlog_pdus", "PDUs retained in the send log for retransmission.", snaps, func(s StateSnapshot) int64 { return int64(s.SendLog) })
+	writeGauge(bw, "cobcast_pending_submits", "Submissions queued behind the flow window.", snaps, func(s StateSnapshot) int64 { return int64(s.PendingSubmits) })
+	writeGauge(bw, "cobcast_buf_free_units", "Remaining buffer allocation, units.", snaps, func(s StateSnapshot) int64 { return int64(s.BufFree) })
+	writeGauge(bw, "cobcast_buf_total_units", "Configured buffer size, units.", snaps, func(s StateSnapshot) int64 { return int64(s.BufUnits) })
+	writeGauge(bw, "cobcast_quiescent", "1 when the entity has no unconfirmed or buffered PDUs.", snaps, func(s StateSnapshot) int64 {
+		if s.Quiescent {
+			return 1
+		}
+		return 0
+	})
+	return bw.err
+}
+
+type snappedNode struct {
+	label string
+	s     StateSnapshot
+}
+
+func writeGauge(bw *errWriter, name, help string, snaps []snappedNode, get func(StateSnapshot) int64) {
+	if len(snaps) == 0 {
+		return
+	}
+	bw.printf("# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	for _, sn := range snaps {
+		bw.printf("%s{node=%q} %d\n", name, sn.label, get(sn.s))
+	}
+}
+
+func writeHistFamily(bw *errWriter, name, help string, nodes []nodeEntry, get func(*EntityMetrics) *Histogram) {
+	wroteHeader := false
+	for _, n := range nodes {
+		if n.em == nil || get(n.em) == nil {
+			continue
+		}
+		if !wroteHeader {
+			bw.printf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+			wroteHeader = true
+		}
+		writeHistogram(bw, name, n.label, get(n.em).Snapshot())
+	}
+}
+
+func writeHistogram(bw *errWriter, name, node string, s HistogramSnapshot) {
+	for i, b := range s.Bounds {
+		bw.printf("%s_bucket{node=%q,le=\"%d\"} %d\n", name, node, b, s.Cumulative[i])
+	}
+	bw.printf("%s_bucket{node=%q,le=\"+Inf\"} %d\n", name, node, s.Count)
+	bw.printf("%s_sum{node=%q} %d\n", name, node, s.Sum)
+	bw.printf("%s_count{node=%q} %d\n", name, node, s.Count)
+}
+
+// errWriter latches the first write error so render code stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Statez is the JSON document served at /statez: one entry per node
+// whose snapshot could be taken, sorted by label.
+type Statez struct {
+	Nodes []StateSnapshot `json:"nodes"`
+}
+
+// Statez collects the current state snapshots.
+func (r *Registry) Statez() Statez {
+	nodes, _, _ := r.snapshotLists()
+	var out Statez
+	for _, n := range nodes {
+		if n.snap == nil {
+			continue
+		}
+		if s, ok := n.snap(); ok {
+			if s.Node == "" {
+				s.Node = n.label
+			}
+			out.Nodes = append(out.Nodes, s)
+		}
+	}
+	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Node < out.Nodes[j].Node })
+	return out
+}
+
+// WriteStatez renders the state snapshots as indented JSON.
+func (r *Registry) WriteStatez(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Statez())
+}

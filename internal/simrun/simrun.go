@@ -9,9 +9,12 @@ package simrun
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"cobcast/internal/core"
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/sim"
 	"cobcast/internal/trace"
@@ -37,6 +40,12 @@ type Options struct {
 	// entity processes it (used to capture realistic PDU streams for
 	// replay microbenchmarks).
 	PDUTap func(to, from pdu.EntityID, p *pdu.PDU)
+	// Registry, if set, receives each entity's live metrics and a state
+	// snapshot provider, so an obsv HTTP endpoint can watch a simulated
+	// run. Snapshot providers serialize against the simulation steps of
+	// RunToQuiescence via the cluster's step mutex; callers stepping
+	// c.Sim directly while a scraper is live should hold c.StepLock.
+	Registry *obsv.Registry
 }
 
 // Cluster is a simulated CO-protocol cluster.
@@ -48,6 +57,10 @@ type Cluster struct {
 
 	// Delivered[i] is entity i's delivery sequence.
 	Delivered [][]core.Delivery
+
+	// StepLock serializes virtual-time stepping against concurrent
+	// state-snapshot scrapes; RunToQuiescence holds it across each step.
+	StepLock sync.Mutex
 
 	n         int
 	tickEvery time.Duration
@@ -81,11 +94,22 @@ func New(opts Options) (*Cluster, error) {
 	cfg.Tracer = c.Recorder
 	for i := 0; i < opts.N; i++ {
 		cfg.ID = pdu.EntityID(i)
+		cfg.Metrics = nil
+		if opts.Registry != nil {
+			cfg.Metrics = obsv.NewEntityMetrics()
+		}
 		ent, err := core.New(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("simrun: entity %d: %w", i, err)
 		}
 		c.Entities[i] = ent
+		if opts.Registry != nil {
+			opts.Registry.RegisterNode(strconv.Itoa(i), cfg.Metrics, nil, func() (obsv.StateSnapshot, bool) {
+				c.StepLock.Lock()
+				defer c.StepLock.Unlock()
+				return ent.Snapshot(), true
+			})
+		}
 	}
 	c.tickEvery = opts.TickEvery
 	if c.tickEvery == 0 {
@@ -199,8 +223,11 @@ func (c *Cluster) Quiescent() bool {
 func (c *Cluster) RunToQuiescence(deadline time.Duration) (time.Duration, error) {
 	step := c.tickEvery
 	for c.Sim.Now() < deadline {
+		c.StepLock.Lock()
 		c.Sim.RunFor(step)
-		if c.AllDelivered() && c.Quiescent() {
+		done := c.AllDelivered() && c.Quiescent()
+		c.StepLock.Unlock()
+		if done {
 			return c.Sim.Now(), nil
 		}
 	}
@@ -251,13 +278,23 @@ func (c *Cluster) TotalStats() core.Stats {
 		t.SyncSent += s.SyncSent
 		t.AckOnlySent += s.AckOnlySent
 		t.RetSent += s.RetSent
+		t.DataRecv += s.DataRecv
+		t.SyncRecv += s.SyncRecv
+		t.AckOnlyRecv += s.AckOnlyRecv
+		t.RetRecv += s.RetRecv
 		t.Accepted += s.Accepted
 		t.Duplicates += s.Duplicates
 		t.Parked += s.Parked
+		t.F1Detections += s.F1Detections
+		t.F2Detections += s.F2Detections
 		t.Retransmitted += s.Retransmitted
 		t.Preacked += s.Preacked
 		t.Acked += s.Acked
+		t.Committed += s.Committed
 		t.Delivered += s.Delivered
+		t.CPIDisplaced += s.CPIDisplaced
+		t.CPIDisplacement += s.CPIDisplacement
+		t.DeferredConfirms += s.DeferredConfirms
 		t.FlowBlocked += s.FlowBlocked
 		t.InvalidPDUs += s.InvalidPDUs
 		if s.MaxResident > t.MaxResident {

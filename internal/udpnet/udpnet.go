@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 )
 
@@ -51,11 +51,12 @@ type Transport struct {
 	closeOnce sync.Once
 	closeErr  error
 
-	sent       atomic.Uint64
-	received   atomic.Uint64
-	overrun    atomic.Uint64
-	readErrors atomic.Uint64
-	oversize   atomic.Uint64
+	// m holds the transport counters on the shared obsv atomic type —
+	// the single counting scheme for the whole runtime. The send path
+	// (Broadcast, caller goroutine) and the receive path (readLoop
+	// goroutine) write disjoint counters; Stats and registry scrapers
+	// read from any goroutine via atomic loads.
+	m obsv.TransportMetrics
 }
 
 // New binds a UDP socket on local (e.g. "127.0.0.1:9001") and targets the
@@ -100,13 +101,17 @@ func (t *Transport) LocalAddr() string { return t.conn.LocalAddr().String() }
 // Stats returns a snapshot of the transport counters.
 func (t *Transport) Stats() Stats {
 	return Stats{
-		Sent:       t.sent.Load(),
-		Received:   t.received.Load(),
-		Overrun:    t.overrun.Load(),
-		ReadErrors: t.readErrors.Load(),
-		Oversize:   t.oversize.Load(),
+		Sent:       t.m.Sent.Load(),
+		Received:   t.m.Received.Load(),
+		Overrun:    t.m.Overrun.Load(),
+		ReadErrors: t.m.ReadErrors.Load(),
+		Oversize:   t.m.Oversize.Load(),
 	}
 }
+
+// Metrics returns the live counters for registry registration; the
+// returned pointer stays valid for the transport's lifetime.
+func (t *Transport) Metrics() *obsv.TransportMetrics { return &t.m }
 
 // Broadcast sends the datagram to every peer. Oversize datagrams are
 // rejected with ErrDatagramTooLarge before touching the socket; per-peer
@@ -114,7 +119,7 @@ func (t *Transport) Stats() Stats {
 // problem to repair.
 func (t *Transport) Broadcast(datagram []byte) error {
 	if len(datagram) > MaxDatagram {
-		t.oversize.Add(1)
+		t.m.Oversize.Inc()
 		return fmt.Errorf("%w: %d bytes > %d", ErrDatagramTooLarge, len(datagram), MaxDatagram)
 	}
 	select {
@@ -124,7 +129,7 @@ func (t *Transport) Broadcast(datagram []byte) error {
 	}
 	for _, addr := range t.peers {
 		if _, err := t.conn.WriteToUDP(datagram, addr); err == nil {
-			t.sent.Add(1)
+			t.m.Sent.Inc()
 		}
 	}
 	return nil
@@ -161,17 +166,17 @@ func (t *Transport) readLoop() {
 			case <-t.stop:
 				return
 			default:
-				t.readErrors.Add(1)
+				t.m.ReadErrors.Inc()
 				continue
 			}
 		}
 		select {
 		case t.recv <- buf[:n]:
-			t.received.Add(1)
+			t.m.Received.Inc()
 		default:
 			// Receive-buffer overrun: the paper's loss model, repaired
 			// by the CO protocol's selective retransmission.
-			t.overrun.Add(1)
+			t.m.Overrun.Inc()
 			pdu.PutDatagram(buf)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"cobcast/internal/network"
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 )
 
@@ -47,6 +48,9 @@ type link interface {
 	// close stops the link's pump goroutine and closes a transport the
 	// link owns. It is idempotent.
 	close() error
+	// instrument attaches flush metrics. Must be called before the loop
+	// goroutine starts using the link (node construction); nil detaches.
+	instrument(m *obsv.LinkMetrics)
 }
 
 // memBatchMax bounds how many PDUs a memLink stages before flushing
@@ -60,6 +64,7 @@ const memBatchMax = 128
 type memLink struct {
 	port  *network.Port
 	batch []*pdu.PDU
+	lm    *obsv.LinkMetrics // nil unless instrumented
 	in    chan inbound
 	stop  chan struct{}
 	done  chan struct{}
@@ -81,20 +86,25 @@ func newMemLink(port *network.Port) *memLink {
 func (l *memLink) append(p *pdu.PDU) {
 	l.batch = append(l.batch, p)
 	if len(l.batch) >= memBatchMax {
-		l.flush()
+		l.flushBatch(true)
 	}
 }
 
-func (l *memLink) flush() {
+func (l *memLink) flush() { l.flushBatch(false) }
+
+func (l *memLink) flushBatch(early bool) {
 	if len(l.batch) == 0 {
 		return
 	}
+	l.lm.Flush(len(l.batch), early)
 	_ = l.port.Broadcast(l.batch...) // fails only on Close
 	for i := range l.batch {
 		l.batch[i] = nil
 	}
 	l.batch = l.batch[:0]
 }
+
+func (l *memLink) instrument(m *obsv.LinkMetrics) { l.lm = m }
 
 func (l *memLink) recv() <-chan inbound { return l.in }
 
@@ -148,10 +158,11 @@ type wireLink struct {
 	sendBuf []byte
 	dec     pdu.FrameDecoder
 	scratch pdu.PDU
-	in   chan inbound
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
+	lm      *obsv.LinkMetrics // nil unless instrumented
+	in      chan inbound
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
 }
 
 func newWireLink(trans Transport) *wireLink {
@@ -169,17 +180,20 @@ func newWireLink(trans Transport) *wireLink {
 
 func (l *wireLink) append(p *pdu.PDU) {
 	if l.enc.Count() > 0 && l.enc.Size()+pdu.FrameEntrySize+p.EncodedSize() > MaxDatagram {
-		l.flush()
+		l.flushFrame(true)
 	}
 	// An Append error means the PDU itself cannot be encoded (field
 	// overflow); dropping it is indistinguishable from transport loss.
 	_ = l.enc.Append(p)
 }
 
-func (l *wireLink) flush() {
+func (l *wireLink) flush() { l.flushFrame(false) }
+
+func (l *wireLink) flushFrame(early bool) {
 	if l.enc.Count() == 0 {
 		return
 	}
+	l.lm.Flush(l.enc.Count(), early)
 	b := l.enc.Bytes()
 	// Loss and oversize are the transport's to count; the protocol
 	// repairs both via selective retransmission.
@@ -187,6 +201,8 @@ func (l *wireLink) flush() {
 	l.sendBuf = b[:0]
 	l.enc.Begin(l.sendBuf)
 }
+
+func (l *wireLink) instrument(m *obsv.LinkMetrics) { l.lm = m }
 
 func (l *wireLink) recv() <-chan inbound { return l.in }
 

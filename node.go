@@ -3,10 +3,12 @@ package cobcast
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"cobcast/internal/core"
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 )
 
@@ -53,6 +55,7 @@ type Node struct {
 	evicts   chan evictReq
 	statsReq chan chan core.Stats
 	idleReq  chan chan bool
+	snapReq  chan chan obsv.StateSnapshot
 	deliver  chan Message
 	queue    deliveryQueue
 	start    time.Time
@@ -75,11 +78,31 @@ func NewNode(id, n int, trans Transport, opts ...Option) (*Node, error) {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	return newNode(id, n, o, newWireLink(trans))
+	nd, err := newNode(id, n, o, newWireLink(trans))
+	if err != nil {
+		return nil, err
+	}
+	if o.registry != nil {
+		// A transport that exposes live counters (UDPTransport does)
+		// publishes them alongside the node's metrics.
+		if tm, ok := trans.(interface{ Metrics() *obsv.TransportMetrics }); ok {
+			o.registry.RegisterTransport(strconv.Itoa(id), tm.Metrics())
+		}
+	}
+	return nd, nil
 }
 
 func newNode(id, n int, o options, lk link) (*Node, error) {
-	ent, err := core.New(o.coreConfig(id, n))
+	cfg := o.coreConfig(id, n)
+	var em *obsv.EntityMetrics
+	var lm *obsv.LinkMetrics
+	if o.registry != nil {
+		em = obsv.NewEntityMetrics()
+		lm = obsv.NewLinkMetrics()
+		cfg.Metrics = em
+		lk.instrument(lm)
+	}
+	ent, err := core.New(cfg)
 	if err != nil {
 		_ = lk.close()
 		return nil, fmt.Errorf("cobcast: node %d: %w", id, err)
@@ -93,6 +116,7 @@ func newNode(id, n int, o options, lk link) (*Node, error) {
 		evicts:   make(chan evictReq),
 		statsReq: make(chan chan core.Stats),
 		idleReq:  make(chan chan bool),
+		snapReq:  make(chan chan obsv.StateSnapshot),
 		deliver:  make(chan Message),
 		start:    time.Now(),
 		tick:     o.tick(),
@@ -102,6 +126,9 @@ func newNode(id, n int, o options, lk link) (*Node, error) {
 	}
 	go nd.loop()
 	go nd.pump()
+	if o.registry != nil {
+		o.registry.RegisterNode(strconv.Itoa(id), em, lm, nd.StateSnapshot)
+	}
 	return nd, nil
 }
 
@@ -195,6 +222,33 @@ func (nd *Node) Stats() Stats {
 	}
 }
 
+// snapshotTimeout bounds how long a scraper waits for the loop to
+// service a state-snapshot request; a loop busy past it simply drops
+// off that scrape rather than stalling the endpoint.
+const snapshotTimeout = 100 * time.Millisecond
+
+// StateSnapshot returns a consistent copy of the node's live protocol
+// state (sequence numbers, confirmation minima, log depths, buffer
+// occupancy), taken between inputs on the protocol loop. ok is false
+// if the loop stayed busy past an internal timeout. It is the node's
+// obsv.SnapshotFunc; the registry and /statez call it on scrapes.
+func (nd *Node) StateSnapshot() (obsv.StateSnapshot, bool) {
+	// Buffered so the loop's reply never blocks on a scraper that
+	// already timed out and walked away.
+	reply := make(chan obsv.StateSnapshot, 1)
+	timer := time.NewTimer(snapshotTimeout)
+	defer timer.Stop()
+	select {
+	case nd.snapReq <- reply:
+		return <-reply, true
+	case <-nd.loopDone:
+		// Loop exited: the entity is no longer mutated, read directly.
+		return nd.ent.Snapshot(), true
+	case <-timer.C:
+		return obsv.StateSnapshot{}, false
+	}
+}
+
 // Close stops the node's goroutines, closes its transport (when created
 // via NewNode) and closes the delivery channel.
 func (nd *Node) Close() error {
@@ -244,6 +298,8 @@ func (nd *Node) loop() {
 			reply <- nd.ent.Stats()
 		case reply := <-nd.idleReq:
 			reply <- nd.ent.Quiescent()
+		case reply := <-nd.snapReq:
+			reply <- nd.ent.Snapshot()
 		}
 		// …then drain everything already pending without blocking, so
 		// the PDUs all of it produces share one flush.
@@ -267,6 +323,8 @@ func (nd *Node) loop() {
 				reply <- nd.ent.Stats()
 			case reply := <-nd.idleReq:
 				reply <- nd.ent.Quiescent()
+			case reply := <-nd.snapReq:
+				reply <- nd.ent.Snapshot()
 			default:
 				drained = true
 			}

@@ -1,0 +1,53 @@
+// Package obsv is the public face of cobcast's live-introspection
+// layer. The implementation lives in internal/obsv so that the sans-IO
+// engine can depend on it; this package re-exports (as type aliases,
+// so values flow freely between the two import paths) exactly what an
+// embedding application needs:
+//
+//	reg := obsv.NewRegistry()
+//	cluster, _ := cobcast.NewCluster(4, cobcast.WithObservability(reg))
+//	srv, _ := obsv.Serve(reg, "127.0.0.1:9090")
+//	defer srv.Close()
+//
+// The served endpoint exposes Prometheus text exposition at /metrics,
+// JSON per-node protocol state at /statez, and net/http/pprof under
+// /debug/pprof/. Applications with their own HTTP server can mount
+// Handler(reg) instead, or render directly with Registry.WriteMetrics
+// and Registry.WriteStatez.
+package obsv
+
+import (
+	"net/http"
+
+	"cobcast/internal/obsv"
+)
+
+type (
+	// Registry collects the metrics and snapshot providers of every
+	// node, transport, and network registered with it, and renders
+	// them as /metrics and /statez documents.
+	Registry = obsv.Registry
+
+	// Server is a running observability endpoint started by Serve.
+	Server = obsv.Server
+
+	// Statez is the /statez document: one StateSnapshot per node.
+	Statez = obsv.Statez
+
+	// StateSnapshot is a consistent point-in-time copy of one node's
+	// protocol state (SEQ/REQ/minAL/minPAL/committed vectors, log
+	// depths, buffer occupancy, quiescence).
+	StateSnapshot = obsv.StateSnapshot
+)
+
+// NewRegistry returns an empty Registry ready to be passed to
+// cobcast.WithObservability and Serve.
+func NewRegistry() *Registry { return obsv.NewRegistry() }
+
+// Serve starts the observability endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") and serves it in a background goroutine until Close.
+func Serve(reg *Registry, addr string) (*Server, error) { return obsv.Serve(reg, addr) }
+
+// Handler returns an http.Handler serving the registry on a private
+// mux, for embedding into an application's own HTTP server.
+func Handler(reg *Registry) http.Handler { return obsv.Handler(reg) }

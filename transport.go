@@ -1,6 +1,7 @@
 package cobcast
 
 import (
+	"cobcast/internal/obsv"
 	"cobcast/internal/udpnet"
 )
 
@@ -66,6 +67,10 @@ func (u *UDPTransport) Stats() TransportStats {
 		Oversize:   s.Oversize,
 	}
 }
+
+// Metrics exposes the transport's live counters; NewNode uses it to
+// register the transport with a WithObservability registry.
+func (u *UDPTransport) Metrics() *obsv.TransportMetrics { return u.t.Metrics() }
 
 // Broadcast implements Transport. The datagram (one batch frame) is
 // handed to the kernel before returning, so the caller may reuse the
