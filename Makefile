@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+# The benchmarks pinned by the latest BENCH_PR*.json "benchmarks" map;
+# benchdiff reruns exactly these. SnapshotInto lives in internal/core.
+BENCHDIFF_PATTERN = HotPath|Fig8Tco|FrameCodec|MarshalAppend$$
+
+.PHONY: check vet build test race bench benchdiff
 
 ## check: the full pre-merge gate (vet + build + race tests + bench smoke)
 check:
@@ -21,3 +25,12 @@ race:
 ## bench: every paper table/figure benchmark with allocation stats
 bench:
 	$(GO) test . -run '^$$' -bench . -benchmem
+
+## benchdiff: opt-in perf gate — rerun the pinned hot-path benchmarks
+## and diff against the latest BENCH_PR*.json baseline; >10% ns/op or
+## any allocs/op growth fails. Also reachable via BENCHDIFF=1 make check.
+benchdiff:
+	@tmp=$$(mktemp); trap "rm -f $$tmp" EXIT; \
+	$(GO) test . -run '^$$' -bench '$(BENCHDIFF_PATTERN)' -benchtime 0.5s -benchmem > $$tmp && \
+	$(GO) test ./internal/core -run '^$$' -bench 'SnapshotInto' -benchtime 0.5s -benchmem >> $$tmp && \
+	$(GO) run ./scripts/benchdiff -input $$tmp

@@ -25,6 +25,11 @@ import (
 
 var benchSizes = []int{2, 4, 8, 16}
 
+// hotSizes extends the hot-path sweeps (Fig8Tco, HotPathPipeline) to the
+// cluster scales the delta-stamp codec targets: the O(n) ACK vector only
+// dominates the wire and fold cost from n≈64 up (experiment E12).
+var hotSizes = []int{2, 4, 8, 16, 64, 128}
+
 // captureStream records the PDUs arriving at entity 0 during a realistic
 // n-entity run, for replay microbenchmarks.
 func captureStream(b *testing.B, n, perSender int) []*pdu.PDU {
@@ -53,7 +58,7 @@ func captureStream(b *testing.B, n, perSender int) []*pdu.PDU {
 // processing cost per received PDU at cluster size n. The paper's claim
 // is O(n) growth.
 func BenchmarkFig8Tco(b *testing.B) {
-	for _, n := range benchSizes {
+	for _, n := range hotSizes {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			stream := captureStream(b, n, 8)
@@ -521,6 +526,68 @@ func BenchmarkHotPathCodecInstrumented(b *testing.B) {
 	benchHotPathCodec(b, obsv.NewLinkMetrics(), &obsv.TransportMetrics{})
 }
 
+// BenchmarkHotPathCodecV2 is the v2 analogue of BenchmarkHotPathCodec:
+// the same pooled-buffer datagram round trip with a live delta-stamp
+// chain — SEQ advances and one ACK entry moves per PDU, so the steady
+// state alternates deltas with interval-th full stamps exactly like a
+// sender's link. Steady state must report 0 allocs/op (the codec-path
+// gate of PR 5) at every n.
+func BenchmarkHotPathCodecV2(b *testing.B) {
+	for _, n := range []int{8, 16, 64, 128} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := &pdu.PDU{
+				Kind: pdu.KindData, CID: 1, Src: 2, SEQ: 0,
+				ACK: make([]pdu.Seq, n), BUF: 1024, LSrc: pdu.NoEntity,
+				Data: make([]byte, 256),
+			}
+			enc := pdu.NewStampEncoder(0)
+			var dec pdu.StampDecoder
+			var scratch pdu.PDU
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.SEQ++
+				p.ACK[i%n]++
+				buf, err := p.MarshalAppendV2(pdu.GetDatagram(), enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := scratch.UnmarshalFromV2(buf, &dec); err != nil {
+					b.Fatal(err)
+				}
+				pdu.PutDatagram(buf)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8WireBytes is experiment E12: the E5 PDU-length redo at
+// the byte level. It replays the Fig. 8 continuous workload through
+// both wire codecs and reports mean encoded bytes per DT PDU as the
+// v1_bytes and v2_bytes metrics (reduction as v2_saved_frac). The PR 5
+// acceptance gate reads the n=64 point: v2 must shed at least half of
+// v1's bytes.
+func BenchmarkFig8WireBytes(b *testing.B) {
+	for _, n := range []int{8, 16, 64, 128} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rows, err := experiments.WireBytes([]int{n}, 8, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = rows
+			}
+			b.ReportMetric(rows[0].V1BytesPerDT, "v1_bytes")
+			b.ReportMetric(rows[0].V2BytesPerDT, "v2_bytes")
+			b.ReportMetric(rows[0].Reduction, "v2_saved_frac")
+		})
+	}
+}
+
 // BenchmarkHotPathPipeline drives a lossless n-entity mesh closed-loop:
 // each iteration broadcasts one message and relays every induced PDU
 // (acks included) until the cluster is silent, so one iteration covers
@@ -547,7 +614,7 @@ func benchHotPathPipeline(b *testing.B, metrics func() *obsv.EntityMetrics) {
 		src int
 		p   *pdu.PDU
 	}
-	for _, n := range benchSizes {
+	for _, n := range hotSizes {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			ents := make([]*core.Entity, n)

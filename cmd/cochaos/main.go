@@ -7,6 +7,11 @@
 //
 //	cochaos -sweep 500 -par 4 -shrink -faildir chaos-failures
 //
+// Sweep the same seeds with wire codec v2 in the loop (every simulated
+// datagram round-trips through the delta-stamp byte codec):
+//
+//	cochaos -sweep 500 -par 4 -codec 2
+//
 // Replay one seed (for instance a sweep failure) standalone, verbosely,
 // dumping its trace:
 //
@@ -52,6 +57,7 @@ type options struct {
 	start   int64
 	par     int
 	seed    int64
+	codec   int
 	shrink  bool
 	verbose bool
 	trace   string
@@ -69,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Int64Var(&o.start, "start", 1, "first seed of the sweep")
 	fs.IntVar(&o.par, "par", 4, "parallel workers for the sweep")
 	fs.Int64Var(&o.seed, "seed", 0, "replay this single seed (replay mode)")
+	fs.IntVar(&o.codec, "codec", 0, "force a wire codec for every run: 1 (fixed-width v1) or 2 (delta-stamp v2); 0 keeps the PDU-pointer path")
 	fs.BoolVar(&o.shrink, "shrink", false, "shrink failing configs to minimal form")
 	fs.BoolVar(&o.verbose, "v", false, "print per-run statistics")
 	fs.StringVar(&o.trace, "trace", "", "replay mode: write the run's JSON-lines trace here")
@@ -77,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.obsv, "obsv", "", "replay mode: serve /metrics, /statez and pprof on this address during the run")
 	fs.DurationVar(&o.hold, "hold", 0, "replay mode: keep the -obsv endpoint up this long after the run")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if o.codec < 0 || o.codec > 2 {
+		fmt.Fprintln(stderr, "cochaos: -codec must be 0, 1 or 2")
 		return 2
 	}
 	switch {
@@ -133,6 +144,7 @@ func sweep(o options, stdout, stderr io.Writer) int {
 	var agg struct {
 		submitted                   int
 		dropped, retx, parked, dups uint64
+		codecDropped                uint64
 		dataSent, syncSent          uint64
 	}
 	var wg sync.WaitGroup
@@ -142,12 +154,14 @@ func sweep(o options, stdout, stderr io.Writer) int {
 			defer wg.Done()
 			for seed := range seeds {
 				cfg := chaos.FromSeed(seed)
+				cfg.WireVersion = o.codec
 				res, err := chaos.Run(cfg)
 				mu.Lock()
 				if err == nil {
 					passed++
 					agg.submitted += res.Submitted
 					agg.dropped += res.Net.Dropped
+					agg.codecDropped += res.Net.CodecDropped
 					agg.retx += res.Stats.Retransmitted
 					agg.parked += res.Stats.Parked
 					agg.dups += res.Stats.Duplicates
@@ -187,6 +201,9 @@ func sweep(o options, stdout, stderr io.Writer) int {
 	if o.verbose || len(failures) == 0 {
 		fmt.Fprintf(stdout, "coverage: %d submissions, %d datagram PDUs dropped, %d retransmitted, %d parked, %d duplicate discards, %d DATA + %d SYNC/ACKONLY sends\n",
 			agg.submitted, agg.dropped, agg.retx, agg.parked, agg.dups, agg.dataSent, agg.syncSent)
+		if o.codec != 0 {
+			fmt.Fprintf(stdout, "codec v%d: %d PDUs dropped by delta-stamp desync\n", o.codec, agg.codecDropped)
+		}
 	}
 	for _, f := range failures {
 		fmt.Fprintf(stderr, "FAIL seed %d: [%s] %s\n", f.Seed, f.Predicate, f.Detail)
@@ -207,6 +224,7 @@ func sweep(o options, stdout, stderr io.Writer) int {
 
 func replay(o options, stdout, stderr io.Writer) int {
 	cfg := chaos.FromSeed(o.seed)
+	cfg.WireVersion = o.codec
 	if o.verbose {
 		b, _ := json.MarshalIndent(cfg, "", "  ")
 		fmt.Fprintf(stdout, "seed %d expands to:\n%s\n", o.seed, b)
@@ -238,6 +256,10 @@ func replay(o options, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "net: %d sent, %d delivered, %d dropped; retransmitted %d, parked %d, duplicates %d\n",
 				res.Net.Sent, res.Net.Delivered, res.Net.Dropped,
 				res.Stats.Retransmitted, res.Stats.Parked, res.Stats.Duplicates)
+			if o.codec != 0 {
+				fmt.Fprintf(stdout, "codec v%d: %d PDUs dropped by delta-stamp desync\n",
+					o.codec, res.Net.CodecDropped)
+			}
 		}
 		if o.verbose || o.trace != "" {
 			fmt.Fprintln(stdout, perEntityTable(res.PerEntity))

@@ -152,6 +152,8 @@ type options struct {
 	totalOrder          bool
 	suspectAfter        time.Duration
 	registry            *obsv.Registry
+	wireVersion         int
+	stampInterval       int
 
 	// In-memory network knobs (NewCluster only).
 	netDelay    time.Duration
@@ -263,6 +265,30 @@ func WithTotalOrder() Option {
 // for the extension's limitations.
 func WithSuspectTimeout(d time.Duration) Option {
 	return optionFunc(func(o *options) { o.suspectAfter = d })
+}
+
+// WithWireCodec selects the PDU wire encoding a node created with
+// NewNode sends: 1 is the fixed-width v1 codec, 2 (the default) the
+// varint + delta-ACK-stamp v2 codec, whose steady-state datagrams stay
+// near-constant in cluster size instead of growing O(n) with the
+// acknowledgment vector. The choice is send-side only — every node
+// decodes both versions — so a cluster may mix codecs and roll the
+// version one node at a time. NewNode rejects other values. In-process
+// clusters (NewCluster) move decoded PDUs and take no codec.
+func WithWireCodec(version int) Option {
+	return optionFunc(func(o *options) { o.wireVersion = version })
+}
+
+// WithStampInterval sets the v2 wire codec's full-stamp sync interval
+// K: every PDU whose sequence number is a multiple of K carries the
+// full acknowledgment vector even when a delta would be smaller,
+// bounding how long a receiver that missed a delta's reference PDU
+// stays desynchronized (dropping deltas as loss) before it re-anchors.
+// K = 1 full-stamps every PDU, degenerating v2 to v1-equivalent
+// stamps; k <= 0 selects the default (32). Only meaningful with wire
+// codec v2.
+func WithStampInterval(k int) Option {
+	return optionFunc(func(o *options) { o.stampInterval = k })
 }
 
 // WithObservability attaches live instrumentation: every node created

@@ -177,8 +177,9 @@ func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 			sim.NetDuplicateRate(cfg.Duplicate),
 			sim.NetDatagramFilter(dropDatagram),
 		},
-		Trace:    true,
-		Registry: reg,
+		Trace:       true,
+		Registry:    reg,
+		WireVersion: cfg.WireVersion,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: build cluster: %w", err)

@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestWireVersionDeterminism extends the determinism contract to the
+// codec byte path: same Config ⇒ same trace digest for each wire
+// version, and the v1 round trip — which is lossless per PDU — must be
+// trace-identical to the historical pointer path, pinning that the
+// codec layer changes only the representation in flight.
+func TestWireVersionDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 17, 42} {
+		base := FromSeed(seed)
+		digests := map[int]string{}
+		for _, v := range []int{0, 1, 2} {
+			cfg := base
+			cfg.WireVersion = v
+			a, errA := Run(cfg)
+			b, errB := Run(cfg)
+			if errA != nil || errB != nil {
+				t.Fatalf("seed %d v%d: run errors %v / %v", seed, v, errA, errB)
+			}
+			if a.TraceDigest != b.TraceDigest {
+				t.Fatalf("seed %d v%d: digests differ: %s vs %s", seed, v, a.TraceDigest, b.TraceDigest)
+			}
+			if a.Net != b.Net {
+				t.Fatalf("seed %d v%d: net stats differ: %+v vs %+v", seed, v, a.Net, b.Net)
+			}
+			digests[v] = a.TraceDigest
+		}
+		if digests[0] != digests[1] {
+			t.Fatalf("seed %d: v1 codec changed the trace: %s vs %s", seed, digests[0], digests[1])
+		}
+	}
+}
+
+// TestCodecV2ExercisesDeltaResync sweeps seeds under wire codec v2 and
+// requires both that every predicate holds and that the sweep actually
+// hit the delta-desync path: loss or duplication must strand at least
+// one delta stamp without its reference (CodecDropped > 0), proving the
+// protocol recovers from codec-level loss, not just datagram loss.
+func TestCodecV2ExercisesDeltaResync(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	var codecDropped, dropped uint64
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		cfg := FromSeed(seed)
+		cfg.WireVersion = 2
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d (%+v): %v", seed, cfg, err)
+		}
+		if res.Submitted == 0 || res.Stats.Delivered == 0 {
+			t.Fatalf("seed %d: empty run", seed)
+		}
+		codecDropped += res.Net.CodecDropped
+		dropped += res.Net.Dropped
+	}
+	if dropped == 0 {
+		t.Error("v2 sweep injected no datagram loss")
+	}
+	if codecDropped == 0 {
+		t.Error("v2 sweep never desynchronized a delta stamp; resync path untested")
+	}
+}
+
+// TestCorpusReplayUnderV2 replays every checked-in regression config
+// through the v2 byte path: the corpus's loss, duplication, overrun and
+// partition regimes must not break any predicate when delta stamps (and
+// their desync-as-loss semantics) are in the loop.
+func TestCorpusReplayUnderV2(t *testing.T) {
+	entries, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("corpus is empty; expected checked-in entries")
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			cfg := e.Config
+			cfg.WireVersion = 2
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("corpus entry %s under v2 (%s): %v", e.Name, e.Note, err)
+			}
+			if res.Submitted == 0 {
+				t.Fatalf("corpus entry %s ran empty", e.Name)
+			}
+		})
+	}
+}
+
+// TestBadWireVersionRejected pins config validation for the codec knob.
+func TestBadWireVersionRejected(t *testing.T) {
+	cfg := FromSeed(1)
+	cfg.WireVersion = 3
+	if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("wire_version=3: got %v, want ErrBadConfig", err)
+	}
+}

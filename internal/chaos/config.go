@@ -86,6 +86,15 @@ type Config struct {
 	// windows are disjoint and all heal before the drain phase.
 	Partitions int `json:"partitions,omitempty"`
 	Pauses     int `json:"pauses,omitempty"`
+
+	// WireVersion routes every simulated datagram through the real wire
+	// codec (1 = fixed-width v1, 2 = delta-stamp v2), so loss and
+	// duplication exercise the codec's per-source stamp caches; 0 keeps
+	// the historical PDU-pointer path and its pinned trace digests. The
+	// codec changes only the byte representation in flight, never the
+	// PDU sequence a fault-free channel delivers, so 0/1/2 runs of one
+	// seed share a trace digest when no delta loses its reference.
+	WireVersion int `json:"wire_version,omitempty"`
 }
 
 // ErrBadConfig reports an unusable chaos configuration.
@@ -121,6 +130,9 @@ func (c Config) Validate() error {
 	}
 	if c.SlowEntities >= c.N {
 		return fmt.Errorf("%w: slow_entities=%d with n=%d", ErrBadConfig, c.SlowEntities, c.N)
+	}
+	if c.WireVersion < 0 || c.WireVersion > 2 {
+		return fmt.Errorf("%w: wire_version=%d (want 0..2)", ErrBadConfig, c.WireVersion)
 	}
 	return nil
 }

@@ -1,0 +1,154 @@
+package core
+
+// Differential check of the ACK-delta fold fast paths (wire codec v2):
+// two mirrored clusters run the same randomized lossy/duplicating
+// schedule, but one of them receives every PDU with the Delta hint a v2
+// decoder would attach (the changed indices relative to the same
+// source's previous contiguously delivered sequenced PDU). The fast
+// paths claim to be exact, so after every step the two clusters' entire
+// fold state — AL, PAL, known, cached minima, stats and emitted PDUs —
+// must be identical.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"cobcast/internal/pdu"
+)
+
+// deltaRef mirrors the v2 decoder's per-(receiver, source) stamp cache.
+type deltaRef struct {
+	seq   pdu.Seq
+	ack   []pdu.Seq
+	valid bool
+}
+
+// hint attaches the Delta a v2 decoder would have produced for p, and
+// advances the cache the way the decoder does (forward only, deltas only
+// along contiguous chains). Non-contiguous PDUs are delivered with a nil
+// Delta — the full-stamp sync-point case.
+func (r *deltaRef) hint(p *pdu.PDU) {
+	p.Delta = nil
+	if !p.Kind.Sequenced() {
+		return
+	}
+	if r.valid && len(r.ack) == len(p.ACK) && p.SEQ == r.seq+1 {
+		d := make([]pdu.EntityID, 0, len(p.ACK))
+		for i := range p.ACK {
+			if p.ACK[i] != r.ack[i] {
+				d = append(d, pdu.EntityID(i))
+			}
+		}
+		p.Delta = d
+	}
+	if !r.valid || p.SEQ > r.seq {
+		r.seq = p.SEQ
+		r.ack = append(r.ack[:0], p.ACK...)
+		r.valid = true
+	}
+}
+
+func TestDeltaFoldEquivalence(t *testing.T) {
+	deltas := 0 // PDUs delivered with a Delta hint, across all seeds
+	for seed := int64(1); seed <= 30; seed++ {
+		rng := rand.New(rand.NewSource(seed * 104729))
+		n := 2 + rng.Intn(5)
+		mk := func() []*Entity {
+			ents := make([]*Entity, n)
+			for i := range ents {
+				e, err := New(Config{
+					ID: pdu.EntityID(i), N: n,
+					Window:              pdu.Seq(1 + int(seed)%4),
+					DeferredAckInterval: time.Millisecond,
+					RetransmitTimeout:   2 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ents[i] = e
+			}
+			return ents
+		}
+		full, fast := mk(), mk()
+		refs := make([]deltaRef, n*n) // fast cluster's decode caches
+
+		// Mirrored per-channel queues; indexes [from*n+to].
+		fullQ := make([][]*pdu.PDU, n*n)
+		fastQ := make([][]*pdu.PDU, n*n)
+		route := func(from int, a, b Output) {
+			if len(a.PDUs) != len(b.PDUs) {
+				t.Fatalf("seed %d: clusters diverged: %d vs %d PDUs out", seed, len(a.PDUs), len(b.PDUs))
+			}
+			for i, p := range a.PDUs {
+				if p.String() != b.PDUs[i].String() {
+					t.Fatalf("seed %d: clusters emit different PDUs:\n %v\n %v", seed, p, b.PDUs[i])
+				}
+				for to := 0; to < n; to++ {
+					if to != from {
+						fullQ[from*n+to] = append(fullQ[from*n+to], p.Clone())
+						fastQ[from*n+to] = append(fastQ[from*n+to], b.PDUs[i].Clone())
+					}
+				}
+			}
+		}
+		check := func(i, step int) {
+			a, b := full[i], fast[i]
+			if !reflect.DeepEqual(a.al, b.al) || !reflect.DeepEqual(a.pal, b.pal) ||
+				!reflect.DeepEqual(a.known, b.known) ||
+				!reflect.DeepEqual(a.minAL, b.minAL) || !reflect.DeepEqual(a.minPAL, b.minPAL) ||
+				!reflect.DeepEqual(a.req, b.req) {
+				t.Fatalf("seed %d step %d entity %d: fold state diverged\nal   %v vs %v\npal  %v vs %v\nknown %v vs %v",
+					seed, step, i, a.al, b.al, a.pal, b.pal, a.known, b.known)
+			}
+			if a.Stats() != b.Stats() {
+				t.Fatalf("seed %d step %d entity %d: stats diverged\n %+v\n %+v", seed, step, i, a.Stats(), b.Stats())
+			}
+		}
+		now := time.Duration(0)
+		for step := 0; step < 500; step++ {
+			now += time.Duration(rng.Intn(1500)) * time.Microsecond
+			i := rng.Intn(n)
+			switch rng.Intn(8) {
+			case 0, 1:
+				route(i, full[i].Submit([]byte{byte(step)}, now), fast[i].Submit([]byte{byte(step)}, now))
+			case 2:
+				route(i, full[i].Tick(now), fast[i].Tick(now))
+			default:
+				from := rng.Intn(n)
+				qa, qb := &fullQ[from*n+i], &fastQ[from*n+i]
+				if len(*qa) == 0 {
+					continue
+				}
+				pa, pb := (*qa)[0], (*qb)[0]
+				action := rng.Intn(4)
+				if action == 0 { // loss
+					*qa, *qb = (*qa)[1:], (*qb)[1:]
+					continue
+				}
+				if action != 1 { // 1 = duplicate: keep head queued
+					*qa, *qb = (*qa)[1:], (*qb)[1:]
+				}
+				pa, pb = pa.Clone(), pb.Clone()
+				refs[i*n+from].hint(pb)
+				if pb.Delta != nil {
+					deltas++
+				}
+				outA, errA := full[i].Receive(pa, now)
+				outB, errB := fast[i].Receive(pb, now)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("seed %d step %d: receive errors diverged: %v vs %v", seed, step, errA, errB)
+				}
+				if errA != nil {
+					continue
+				}
+				route(i, outA, outB)
+			}
+			check(i, step)
+		}
+	}
+	if deltas < 100 {
+		t.Fatalf("schedules exercised the delta fast path only %d times", deltas)
+	}
+}

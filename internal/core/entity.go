@@ -125,6 +125,9 @@ type Entity struct {
 	published Stats
 	sentAt    map[pdu.Seq]time.Duration
 	acceptAt  []timeQueue
+
+	// label memoizes strconv.Itoa(me) so SnapshotInto allocates nothing.
+	label string
 }
 
 // New creates an entity in its initial state (SEQ = 1, every REQ/AL/PAL
@@ -304,9 +307,23 @@ func (e *Entity) foldInfo(p *pdu.PDU) {
 	if p.Src == e.me {
 		return
 	}
-	for k := 0; k < e.n; k++ {
-		if p.ACK[k] > e.al[k][p.Src] {
-			e.raiseAL(k, p.Src, p.ACK[k])
+	if d := p.Delta; d != nil {
+		// Delta fast path (wire codec v2): entries outside d are
+		// bit-identical to the same source's previous sequenced PDU,
+		// which the decoder chained through — and that PDU was folded
+		// here when it arrived (foldInfo runs on arrival for every
+		// kind, parked or not), so al[k][p.Src] already holds those
+		// values. Folding only the changed entries is exact, O(|d|).
+		for _, k := range d {
+			if p.ACK[k] > e.al[k][p.Src] {
+				e.raiseAL(int(k), p.Src, p.ACK[k])
+			}
+		}
+	} else {
+		for k := 0; k < e.n; k++ {
+			if p.ACK[k] > e.al[k][p.Src] {
+				e.raiseAL(k, p.Src, p.ACK[k])
+			}
 		}
 	}
 	e.buf[p.Src] = p.BUF
@@ -384,16 +401,33 @@ func (e *Entity) markPackDirty(k pdu.EntityID) {
 // REQ reveals a gap at another source). Evidence is recorded in known;
 // maybeRequestRetx turns it into RET PDUs.
 func (e *Entity) detectGaps(p *pdu.PDU) {
-	for j := 0; j < e.n; j++ {
-		if pdu.EntityID(j) == p.Src || pdu.EntityID(j) == e.me {
-			continue
+	if d := p.Delta; d != nil {
+		// Delta fast path: an unchanged ACK entry already served as F2
+		// evidence when the reference PDU arrived (same chain argument
+		// as foldInfo), so only the changed entries can strengthen
+		// known. The F1 rules below stay unconditional — they read SEQ
+		// and the sender's own entry, not the vector.
+		for _, j := range d {
+			if j == p.Src || j == e.me {
+				continue
+			}
+			if p.ACK[j] > e.known[j] {
+				e.known[j] = p.ACK[j] // F2
+				e.stats.F2Detections++
+			}
 		}
-		if p.ACK[j] > e.known[j] {
-			// known[j] never trails req[j], so strengthened evidence
-			// always names PDUs this entity has not accepted: a
-			// detection, not a confirmation.
-			e.known[j] = p.ACK[j] // F2
-			e.stats.F2Detections++
+	} else {
+		for j := 0; j < e.n; j++ {
+			if pdu.EntityID(j) == p.Src || pdu.EntityID(j) == e.me {
+				continue
+			}
+			if p.ACK[j] > e.known[j] {
+				// known[j] never trails req[j], so strengthened evidence
+				// always names PDUs this entity has not accepted: a
+				// detection, not a confirmation.
+				e.known[j] = p.ACK[j] // F2
+				e.stats.F2Detections++
+			}
 		}
 	}
 	if p.Kind.Sequenced() && p.Src != e.me && p.SEQ+1 > e.known[p.Src] {
@@ -505,9 +539,22 @@ func (e *Entity) runPack() {
 			// predecessor p from source j is delivered before q leans on
 			// column j of PAL advancing past q.SEQ only via a PDU from j
 			// that sits behind p in RRL_j's FIFO.
-			for m := 0; m < e.n; m++ {
-				if p.ACK[m] > e.pal[m][k] {
-					e.raisePAL(m, pdu.EntityID(k), p.ACK[m])
+			if d := p.Delta; d != nil {
+				// Delta fast path: RRL_k dequeues in SEQ order, so the
+				// reference PDU (SEQ-1 from k) folded its full vector
+				// into column k on an earlier pass; only the changed
+				// entries can advance PAL. Exact for the same reason
+				// as foldInfo.
+				for _, m := range d {
+					if p.ACK[m] > e.pal[m][k] {
+						e.raisePAL(int(m), pdu.EntityID(k), p.ACK[m])
+					}
+				}
+			} else {
+				for m := 0; m < e.n; m++ {
+					if p.ACK[m] > e.pal[m][k] {
+						e.raisePAL(m, pdu.EntityID(k), p.ACK[m])
+					}
 				}
 			}
 			if d := e.prl.InsertCPI(p); d > 0 {
@@ -902,6 +949,11 @@ func (e *Entity) Committed(k pdu.EntityID) pdu.Seq { return e.committed[k] }
 
 // PRLSnapshot returns the current pre-acknowledged log in causal order.
 func (e *Entity) PRLSnapshot() []*pdu.PDU { return e.prl.Slice() }
+
+// PRLSnapshotInto appends the pre-acknowledged log onto dst and returns
+// the extended slice — the scratch-reusing form of PRLSnapshot for
+// callers that poll it (introspection, experiment sampling loops).
+func (e *Entity) PRLSnapshotInto(dst []*pdu.PDU) []*pdu.PDU { return e.prl.AppendTo(dst) }
 
 // RRLLen returns the number of accepted-but-not-preacknowledged PDUs from
 // source k.

@@ -107,14 +107,42 @@ func (e *Entity) publishStats() {
 // inputs; the sim takes them between virtual-time steps); the returned
 // value is plain data, safe to hand to any goroutine.
 func (e *Entity) Snapshot() obsv.StateSnapshot {
-	s := obsv.StateSnapshot{
-		Node:           strconv.Itoa(int(e.me)),
+	var s obsv.StateSnapshot
+	e.SnapshotInto(&s)
+	return s
+}
+
+// growU64 resizes sl to n entries, reusing its capacity.
+func growU64(sl []uint64, n int) []uint64 {
+	if cap(sl) < n {
+		return make([]uint64, n)
+	}
+	return sl[:n]
+}
+
+// SnapshotInto is Snapshot writing into a caller-owned value, reusing
+// the capacity of its five O(n) slices: a scraper that keeps one
+// scratch snapshot per node pays zero allocations per scrape instead
+// of five. dst is completely overwritten; the caller must not hand the
+// filled value to another goroutine and keep scraping into it.
+func (e *Entity) SnapshotInto(s *obsv.StateSnapshot) {
+	if e.label == "" {
+		e.label = strconv.Itoa(int(e.me))
+	}
+	rrl := s.RRL
+	if cap(rrl) < e.n {
+		rrl = make([]int, e.n)
+	} else {
+		rrl = rrl[:e.n]
+	}
+	*s = obsv.StateSnapshot{
+		Node:           e.label,
 		Seq:            uint64(e.seq),
-		REQ:            make([]uint64, e.n),
-		MinAL:          make([]uint64, e.n),
-		MinPAL:         make([]uint64, e.n),
-		Committed:      make([]uint64, e.n),
-		RRL:            make([]int, e.n),
+		REQ:            growU64(s.REQ, e.n),
+		MinAL:          growU64(s.MinAL, e.n),
+		MinPAL:         growU64(s.MinPAL, e.n),
+		Committed:      growU64(s.Committed, e.n),
+		RRL:            rrl,
 		PRL:            e.prl.Len(),
 		ARL:            e.ackedTotal,
 		Parked:         e.parkedTotal,
@@ -141,5 +169,4 @@ func (e *Entity) Snapshot() obsv.StateSnapshot {
 		s.Committed[k] = uint64(e.committed[k])
 		s.RRL[k] = e.rrl[k].Len()
 	}
-	return s
 }

@@ -281,6 +281,96 @@ func PDULength(ns []int) []PDULenRow {
 	return rows
 }
 
+// WireBytesRow is one point of experiment E12 (the E5 redo at the byte
+// level): mean encoded bytes per DT PDU under the Fig. 8 continuous
+// workload, fixed-width v1 codec against v2 delta stamps.
+type WireBytesRow struct {
+	N int
+	// DTPDUs counts sequenced DATA PDUs encoded: one copy per broadcast,
+	// as a sender's link encodes them, not one per receiver.
+	DTPDUs int
+	// V1BytesPerDT and V2BytesPerDT are mean encoded bytes per DT PDU
+	// under each codec.
+	V1BytesPerDT float64
+	V2BytesPerDT float64
+	// V2FullStamps counts the DT PDUs the v2 encoder full-stamped (sync
+	// points: stream head and every interval-th SEQ); the remainder
+	// carried delta stamps.
+	V2FullStamps int
+	// Reduction is 1 - V2BytesPerDT/V1BytesPerDT.
+	Reduction float64
+}
+
+// WireBytes measures both wire codecs over identical Fig. 8 PDU
+// streams: every PDU each sender transmits is encoded once with the v1
+// codec and once against a per-sender v2 stamp chain, in transmit
+// order, exactly as a live link would. stampK is the v2 sync-point
+// interval (0 selects pdu.DefaultStampInterval). Byte totals are
+// accumulated for DATA PDUs only, but every PDU passes through the
+// stamp chain so sync points land where a real link's would.
+func WireBytes(ns []int, perSender, stampK int) ([]WireBytesRow, error) {
+	rows := make([]WireBytesRow, 0, len(ns))
+	for _, n := range ns {
+		encs := make([]*pdu.StampEncoder, n)
+		for i := range encs {
+			encs[i] = pdu.NewStampEncoder(stampK)
+		}
+		var v1, v2 uint64
+		var dts, fulls int
+		var buf []byte
+		var tapErr error
+		c, err := simrun.New(simrun.Options{
+			N:   n,
+			Net: []sim.NetOption{sim.NetUniformDelay(time.Millisecond)},
+			PDUTap: func(to, from pdu.EntityID, p *pdu.PDU) {
+				// One copy per transmitted PDU: watch a single outgoing
+				// link per sender. Uniform delay keeps each link FIFO,
+				// so the tap sees every sender's transmit order.
+				if tapErr != nil || to != (from+1)%pdu.EntityID(n) {
+					return
+				}
+				buf, tapErr = p.MarshalAppendV2(buf[:0], encs[from])
+				if tapErr != nil {
+					return
+				}
+				if p.Kind != pdu.KindData {
+					return
+				}
+				dts++
+				v1 += uint64(p.EncodedSize())
+				v2 += uint64(len(buf))
+				// Flags byte: bit1 set means the stamp was emitted in
+				// full rather than as a delta.
+				if buf[4]&(1<<1) != 0 {
+					fulls++
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.LoadWorkload(workload.NewContinuous(n, perSender, 64))
+		if _, err := c.RunToQuiescence(deadline); err != nil {
+			return nil, fmt.Errorf("wirebytes n=%d: %w", n, err)
+		}
+		if tapErr != nil {
+			return nil, fmt.Errorf("wirebytes n=%d: %w", n, tapErr)
+		}
+		if dts == 0 {
+			return nil, fmt.Errorf("wirebytes n=%d: no DT PDUs captured", n)
+		}
+		r := WireBytesRow{
+			N: n, DTPDUs: dts,
+			V1BytesPerDT: float64(v1) / float64(dts),
+			V2BytesPerDT: float64(v2) / float64(dts),
+			V2FullStamps: fulls,
+		}
+		r.Reduction = 1 - r.V2BytesPerDT/r.V1BytesPerDT
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
 // RetxRow is one point of experiment E6 (Section 5): selective
 // retransmission (CO) against go-back-n (TO protocol) at one loss rate.
 type RetxRow struct {

@@ -151,6 +151,29 @@ func TestPDULengthLinear(t *testing.T) {
 	}
 }
 
+func TestWireBytesV2Reduction(t *testing.T) {
+	rows, err := WireBytes([]int{8, 16}, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.DTPDUs == 0 || r.V1BytesPerDT <= 0 || r.V2BytesPerDT <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		// PR 5's headline: delta stamps shed the O(n) ACK vector from
+		// steady-state DT PDUs. Already at n=16 the reduction must
+		// clear 50%; at n=64 the acceptance gate re-checks it.
+		if r.N >= 16 && r.Reduction < 0.5 {
+			t.Errorf("n=%d: v2 reduction %.1f%% (v1 %.1f B, v2 %.1f B), want >= 50%%",
+				r.N, 100*r.Reduction, r.V1BytesPerDT, r.V2BytesPerDT)
+		}
+		if r.V2FullStamps == 0 || r.V2FullStamps >= r.DTPDUs {
+			t.Errorf("n=%d: %d full stamps of %d DT PDUs — sync points or deltas missing",
+				r.N, r.V2FullStamps, r.DTPDUs)
+		}
+	}
+}
+
 func TestRetxComparisonShape(t *testing.T) {
 	rows, err := RetxComparison(4, 40, []float64{0.02, 0.2}, 7)
 	if err != nil {

@@ -164,9 +164,14 @@ func (l *Log) Slice() []*pdu.PDU {
 	if l.Empty() {
 		return nil
 	}
-	out := make([]*pdu.PDU, l.Len())
-	copy(out, l.pdus[l.head:])
-	return out
+	return l.AppendTo(nil)
+}
+
+// AppendTo appends the log contents from top to last onto dst and
+// returns the extended slice, reusing dst's capacity — the scratch-friendly
+// form of Slice for callers that snapshot repeatedly.
+func (l *Log) AppendTo(dst []*pdu.PDU) []*pdu.PDU {
+	return append(dst, l.pdus[l.head:]...)
 }
 
 // InsertCPI performs the causality-preserved insertion L < p of Section

@@ -68,6 +68,19 @@ type LinkMetrics struct {
 	// have overflowed the datagram (wireLink) or batch cap (memLink).
 	Flushes, FlushedPDUs, EarlyFlushes Counter
 
+	// BytesOutV1/V2 count encoded frame bytes sent and BytesInV1/V2
+	// frame bytes received, attributed to the entry codec version of
+	// the frame (wire links only: memLinks move decoded PDUs). The
+	// per-version split is what experiment E12 reads to compare v1's
+	// fixed-width encoding against v2's delta stamps.
+	BytesOutV1, BytesOutV2, BytesInV1, BytesInV2 Counter
+
+	// StampDesyncs counts inbound v2 delta entries dropped because
+	// this receiver had no reference stamp for them (pdu.ErrDeltaDesync)
+	// — a loss-amplification event repaired by retransmission or the
+	// next full-stamp sync point, not a protocol error.
+	StampDesyncs Counter
+
 	// FlushBatch observes PDUs-per-flush.
 	FlushBatch *Histogram
 }
@@ -91,6 +104,42 @@ func (m *LinkMetrics) Flush(n int, early bool) {
 	m.FlushBatch.Observe(uint64(n))
 }
 
+// FlushBytes records one encoded frame of n bytes leaving the link,
+// attributed to the entry codec version that built it. Safe on a nil
+// receiver.
+func (m *LinkMetrics) FlushBytes(n int, version uint8) {
+	if m == nil || n <= 0 {
+		return
+	}
+	if version == 2 {
+		m.BytesOutV2.Add(uint64(n))
+	} else {
+		m.BytesOutV1.Add(uint64(n))
+	}
+}
+
+// RecvBytes records one received frame of n bytes, attributed to its
+// entry codec version. Safe on a nil receiver.
+func (m *LinkMetrics) RecvBytes(n int, version uint8) {
+	if m == nil || n <= 0 {
+		return
+	}
+	if version == 2 {
+		m.BytesInV2.Add(uint64(n))
+	} else {
+		m.BytesInV1.Add(uint64(n))
+	}
+}
+
+// StampDesync records one inbound delta entry dropped for a missing
+// reference stamp. Safe on a nil receiver.
+func (m *LinkMetrics) StampDesync() {
+	if m == nil {
+		return
+	}
+	m.StampDesyncs.Inc()
+}
+
 // TransportMetrics counts datagram-level UDP transport activity
 // (internal/udpnet). It is also the storage for udpnet's own Stats —
 // a single counting scheme rather than parallel sets of atomics.
@@ -100,6 +149,10 @@ type TransportMetrics struct {
 	// ReadErrors transient socket read errors, Oversize local sends
 	// rejected for exceeding the datagram budget.
 	Sent, Received, Overrun, ReadErrors, Oversize Counter
+
+	// BytesSent/BytesReceived count datagram payload bytes on the
+	// wire (BytesSent once per peer transmission, like Sent).
+	BytesSent, BytesReceived Counter
 }
 
 // NetworkMetrics counts the in-memory simulated network

@@ -201,13 +201,37 @@ var entityCounterFamilies = []entityFamily{
 	}},
 }
 
+// linkSample mirrors entitySample for LinkMetrics families with a
+// version label (per-codec byte counters).
+type linkSample struct {
+	extra string
+	get   func(*LinkMetrics) *Counter
+}
+
 var linkCounterFamilies = []struct {
 	name, help string
-	get        func(*LinkMetrics) *Counter
+	samples    []linkSample
 }{
-	{"cobcast_link_flushes_total", "Link flushes that put at least one PDU on the wire.", func(m *LinkMetrics) *Counter { return &m.Flushes }},
-	{"cobcast_link_flushed_pdus_total", "PDUs flushed by the link layer.", func(m *LinkMetrics) *Counter { return &m.FlushedPDUs }},
-	{"cobcast_link_early_flushes_total", "Flushes forced mid-batch by the datagram/batch cap.", func(m *LinkMetrics) *Counter { return &m.EarlyFlushes }},
+	{"cobcast_link_flushes_total", "Link flushes that put at least one PDU on the wire.", []linkSample{
+		{"", func(m *LinkMetrics) *Counter { return &m.Flushes }},
+	}},
+	{"cobcast_link_flushed_pdus_total", "PDUs flushed by the link layer.", []linkSample{
+		{"", func(m *LinkMetrics) *Counter { return &m.FlushedPDUs }},
+	}},
+	{"cobcast_link_early_flushes_total", "Flushes forced mid-batch by the datagram/batch cap.", []linkSample{
+		{"", func(m *LinkMetrics) *Counter { return &m.EarlyFlushes }},
+	}},
+	{"cobcast_link_bytes_sent_total", "Encoded frame bytes sent, by entry codec version.", []linkSample{
+		{`,version="1"`, func(m *LinkMetrics) *Counter { return &m.BytesOutV1 }},
+		{`,version="2"`, func(m *LinkMetrics) *Counter { return &m.BytesOutV2 }},
+	}},
+	{"cobcast_link_bytes_received_total", "Frame bytes received, by entry codec version.", []linkSample{
+		{`,version="1"`, func(m *LinkMetrics) *Counter { return &m.BytesInV1 }},
+		{`,version="2"`, func(m *LinkMetrics) *Counter { return &m.BytesInV2 }},
+	}},
+	{"cobcast_link_stamp_desyncs_total", "Inbound v2 delta entries dropped for a missing reference stamp (treated as loss).", []linkSample{
+		{"", func(m *LinkMetrics) *Counter { return &m.StampDesyncs }},
+	}},
 }
 
 var transportCounterFamilies = []struct {
@@ -219,6 +243,8 @@ var transportCounterFamilies = []struct {
 	{"cobcast_transport_overruns_total", "Inbound datagrams dropped on receive-queue overrun.", func(m *TransportMetrics) *Counter { return &m.Overrun }},
 	{"cobcast_transport_read_errors_total", "Transient socket read errors.", func(m *TransportMetrics) *Counter { return &m.ReadErrors }},
 	{"cobcast_transport_oversize_total", "Local sends rejected for exceeding the datagram budget.", func(m *TransportMetrics) *Counter { return &m.Oversize }},
+	{"cobcast_transport_bytes_sent_total", "Datagram bytes sent by the UDP transport (counted once per peer transmission).", func(m *TransportMetrics) *Counter { return &m.BytesSent }},
+	{"cobcast_transport_bytes_received_total", "Datagram bytes received by the UDP transport.", func(m *TransportMetrics) *Counter { return &m.BytesReceived }},
 }
 
 // WriteMetrics renders every registered metric in Prometheus text
@@ -257,7 +283,9 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 				bw.printf("# HELP %s %s\n# TYPE %s counter\n", fam.name, fam.help, fam.name)
 				wroteHeader = true
 			}
-			bw.printf("%s{node=%q} %d\n", fam.name, n.label, fam.get(n.lm).Load())
+			for _, s := range fam.samples {
+				bw.printf("%s{node=%q%s} %d\n", fam.name, n.label, s.extra, s.get(n.lm).Load())
+			}
 		}
 	}
 	{

@@ -33,8 +33,16 @@ import (
 const (
 	// FrameMagic identifies cobcast batch frames on the wire.
 	FrameMagic uint16 = 0xC0BF
-	// FrameVersion is the frame-encoding version emitted by FrameEncoder.
+	// FrameVersion is the frame-encoding version emitted by
+	// FrameEncoder.Begin; its entries are v1 PDU datagrams.
 	FrameVersion uint8 = 1
+	// FrameVersion2 marks frames whose entries are wire codec v2
+	// datagrams (varint fields, delta-encoded ACK stamps). The frame
+	// version is the negotiation point: decoders accept both versions
+	// and dispatch each entry to the matching PDU codec, so a v2 entry
+	// inside a v1 frame (or vice versa) fails with the entry codec's
+	// typed ErrBadVersion.
+	FrameVersion2 uint8 = 2
 
 	// FrameHeaderSize is the fixed frame header length in bytes.
 	FrameHeaderSize = 2 + 1 + 2
@@ -58,29 +66,52 @@ var (
 // buffer. With a buffer of sufficient capacity the steady-state encode
 // path allocates nothing. The zero value is ready for Begin.
 type FrameEncoder struct {
-	buf   []byte
-	start int
-	count int
+	buf     []byte
+	start   int
+	count   int
+	version uint8
+	stamps  *StampEncoder
 }
 
-// Begin starts a new frame, appending its header to buf. Any frame in
+// Begin starts a new v1 frame, appending its header to buf. Any frame in
 // progress is discarded.
 func (e *FrameEncoder) Begin(buf []byte) {
-	e.start = len(buf)
-	buf = binary.BigEndian.AppendUint16(buf, FrameMagic)
-	e.buf = append(buf, FrameVersion, 0, 0) // count patched by Bytes
-	e.count = 0
+	e.beginVersion(buf, FrameVersion)
+	e.stamps = nil
 }
 
-// Append encodes p as the frame's next entry. On error the frame is left
-// exactly as before the call.
+// BeginV2 starts a new v2 frame whose entries are encoded with wire
+// codec v2 against st's reference stamp. st persists across frames (it
+// tracks the sender's whole outgoing stream); nil st forces a full stamp
+// on every entry.
+func (e *FrameEncoder) BeginV2(buf []byte, st *StampEncoder) {
+	e.beginVersion(buf, FrameVersion2)
+	e.stamps = st
+}
+
+func (e *FrameEncoder) beginVersion(buf []byte, v uint8) {
+	e.start = len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, FrameMagic)
+	e.buf = append(buf, v, 0, 0) // count patched by Bytes
+	e.count = 0
+	e.version = v
+}
+
+// Append encodes p as the frame's next entry, with the entry codec the
+// frame was begun with. On error the frame (and, for v2, the stamp
+// encoder) is left exactly as before the call.
 func (e *FrameEncoder) Append(p *PDU) error {
 	if e.count >= MaxFramePDUs {
 		return ErrFrameFull
 	}
 	lenOff := len(e.buf)
 	buf := append(e.buf, 0, 0, 0, 0)
-	buf, err := p.MarshalAppend(buf)
+	var err error
+	if e.version == FrameVersion2 {
+		buf, err = p.MarshalAppendV2(buf, e.stamps)
+	} else {
+		buf, err = p.MarshalAppend(buf)
+	}
 	if err != nil {
 		return err
 	}
@@ -116,6 +147,19 @@ func EncodeFrame(batch []*PDU) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
+// EncodeFrameV2 marshals a batch into one v2 frame against st's
+// reference stamp (nil st: all entries full-stamped).
+func EncodeFrameV2(batch []*PDU, st *StampEncoder) ([]byte, error) {
+	var e FrameEncoder
+	e.BeginV2(nil, st)
+	for _, p := range batch {
+		if err := e.Append(p); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
 // FrameDecoder iterates the PDUs of a batch frame in place. It performs
 // no allocation of its own; decoding into a reused scratch PDU keeps the
 // steady-state receive path allocation-free. Every error is terminal:
@@ -125,11 +169,21 @@ type FrameDecoder struct {
 	rest      []byte
 	remaining int
 	err       error
+	version   uint8
+	stamps    *StampDecoder
 }
 
-// Reset points the decoder at frame b, validating the header. The
-// decoder reads from b in place, so b must stay alive and unmodified
-// until the last Next.
+// SetStampDecoder attaches the per-source stamp cache used to resolve
+// delta-encoded entries of v2 frames. The cache persists across Reset
+// calls — it mirrors the senders' streams, not one frame. Without it,
+// delta entries fail with ErrDeltaDesync (full-stamp entries still
+// decode).
+func (d *FrameDecoder) SetStampDecoder(sd *StampDecoder) { d.stamps = sd }
+
+// Reset points the decoder at frame b, validating the header. Frame
+// versions 1 and 2 are both accepted; the version selects the entry
+// codec for Next. The decoder reads from b in place, so b must stay
+// alive and unmodified until the last Next.
 func (d *FrameDecoder) Reset(b []byte) error {
 	d.rest, d.remaining = nil, 0
 	if len(b) < FrameHeaderSize {
@@ -140,15 +194,20 @@ func (d *FrameDecoder) Reset(b []byte) error {
 		d.err = fmt.Errorf("%w: %04x", ErrBadFrameMagic, m)
 		return d.err
 	}
-	if v := b[2]; v != FrameVersion {
+	if v := b[2]; v != FrameVersion && v != FrameVersion2 {
 		d.err = fmt.Errorf("%w: %d", ErrBadFrameVersion, v)
 		return d.err
 	}
+	d.version = b[2]
 	d.remaining = int(binary.BigEndian.Uint16(b[3:5]))
 	d.rest = b[FrameHeaderSize:]
 	d.err = nil
 	return nil
 }
+
+// Version reports the entry codec version of the frame last Reset, 0 if
+// none was accepted yet.
+func (d *FrameDecoder) Version() uint8 { return d.version }
 
 // Next decodes the frame's next PDU into p (overwriting every field and
 // reusing p's ACK/Data capacity). It returns false with a nil error when
@@ -177,7 +236,13 @@ func (d *FrameDecoder) Next(p *PDU) (bool, error) {
 	entry := d.rest[FrameEntrySize : FrameEntrySize+plen]
 	d.rest = d.rest[FrameEntrySize+plen:]
 	d.remaining--
-	if err := p.UnmarshalFrom(entry); err != nil {
+	var err error
+	if d.version == FrameVersion2 {
+		err = p.UnmarshalFromV2(entry, d.stamps)
+	} else {
+		err = p.UnmarshalFrom(entry)
+	}
+	if err != nil {
 		d.err = err
 		return false, d.err
 	}

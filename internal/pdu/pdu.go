@@ -108,6 +108,13 @@ type PDU struct {
 	LSeq Seq
 	// Data is the application payload (KindData only).
 	Data []byte
+	// Delta, when non-nil, lists the ACK indices that changed relative
+	// to the same source's previous sequenced PDU. It is a decode-side
+	// hint populated by the v2 wire codec (delta-encoded stamps), not
+	// part of the PDU's identity: nil means "unknown — consider every
+	// entry changed". The engine uses it to fold only the changed ACK
+	// entries into AL/PAL instead of scanning all n.
+	Delta []EntityID
 }
 
 // Relation is the outcome of comparing two PDUs under the
@@ -197,6 +204,10 @@ func (p *PDU) Clone() *PDU {
 		q.Data = make([]byte, len(p.Data))
 		copy(q.Data, p.Data)
 	}
+	if p.Delta != nil {
+		q.Delta = make([]EntityID, len(p.Delta))
+		copy(q.Delta, p.Delta)
+	}
 	return &q
 }
 
@@ -228,6 +239,11 @@ func (p *PDU) Validate(n int) error {
 	}
 	if len(p.ACK) != n {
 		return fmt.Errorf("%w: len=%d n=%d", ErrBadACKLen, len(p.ACK), n)
+	}
+	for _, k := range p.Delta {
+		if k < 0 || int(k) >= n {
+			return fmt.Errorf("%w: delta index %d n=%d", ErrBadACKLen, k, n)
+		}
 	}
 	if p.Kind == KindRet {
 		if p.LSrc < 0 || int(p.LSrc) >= n {

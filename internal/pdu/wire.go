@@ -47,6 +47,7 @@ var (
 	ErrBadMagic    = errors.New("pdu: bad magic")
 	ErrBadVersion  = errors.New("pdu: unsupported wire version")
 	ErrBadChecksum = errors.New("pdu: checksum mismatch")
+	ErrBadFlags    = errors.New("pdu: unknown flag bits")
 	ErrTooLong     = errors.New("pdu: field too long to encode")
 )
 
@@ -112,6 +113,17 @@ func Unmarshal(b []byte) (*PDU, error) {
 // overwritten; on error p's contents are unspecified. The decoded slices
 // copy out of b, so b may be recycled as soon as the call returns.
 func (p *PDU) UnmarshalFrom(b []byte) error {
+	// Magic and version are checked before anything else so that a
+	// datagram from a peer speaking another codec version fails with
+	// the typed ErrBadVersion whatever its length.
+	if len(b) >= 3 {
+		if m := binary.BigEndian.Uint16(b[0:2]); m != Magic {
+			return fmt.Errorf("%w: %04x", ErrBadMagic, m)
+		}
+		if v := b[2]; v != WireVersion {
+			return fmt.Errorf("%w: %d", ErrBadVersion, v)
+		}
+	}
 	if len(b) < headerSize+4+trailerSize {
 		return fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
 	}
@@ -119,13 +131,12 @@ func (p *PDU) UnmarshalFrom(b []byte) error {
 	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(crcBytes); got != want {
 		return fmt.Errorf("%w: got %08x want %08x", ErrBadChecksum, got, want)
 	}
-	if m := binary.BigEndian.Uint16(body[0:2]); m != Magic {
-		return fmt.Errorf("%w: %04x", ErrBadMagic, m)
-	}
-	if v := body[2]; v != WireVersion {
-		return fmt.Errorf("%w: %d", ErrBadVersion, v)
-	}
 	p.Kind = Kind(body[3])
+	// Unknown flag bits are rejected (not silently dropped) so that
+	// every accepted datagram re-encodes bit-identically.
+	if extra := body[4] &^ flagNeedAck; extra != 0 {
+		return fmt.Errorf("%w: %02x", ErrBadFlags, extra)
+	}
 	p.NeedAck = body[4]&flagNeedAck != 0
 	p.CID = binary.BigEndian.Uint32(body[5:9])
 	p.Src = EntityID(int32(binary.BigEndian.Uint32(body[9:13])))

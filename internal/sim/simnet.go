@@ -20,6 +20,8 @@ type netConfig struct {
 	seed          int64
 	drop          func(from, to pdu.EntityID, p *pdu.PDU) bool
 	dropDatagram  func(from, to pdu.EntityID, pdus int) bool
+	encode        func(from pdu.EntityID, batch []*pdu.PDU) []byte
+	decode        func(from, to pdu.EntityID, frame []byte) []*pdu.PDU
 }
 
 // NetDelay sets a per-channel propagation-delay model; the RNG allows
@@ -59,11 +61,31 @@ func NetDatagramFilter(fn func(from, to pdu.EntityID, pdus int) bool) NetOption 
 	return func(c *netConfig) { c.dropDatagram = fn }
 }
 
+// NetCodec routes every Broadcast datagram through a wire codec round
+// trip instead of moving PDU pointers: encode runs exactly once per
+// datagram, before the per-receiver fault rolls, so send-side codec
+// state (a v2 delta-stamp reference) advances the way a real link's
+// does; decode runs once per delivered copy at its receiver, so lost
+// and duplicated datagrams exercise the receive-side codec state
+// exactly as on a lossy wire. decode returns the PDUs that survived —
+// a short result models codec-level loss (a delta stamp whose
+// reference datagram was dropped) and is counted in CodecDropped. The
+// returned frame and PDUs must be freshly owned (the network schedules
+// and replays them). Direct Send calls bypass the codec.
+func NetCodec(encode func(from pdu.EntityID, batch []*pdu.PDU) []byte,
+	decode func(from, to pdu.EntityID, frame []byte) []*pdu.PDU) NetOption {
+	return func(c *netConfig) { c.encode, c.decode = encode, decode }
+}
+
 // NetStats counts simulated-network events.
 type NetStats struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
+	// CodecDropped counts PDUs lost inside delivered datagrams by the
+	// NetCodec round trip (decode returned fewer PDUs than were sent),
+	// e.g. v2 delta stamps rejected for a lost reference.
+	CodecDropped uint64
 }
 
 // Net is the virtual-time MC network: per-sender order preserved on every
@@ -141,13 +163,21 @@ func (n *Net) Size() int { return len(n.handlers) }
 func (n *Net) Stats() NetStats { return n.stats }
 
 // Broadcast schedules delivery of a batch (one datagram) from one entity
-// to every other.
+// to every other. With a NetCodec installed the batch is encoded here,
+// once, and the same frame bytes fan out to every receiver.
 func (n *Net) Broadcast(from pdu.EntityID, batch ...*pdu.PDU) {
+	if len(batch) == 0 {
+		return
+	}
+	var frame []byte
+	if n.cfg.encode != nil {
+		frame = n.cfg.encode(from, batch)
+	}
 	for to := range n.handlers {
 		if pdu.EntityID(to) == from {
 			continue
 		}
-		n.Send(from, pdu.EntityID(to), batch...)
+		n.send(from, pdu.EntityID(to), batch, frame)
 	}
 }
 
@@ -156,6 +186,12 @@ func (n *Net) Broadcast(from pdu.EntityID, batch ...*pdu.PDU) {
 // one simulator event, and its PDUs reach the handler in append order —
 // so per-sender order holds within and across batches. Stats count PDUs.
 func (n *Net) Send(from, to pdu.EntityID, batch ...*pdu.PDU) {
+	n.send(from, to, batch, nil)
+}
+
+// send is the shared channel path; a non-nil frame carries the encoded
+// datagram for the NetCodec byte path.
+func (n *Net) send(from, to pdu.EntityID, batch []*pdu.PDU, frame []byte) {
 	if len(batch) == 0 {
 		return
 	}
@@ -191,6 +227,27 @@ func (n *Net) Send(from, to pdu.EntityID, batch ...*pdu.PDU) {
 			at = prev + time.Nanosecond
 		}
 		n.lastAt[from][to] = at
+		if frame != nil {
+			// Byte path: decode at arrival, per delivered copy, so the
+			// receiver's codec state sees exactly the datagram sequence
+			// the channel delivered (losses, duplicates and all).
+			sent := len(batch)
+			n.sim.At(at, func() {
+				pdus := n.cfg.decode(from, to, frame)
+				n.stats.Delivered += uint64(len(pdus))
+				if len(pdus) < sent {
+					n.stats.CodecDropped += uint64(sent - len(pdus))
+				}
+				h := n.handlers[to]
+				if h == nil {
+					return
+				}
+				for _, p := range pdus {
+					h(from, p)
+				}
+			})
+			continue
+		}
 		clones := make([]*pdu.PDU, len(batch))
 		for i, p := range batch {
 			clones[i] = p.Clone()

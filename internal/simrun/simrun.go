@@ -8,6 +8,7 @@
 package simrun
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -46,6 +47,20 @@ type Options struct {
 	// RunToQuiescence via the cluster's step mutex; callers stepping
 	// c.Sim directly while a scraper is live should hold c.StepLock.
 	Registry *obsv.Registry
+	// WireVersion, when nonzero, routes every broadcast datagram through
+	// the real wire codec (1 = fixed-width v1, 2 = delta-stamp v2): each
+	// datagram is encoded once at the sender and decoded per delivered
+	// copy, so simulated loss and duplication exercise the v2 per-source
+	// stamp caches exactly as on a lossy wire. Zero keeps the historical
+	// PDU-pointer path (and its pinned trace digests). Delta stamps
+	// rejected for a lost reference are dropped like lost PDUs and show
+	// up in the network's CodecDropped counter; the protocol recovers
+	// them by retransmission or the next full-stamp sync point.
+	WireVersion int
+	// StampInterval is the v2 full-stamp sync interval K (0 selects the
+	// codec default; 1 full-stamps every PDU). Ignored unless
+	// WireVersion is 2.
+	StampInterval int
 }
 
 // Cluster is a simulated CO-protocol cluster.
@@ -77,7 +92,15 @@ func New(opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("simrun: need at least 2 entities, got %d", opts.N)
 	}
 	s := sim.New()
-	net := sim.NewNet(s, opts.N, opts.Net...)
+	netOpts := opts.Net
+	if opts.WireVersion != 0 {
+		codec, err := wireCodec(opts.N, opts.WireVersion, opts.StampInterval)
+		if err != nil {
+			return nil, err
+		}
+		netOpts = append(append([]sim.NetOption{}, opts.Net...), codec)
+	}
+	net := sim.NewNet(s, opts.N, netOpts...)
 	c := &Cluster{
 		Sim:       s,
 		Net:       net,
@@ -136,6 +159,78 @@ func New(opts Options) (*Cluster, error) {
 		c.scheduleTick(id)
 	}
 	return c, nil
+}
+
+// wireCodec builds the sim.NetCodec for a cluster of n entities: one
+// frame/stamp encoder per sender (its reference advances once per
+// datagram, like a real link's) and one frame/stamp decoder per directed
+// channel (mirroring the per-sender FIFO cache a receiving link keeps).
+func wireCodec(n, version, stampK int) (sim.NetOption, error) {
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("simrun: unsupported wire version %d", version)
+	}
+	encs := make([]pdu.FrameEncoder, n)
+	var stamps []*pdu.StampEncoder
+	if version == 2 {
+		stamps = make([]*pdu.StampEncoder, n)
+		for i := range stamps {
+			stamps[i] = pdu.NewStampEncoder(stampK)
+		}
+	}
+	decs := make([][]pdu.FrameDecoder, n) // decs[to][from]
+	sdecs := make([][]pdu.StampDecoder, n)
+	for to := range decs {
+		decs[to] = make([]pdu.FrameDecoder, n)
+		sdecs[to] = make([]pdu.StampDecoder, n)
+		for from := range decs[to] {
+			decs[to][from].SetStampDecoder(&sdecs[to][from])
+		}
+	}
+	encode := func(from pdu.EntityID, batch []*pdu.PDU) []byte {
+		e := &encs[from]
+		if version == 2 {
+			e.BeginV2(nil, stamps[from])
+		} else {
+			e.Begin(nil)
+		}
+		for _, p := range batch {
+			if err := e.Append(p); err != nil {
+				// Entities only emit encodable PDUs; failing to encode
+				// one is a harness bug worth surfacing loudly.
+				panic(fmt.Sprintf("simrun: encode from %d: %v", from, err))
+			}
+		}
+		return e.Bytes()
+	}
+	decode := func(from, to pdu.EntityID, frame []byte) []*pdu.PDU {
+		d := &decs[to][from]
+		if err := d.Reset(frame); err != nil {
+			panic(fmt.Sprintf("simrun: frame %d->%d: %v", from, to, err))
+		}
+		var out []*pdu.PDU
+		var p pdu.PDU
+		for {
+			ok, err := d.Next(&p)
+			if err != nil {
+				if errors.Is(err, pdu.ErrDeltaDesync) {
+					// A delta whose reference this channel lost (or a
+					// duplicated delivery replaying one): the datagram's
+					// remainder is dropped like loss, exactly as the
+					// link layer treats it.
+					return out
+				}
+				panic(fmt.Sprintf("simrun: decode %d->%d: %v", from, to, err))
+			}
+			if !ok {
+				return out
+			}
+			// Clone: p.ACK/p.Data are scratch and p.Delta aliases the
+			// stamp decoder's scratch, all overwritten by the next
+			// decode, while the network replays these PDUs later.
+			out = append(out, p.Clone())
+		}
+	}
+	return sim.NetCodec(encode, decode), nil
 }
 
 // scheduleTick arms a self-rescheduling virtual timer for one entity.

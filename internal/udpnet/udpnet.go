@@ -38,6 +38,10 @@ type Stats struct {
 	// Oversize counts datagrams rejected by Broadcast for exceeding
 	// MaxDatagram.
 	Oversize uint64
+	// BytesSent and BytesReceived count datagram payload bytes on the
+	// wire; BytesSent accumulates once per peer transmission, like Sent.
+	BytesSent     uint64
+	BytesReceived uint64
 }
 
 // Transport is a cobcast.Transport over UDP.
@@ -101,11 +105,13 @@ func (t *Transport) LocalAddr() string { return t.conn.LocalAddr().String() }
 // Stats returns a snapshot of the transport counters.
 func (t *Transport) Stats() Stats {
 	return Stats{
-		Sent:       t.m.Sent.Load(),
-		Received:   t.m.Received.Load(),
-		Overrun:    t.m.Overrun.Load(),
-		ReadErrors: t.m.ReadErrors.Load(),
-		Oversize:   t.m.Oversize.Load(),
+		Sent:          t.m.Sent.Load(),
+		Received:      t.m.Received.Load(),
+		Overrun:       t.m.Overrun.Load(),
+		ReadErrors:    t.m.ReadErrors.Load(),
+		Oversize:      t.m.Oversize.Load(),
+		BytesSent:     t.m.BytesSent.Load(),
+		BytesReceived: t.m.BytesReceived.Load(),
 	}
 }
 
@@ -130,6 +136,7 @@ func (t *Transport) Broadcast(datagram []byte) error {
 	for _, addr := range t.peers {
 		if _, err := t.conn.WriteToUDP(datagram, addr); err == nil {
 			t.m.Sent.Inc()
+			t.m.BytesSent.Add(uint64(len(datagram)))
 		}
 	}
 	return nil
@@ -173,6 +180,7 @@ func (t *Transport) readLoop() {
 		select {
 		case t.recv <- buf[:n]:
 			t.m.Received.Inc()
+			t.m.BytesReceived.Add(uint64(n))
 		default:
 			// Receive-buffer overrun: the paper's loss model, repaired
 			// by the CO protocol's selective retransmission.

@@ -1,6 +1,7 @@
 package cobcast
 
 import (
+	"errors"
 	"sync"
 
 	"cobcast/internal/network"
@@ -150,13 +151,25 @@ func (l *memLink) close() error {
 // frame, and deliver decodes arriving frames into a reused scratch PDU —
 // so the whole encode/decode hot path is allocation-free in steady state,
 // reusing one grown send buffer and the transport's datagram pool.
+//
+// The entry codec version is a send-side choice: reception accepts v1
+// and v2 frames alike (the per-source stamp cache resolves v2 delta
+// entries whatever this node emits), so a mixed-version cluster
+// interoperates and the version can roll node by node.
 type wireLink struct {
-	trans Transport
-	enc   pdu.FrameEncoder
+	trans   Transport
+	version uint8
+	enc     pdu.FrameEncoder
+	// stamps is the v2 reference-stamp state threaded through every
+	// frame this link sends; nil for a v1 link.
+	stamps *pdu.StampEncoder
 	// sendBuf is the frame build buffer, retained across flushes so it
 	// grows once; only the loop goroutine touches it.
 	sendBuf []byte
 	dec     pdu.FrameDecoder
+	// sdec caches the last stamp decoded per source, mirroring each
+	// sender's stream across frames (see pdu.StampDecoder).
+	sdec    pdu.StampDecoder
 	scratch pdu.PDU
 	lm      *obsv.LinkMetrics // nil unless instrumented
 	in      chan inbound
@@ -165,21 +178,47 @@ type wireLink struct {
 	once    sync.Once
 }
 
-func newWireLink(trans Transport) *wireLink {
+// newWireLink attaches trans using entry codec version (pdu.WireVersion
+// or pdu.WireVersion2). stampK is v2's full-stamp sync interval; <= 0
+// selects pdu.DefaultStampInterval.
+func newWireLink(trans Transport, version uint8, stampK int) *wireLink {
 	l := &wireLink{
 		trans:   trans,
+		version: version,
 		sendBuf: make([]byte, 0, 4096),
 		in:      make(chan inbound),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	l.enc.Begin(l.sendBuf)
+	if version == pdu.WireVersion2 {
+		l.stamps = pdu.NewStampEncoder(stampK)
+	}
+	l.dec.SetStampDecoder(&l.sdec)
+	l.begin()
 	go l.pump()
 	return l
 }
 
+// begin opens the next outgoing frame with the link's entry codec.
+func (l *wireLink) begin() {
+	if l.version == pdu.WireVersion2 {
+		l.enc.BeginV2(l.sendBuf, l.stamps)
+	} else {
+		l.enc.Begin(l.sendBuf)
+	}
+}
+
+// entryBound returns an upper bound on p's encoded size under the
+// link's entry codec, for the early-flush datagram budget.
+func (l *wireLink) entryBound(p *pdu.PDU) int {
+	if l.version == pdu.WireVersion2 {
+		return p.EncodedSizeV2Bound()
+	}
+	return p.EncodedSize()
+}
+
 func (l *wireLink) append(p *pdu.PDU) {
-	if l.enc.Count() > 0 && l.enc.Size()+pdu.FrameEntrySize+p.EncodedSize() > MaxDatagram {
+	if l.enc.Count() > 0 && l.enc.Size()+pdu.FrameEntrySize+l.entryBound(p) > MaxDatagram {
 		l.flushFrame(true)
 	}
 	// An Append error means the PDU itself cannot be encoded (field
@@ -195,11 +234,12 @@ func (l *wireLink) flushFrame(early bool) {
 	}
 	l.lm.Flush(l.enc.Count(), early)
 	b := l.enc.Bytes()
+	l.lm.FlushBytes(len(b), l.version)
 	// Loss and oversize are the transport's to count; the protocol
 	// repairs both via selective retransmission.
 	_ = l.trans.Broadcast(b)
 	l.sendBuf = b[:0]
-	l.enc.Begin(l.sendBuf)
+	l.begin()
 }
 
 func (l *wireLink) instrument(m *obsv.LinkMetrics) { l.lm = m }
@@ -232,8 +272,16 @@ func (l *wireLink) pump() {
 func (l *wireLink) deliver(in inbound, fn func(p *pdu.PDU)) {
 	// A decode error means a truncated or corrupt frame tail: PDUs
 	// decoded before it stand, the rest are lost datagram content the
-	// protocol recovers via RET.
+	// protocol recovers via RET. A delta entry whose reference stamp
+	// this receiver never saw (pdu.ErrDeltaDesync) is the same thing one
+	// level up — the reference was lost in transit — so the frame
+	// remainder is dropped as loss too, repaired by retransmission or
+	// the sender's next full-stamp sync point; it is counted separately
+	// from genuinely invalid input.
 	err := l.dec.Reset(in.raw)
+	if err == nil {
+		l.lm.RecvBytes(len(in.raw), l.dec.Version())
+	}
 	for err == nil {
 		var ok bool
 		ok, err = l.dec.Next(&l.scratch)
@@ -247,6 +295,9 @@ func (l *wireLink) deliver(in inbound, fn func(p *pdu.PDU)) {
 		} else {
 			fn(&l.scratch)
 		}
+	}
+	if errors.Is(err, pdu.ErrDeltaDesync) {
+		l.lm.StampDesync()
 	}
 	pdu.PutDatagram(in.raw)
 }

@@ -55,7 +55,7 @@ type Node struct {
 	evicts   chan evictReq
 	statsReq chan chan core.Stats
 	idleReq  chan chan bool
-	snapReq  chan chan obsv.StateSnapshot
+	snapReq  chan snapRequest
 	deliver  chan Message
 	queue    deliveryQueue
 	start    time.Time
@@ -78,7 +78,15 @@ func NewNode(id, n int, trans Transport, opts ...Option) (*Node, error) {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	nd, err := newNode(id, n, o, newWireLink(trans))
+	version := uint8(pdu.WireVersion2)
+	switch o.wireVersion {
+	case 0, 2: // default: the delta-stamp codec
+	case 1:
+		version = pdu.WireVersion
+	default:
+		return nil, fmt.Errorf("cobcast: unsupported wire codec version %d", o.wireVersion)
+	}
+	nd, err := newNode(id, n, o, newWireLink(trans, version, o.stampInterval))
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +124,7 @@ func newNode(id, n int, o options, lk link) (*Node, error) {
 		evicts:   make(chan evictReq),
 		statsReq: make(chan chan core.Stats),
 		idleReq:  make(chan chan bool),
-		snapReq:  make(chan chan obsv.StateSnapshot),
+		snapReq:  make(chan snapRequest),
 		deliver:  make(chan Message),
 		start:    time.Now(),
 		tick:     o.tick(),
@@ -227,25 +235,46 @@ func (nd *Node) Stats() Stats {
 // off that scrape rather than stalling the endpoint.
 const snapshotTimeout = 100 * time.Millisecond
 
+// snapRequest asks the protocol loop to fill dst with the entity's
+// state between inputs; done (buffered) is signaled once dst is valid.
+type snapRequest struct {
+	dst  *obsv.StateSnapshot
+	done chan struct{}
+}
+
 // StateSnapshot returns a consistent copy of the node's live protocol
 // state (sequence numbers, confirmation minima, log depths, buffer
 // occupancy), taken between inputs on the protocol loop. ok is false
 // if the loop stayed busy past an internal timeout. It is the node's
 // obsv.SnapshotFunc; the registry and /statez call it on scrapes.
 func (nd *Node) StateSnapshot() (obsv.StateSnapshot, bool) {
-	// Buffered so the loop's reply never blocks on a scraper that
-	// already timed out and walked away.
-	reply := make(chan obsv.StateSnapshot, 1)
+	var s obsv.StateSnapshot
+	ok := nd.StateSnapshotInto(&s)
+	return s, ok
+}
+
+// StateSnapshotInto is StateSnapshot writing into a caller-owned value
+// whose slice capacity is reused (see core.Entity.SnapshotInto), so a
+// poller that keeps one scratch snapshot avoids the five O(n) slice
+// allocations a fresh snapshot costs. On false (loop busy past the
+// timeout) dst is untouched. dst must not be scraped into again while
+// a previous fill is still being read elsewhere.
+func (nd *Node) StateSnapshotInto(dst *obsv.StateSnapshot) bool {
+	req := snapRequest{dst: dst, done: make(chan struct{}, 1)}
 	timer := time.NewTimer(snapshotTimeout)
 	defer timer.Stop()
 	select {
-	case nd.snapReq <- reply:
-		return <-reply, true
+	case nd.snapReq <- req:
+		// Accepted: the loop owns dst until done fires, so wait without
+		// a timeout (abandoning dst here would race the loop's write).
+		<-req.done
+		return true
 	case <-nd.loopDone:
 		// Loop exited: the entity is no longer mutated, read directly.
-		return nd.ent.Snapshot(), true
+		nd.ent.SnapshotInto(dst)
+		return true
 	case <-timer.C:
-		return obsv.StateSnapshot{}, false
+		return false
 	}
 }
 
@@ -298,8 +327,9 @@ func (nd *Node) loop() {
 			reply <- nd.ent.Stats()
 		case reply := <-nd.idleReq:
 			reply <- nd.ent.Quiescent()
-		case reply := <-nd.snapReq:
-			reply <- nd.ent.Snapshot()
+		case req := <-nd.snapReq:
+			nd.ent.SnapshotInto(req.dst)
+			req.done <- struct{}{}
 		}
 		// …then drain everything already pending without blocking, so
 		// the PDUs all of it produces share one flush.
@@ -323,8 +353,9 @@ func (nd *Node) loop() {
 				reply <- nd.ent.Stats()
 			case reply := <-nd.idleReq:
 				reply <- nd.ent.Quiescent()
-			case reply := <-nd.snapReq:
-				reply <- nd.ent.Snapshot()
+			case req := <-nd.snapReq:
+				nd.ent.SnapshotInto(req.dst)
+				req.done <- struct{}{}
 			default:
 				drained = true
 			}

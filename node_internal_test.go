@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cobcast/internal/network"
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 )
 
@@ -132,10 +133,17 @@ func seqPDU(n int, seq pdu.Seq) *pdu.PDU {
 	return &pdu.PDU{Kind: pdu.KindSync, Src: 0, SEQ: seq, ACK: make([]pdu.Seq, n)}
 }
 
-// decodeAll decodes every PDU of a frame.
-func decodeAll(t *testing.T, frame []byte) []*pdu.PDU {
+// streamDecoder returns a frame decoder with a stamp cache, able to
+// resolve v2 delta entries when fed one sender's frames in send order.
+func streamDecoder() *pdu.FrameDecoder {
+	d := new(pdu.FrameDecoder)
+	d.SetStampDecoder(new(pdu.StampDecoder))
+	return d
+}
+
+// decodeAll decodes every PDU of a frame through d.
+func decodeAll(t *testing.T, d *pdu.FrameDecoder, frame []byte) []*pdu.PDU {
 	t.Helper()
-	var d pdu.FrameDecoder
 	if err := d.Reset(frame); err != nil {
 		t.Fatalf("frame decode: %v", err)
 	}
@@ -149,20 +157,20 @@ func decodeAll(t *testing.T, frame []byte) []*pdu.PDU {
 		if !ok {
 			return out
 		}
-		out = append(out, &p)
+		out = append(out, p.Clone())
 	}
 }
 
 func TestWireLinkCoalescesAppendsIntoOneFrame(t *testing.T) {
 	tr := newChanTransport()
-	l := newWireLink(tr)
+	l := newWireLink(tr, pdu.WireVersion2, 0)
 	defer l.close()
 	for i := 1; i <= 5; i++ {
 		l.append(seqPDU(3, pdu.Seq(i)))
 	}
 	l.flush()
 	l.flush() // empty flush must not emit a frame
-	got := decodeAll(t, <-tr.frames)
+	got := decodeAll(t, streamDecoder(), <-tr.frames)
 	if len(got) != 5 {
 		t.Fatalf("frame carries %d PDUs, want 5", len(got))
 	}
@@ -180,7 +188,7 @@ func TestWireLinkCoalescesAppendsIntoOneFrame(t *testing.T) {
 
 func TestWireLinkFlushesBeforeExceedingMaxDatagram(t *testing.T) {
 	tr := newChanTransport()
-	l := newWireLink(tr)
+	l := newWireLink(tr, pdu.WireVersion2, 0)
 	defer l.close()
 	// Each PDU is ~15 KiB, so a 60 KiB datagram fits three but not four.
 	big := func(seq pdu.Seq) *pdu.PDU {
@@ -199,7 +207,8 @@ func TestWireLinkFlushesBeforeExceedingMaxDatagram(t *testing.T) {
 			t.Errorf("frame of %d bytes exceeds MaxDatagram", len(raw))
 		}
 	}
-	first, second := decodeAll(t, rawFirst), decodeAll(t, rawSecond)
+	d := streamDecoder()
+	first, second := decodeAll(t, d, rawFirst), decodeAll(t, d, rawSecond)
 	if len(first) != 3 || len(second) != 1 {
 		t.Fatalf("split %d+%d PDUs, want 3+1 (early flush at size bound)", len(first), len(second))
 	}
@@ -236,5 +245,112 @@ func TestMemLinkAutoFlushCapsBatch(t *testing.T) {
 		if s != pdu.Seq(i+1) {
 			t.Fatalf("position %d: seq %d, want %d (order across datagrams)", i, s, i+1)
 		}
+	}
+}
+
+func TestWireLinkV1EmitsVersion1Frames(t *testing.T) {
+	tr := newChanTransport()
+	l := newWireLink(tr, pdu.WireVersion, 0)
+	defer l.close()
+	for i := 1; i <= 3; i++ {
+		l.append(seqPDU(3, pdu.Seq(i)))
+	}
+	l.flush()
+	raw := <-tr.frames
+	if raw[2] != pdu.FrameVersion {
+		t.Fatalf("frame version %d, want %d", raw[2], pdu.FrameVersion)
+	}
+	if got := decodeAll(t, streamDecoder(), raw); len(got) != 3 {
+		t.Fatalf("decoded %d PDUs, want 3", len(got))
+	}
+}
+
+func TestWireLinkV2FramesSmallerThanV1(t *testing.T) {
+	// The same contiguous stream, sent through a v1 and a v2 link; the
+	// v2 per-version byte counter must come out well below v1's.
+	send := func(version uint8) uint64 {
+		tr := newChanTransport()
+		l := newWireLink(tr, version, 0)
+		defer l.close()
+		lm := obsv.NewLinkMetrics()
+		l.instrument(lm)
+		for i := 1; i <= 20; i++ {
+			p := seqPDU(64, pdu.Seq(i))
+			p.ACK[0] = pdu.Seq(i)
+			l.append(p)
+			l.flush()
+			raw := <-tr.frames
+			if raw[2] != version {
+				t.Fatalf("frame version %d, want %d", raw[2], version)
+			}
+		}
+		if version == pdu.WireVersion2 {
+			if v1 := lm.BytesOutV1.Load(); v1 != 0 {
+				t.Fatalf("v2 link counted %d bytes as v1", v1)
+			}
+			return lm.BytesOutV2.Load()
+		}
+		if v2 := lm.BytesOutV2.Load(); v2 != 0 {
+			t.Fatalf("v1 link counted %d bytes as v2", v2)
+		}
+		return lm.BytesOutV1.Load()
+	}
+	v1, v2 := send(pdu.WireVersion), send(pdu.WireVersion2)
+	if v1 == 0 || v2 == 0 {
+		t.Fatalf("byte counters not populated: v1=%d v2=%d", v1, v2)
+	}
+	if v2*2 > v1 {
+		t.Fatalf("v2 sent %d bytes, not under half of v1's %d (n=64 stream)", v2, v1)
+	}
+}
+
+func TestWireLinkDeliverDesyncCountedAndRecovered(t *testing.T) {
+	// A receiver that missed the frame carrying a delta's reference must
+	// drop the delta as counted loss, then recover from the full stamp
+	// once the missing frame is (re)delivered.
+	l := newWireLink(newChanTransport(), pdu.WireVersion2, 0)
+	defer l.close()
+	lm := obsv.NewLinkMetrics()
+	l.instrument(lm)
+
+	mk := func(seq pdu.Seq) *pdu.PDU {
+		p := seqPDU(3, seq)
+		p.ACK[0] = seq
+		return p
+	}
+	enc := pdu.NewStampEncoder(1 << 20) // no interval escapes in this test
+	f1, err := pdu.EncodeFrameV2([]*pdu.PDU{mk(1)}, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := pdu.EncodeFrameV2([]*pdu.PDU{mk(2), mk(3)}, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := func(frame []byte) (seqs []pdu.Seq) {
+		b := make([]byte, len(frame))
+		copy(b, frame)
+		l.deliver(inbound{raw: b}, func(p *pdu.PDU) { seqs = append(seqs, p.SEQ) })
+		return
+	}
+
+	if got := recv(f2); len(got) != 0 { // f1 lost: delta has no reference
+		t.Fatalf("desynchronized link delivered %v", got)
+	}
+	if n := lm.StampDesyncs.Load(); n != 1 {
+		t.Fatalf("StampDesyncs = %d, want 1", n)
+	}
+	if got := recv(f1); len(got) != 1 || got[0] != 1 { // full stamp re-anchors
+		t.Fatalf("full-stamp frame delivered %v, want [1]", got)
+	}
+	if got := recv(f2); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("replayed delta frame delivered %v, want [2 3]", got)
+	}
+	if n := lm.StampDesyncs.Load(); n != 1 {
+		t.Fatalf("StampDesyncs = %d after recovery, want 1", n)
+	}
+	if lm.BytesInV2.Load() == 0 || lm.BytesInV1.Load() != 0 {
+		t.Fatalf("inbound byte counters v1=%d v2=%d, want all under v2",
+			lm.BytesInV1.Load(), lm.BytesInV2.Load())
 	}
 }

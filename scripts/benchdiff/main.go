@@ -1,0 +1,232 @@
+// Command benchdiff compares `go test -bench` output against the most
+// recent BENCH_*.json baseline recorded in the repository root, and
+// fails (exit 1) on a >10% ns/op regression or any allocs/op growth on
+// a benchmark the baseline pins.
+//
+// The baseline is the highest-numbered BENCH_PR<n>.json containing a
+// top-level "benchmarks" map:
+//
+//	"benchmarks": {
+//	  "BenchmarkHotPathPipeline/n=64": {
+//	    "ns_per_op": 123.4, "bytes_per_op": 0, "allocs_per_op": 0
+//	  }
+//	}
+//
+// Benchmark names are matched after stripping the -GOMAXPROCS suffix;
+// output benchmarks absent from the baseline are listed as new and do
+// not fail the run. Timing on shared CI runners is noisy, so the CI
+// bench-smoke job passes -allocs-only and gates only on allocation
+// regressions; the full ns/op gate is the opt-in `make benchdiff`
+// target (or BENCHDIFF=1 make check) on a quiet machine.
+//
+// Usage:
+//
+//	go test . -run '^$' -bench . -benchmem | go run ./scripts/benchdiff
+//	go run ./scripts/benchdiff -input bench.out -allocs-only
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's measured metrics, from either side of the
+// comparison. Allocs is -1 when the line carried no -benchmem columns.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// baselineFile is the subset of a BENCH_PR<n>.json that benchdiff
+// consumes.
+type baselineFile struct {
+	PR         int               `json:"pr"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// latestBaseline picks the highest-PR BENCH_PR<n>.json in dir that has
+// a non-empty "benchmarks" map.
+func latestBaseline(dir string) (string, *baselineFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	type cand struct {
+		pr   int
+		path string
+	}
+	var cands []cand
+	for _, e := range entries {
+		if m := benchFile.FindStringSubmatch(e.Name()); m != nil {
+			pr, _ := strconv.Atoi(m[1])
+			cands = append(cands, cand{pr, filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].pr > cands[j].pr })
+	for _, c := range cands {
+		b, err := loadBaseline(c.path)
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", c.path, err)
+		}
+		if len(b.Benchmarks) > 0 {
+			return c.path, b, nil
+		}
+	}
+	return "", nil, fmt.Errorf("no BENCH_PR*.json with a \"benchmarks\" map under %s", dir)
+}
+
+func loadBaseline(path string) (*baselineFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baselineFile
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// stripProcs removes go test's -GOMAXPROCS benchmark-name suffix.
+func stripProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseBench extracts benchmark results from `go test -bench` text.
+// A result line is "BenchmarkName-P  iters  v1 unit1  v2 unit2 ...";
+// only the ns/op, B/op and allocs/op units are kept.
+func parseBench(r *bufio.Scanner) (map[string]result, []string, error) {
+	out := make(map[string]result)
+	var order []string
+	for r.Scan() {
+		fields := strings.Fields(r.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: some other Benchmark... line
+		}
+		res := result{AllocsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		name := stripProcs(fields[0])
+		if _, dup := out[name]; !dup {
+			order = append(order, name)
+		}
+		out[name] = res
+	}
+	return out, order, r.Err()
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the BENCH_PR*.json baselines")
+	baselinePath := flag.String("baseline", "", "explicit baseline file (default: latest BENCH_PR*.json with a benchmarks map)")
+	input := flag.String("input", "-", "go test -bench output to check ('-' = stdin)")
+	maxNsPct := flag.Float64("max-ns-pct", 10, "ns/op regression tolerance in percent")
+	allocsOnly := flag.Bool("allocs-only", false, "gate only on allocs/op (for noisy CI timing)")
+	flag.Parse()
+
+	if err := run(*dir, *baselinePath, *input, *maxNsPct, *allocsOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, baselinePath, input string, maxNsPct float64, allocsOnly bool) error {
+	var (
+		base *baselineFile
+		path string
+		err  error
+	)
+	if baselinePath != "" {
+		path = baselinePath
+		if base, err = loadBaseline(path); err != nil {
+			return err
+		}
+		if len(base.Benchmarks) == 0 {
+			return fmt.Errorf("%s has no \"benchmarks\" map", path)
+		}
+	} else if path, base, err = latestBaseline(dir); err != nil {
+		return err
+	}
+
+	in := os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	got, order, err := parseBench(bufio.NewScanner(in))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("benchdiff: baseline %s (%d pinned benchmarks)\n", path, len(base.Benchmarks))
+	matched, regressions := 0, 0
+	for _, name := range order {
+		now := got[name]
+		ref, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  new      %-52s %12.1f ns/op (no baseline)\n", name, now.NsPerOp)
+			continue
+		}
+		matched++
+		bad := ""
+		if !allocsOnly && ref.NsPerOp > 0 && now.NsPerOp > ref.NsPerOp*(1+maxNsPct/100) {
+			bad = fmt.Sprintf("ns/op +%.1f%% (limit +%.0f%%)",
+				100*(now.NsPerOp/ref.NsPerOp-1), maxNsPct)
+		}
+		if now.AllocsPerOp > ref.AllocsPerOp {
+			if bad != "" {
+				bad += "; "
+			}
+			bad += fmt.Sprintf("allocs/op %.0f -> %.0f", ref.AllocsPerOp, now.AllocsPerOp)
+		}
+		if bad != "" {
+			regressions++
+			fmt.Printf("  REGRESS  %-52s %12.1f ns/op vs %.1f — %s\n", name, now.NsPerOp, ref.NsPerOp, bad)
+		} else {
+			fmt.Printf("  ok       %-52s %12.1f ns/op vs %.1f (%+.1f%%), %.0f allocs/op\n",
+				name, now.NsPerOp, ref.NsPerOp, 100*(now.NsPerOp/ref.NsPerOp-1), now.AllocsPerOp)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark in the input matches the baseline — wrong -bench pattern?")
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d of %d pinned benchmarks regressed", regressions, matched)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within tolerance\n", matched)
+	return nil
+}

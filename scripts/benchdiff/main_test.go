@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cobcast
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHotPathCodec-8         	 4000000	       300.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotPathPipeline/n=64-8 	    2000	    100000 ns/op	      10 B/op	       0 allocs/op
+BenchmarkBrandNew-8             	 1000000	      50.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	cobcast	10.0s
+`
+
+func TestParseBench(t *testing.T) {
+	got, order, err := parseBench(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(order), order)
+	}
+	r, ok := got["BenchmarkHotPathPipeline/n=64"]
+	if !ok {
+		t.Fatalf("missing sub-benchmark (procs suffix not stripped?): %v", order)
+	}
+	if r.NsPerOp != 100000 || r.BytesPerOp != 10 || r.AllocsPerOp != 0 {
+		t.Errorf("wrong metrics: %+v", r)
+	}
+}
+
+// writeBaseline drops a BENCH_PR<n>.json into dir.
+func writeBaseline(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeInput(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(path, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPicksLatestBaselineAndPasses(t *testing.T) {
+	dir := t.TempDir()
+	// PR4 has no benchmarks map (the historical format); PR5 does. The
+	// tool must skip PR4 and gate against PR5.
+	writeBaseline(t, dir, "BENCH_PR4.json", `{"pr": 4}`)
+	writeBaseline(t, dir, "BENCH_PR5.json", `{"pr": 5, "benchmarks": {
+		"BenchmarkHotPathCodec":           {"ns_per_op": 290, "allocs_per_op": 0},
+		"BenchmarkHotPathPipeline/n=64":   {"ns_per_op": 99000, "allocs_per_op": 0}
+	}}`)
+	in := writeInput(t, dir)
+	if err := run(dir, "", in, 10, false); err != nil {
+		t.Errorf("within tolerance (+3.4%%, +1.0%%) but failed: %v", err)
+	}
+}
+
+func TestRunFailsOnNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_PR5.json", `{"pr": 5, "benchmarks": {
+		"BenchmarkHotPathCodec": {"ns_per_op": 200, "allocs_per_op": 0}
+	}}`)
+	in := writeInput(t, dir)
+	if err := run(dir, "", in, 10, false); err == nil {
+		t.Error("+50% ns/op accepted")
+	}
+	// The same regression passes the allocation-only CI gate.
+	if err := run(dir, "", in, 10, true); err != nil {
+		t.Errorf("-allocs-only rejected a pure timing regression: %v", err)
+	}
+}
+
+func TestRunFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_PR5.json", `{"pr": 5, "benchmarks": {
+		"BenchmarkHotPathPipeline/n=64": {"ns_per_op": 100000, "allocs_per_op": -1}
+	}}`)
+	in := writeInput(t, dir)
+	// Baseline pinned -1 (no benchmem data) vs measured 0: growth.
+	if err := run(dir, "", in, 10, true); err == nil {
+		t.Error("allocs/op growth accepted under -allocs-only")
+	}
+}
+
+func TestRunFailsWithNoOverlap(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_PR5.json", `{"pr": 5, "benchmarks": {
+		"BenchmarkElsewhere": {"ns_per_op": 1, "allocs_per_op": 0}
+	}}`)
+	in := writeInput(t, dir)
+	if err := run(dir, "", in, 10, false); err == nil {
+		t.Error("disjoint benchmark sets must fail loudly, not pass vacuously")
+	}
+}

@@ -22,11 +22,22 @@ go test . -run '^$' -bench 'BenchmarkFig8Tco' -benchtime=100x -benchmem
 
 # go test accepts only one -fuzz pattern per invocation, hence the loop.
 echo '>> fuzz smoke (1s per target)'
-for target in FuzzUnmarshal FuzzFrameDecode FuzzCompare FuzzDTUnmarshal FuzzRETUnmarshal; do
+for target in FuzzUnmarshal FuzzFrameDecode FuzzCompare FuzzDTUnmarshal FuzzRETUnmarshal FuzzV2Unmarshal FuzzV2StreamRoundTrip; do
 	go test ./internal/pdu -run '^$' -fuzz "^${target}\$" -fuzztime 1s
 done
 
 echo '>> chaos sweep smoke (60 seeds)'
 go run ./cmd/cochaos -sweep 60 -par 4
+
+echo '>> chaos sweep smoke under wire codec v2 (60 seeds)'
+go run ./cmd/cochaos -sweep 60 -par 4 -codec 2
+
+# Opt-in perf gate: rerun the benchmarks pinned by the latest
+# BENCH_PR*.json and fail on >10% ns/op or any allocs/op growth.
+# Off by default because ns/op needs a quiet machine to mean anything.
+if [ "${BENCHDIFF:-0}" = 1 ]; then
+	echo '>> benchdiff against latest BENCH_PR*.json'
+	make benchdiff
+fi
 
 echo '>> all checks passed'

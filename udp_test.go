@@ -12,6 +12,13 @@ import (
 // newUDPCluster starts n nodes over UDP loopback with ephemeral ports.
 func newUDPCluster(t *testing.T, n int, opts ...cobcast.Option) []*cobcast.Node {
 	t.Helper()
+	return newUDPClusterPerNode(t, n, func(int) []cobcast.Option { return opts })
+}
+
+// newUDPClusterPerNode is newUDPCluster with per-node options, for
+// clusters whose members are configured differently (mixed wire codecs).
+func newUDPClusterPerNode(t *testing.T, n int, optsFor func(i int) []cobcast.Option) []*cobcast.Node {
+	t.Helper()
 	// Discover n free ports first (bind :0, note the address, release),
 	// then re-bind each with the full peer list. Mildly racy, but fine on
 	// loopback in a test environment.
@@ -38,7 +45,7 @@ func newUDPCluster(t *testing.T, n int, opts ...cobcast.Option) []*cobcast.Node 
 		if err != nil {
 			t.Fatalf("rebind %d: %v", i, err)
 		}
-		nd, err := cobcast.NewNode(i, n, tr, opts...)
+		nd, err := cobcast.NewNode(i, n, tr, optsFor(i)...)
 		if err != nil {
 			t.Fatalf("node %d: %v", i, err)
 		}
@@ -74,6 +81,61 @@ func TestUDPClusterEndToEnd(t *testing.T) {
 			}
 			last[m.Src] = m.Seq
 		}
+	}
+}
+
+// TestUDPMixedCodecClusterConverges runs a rolling-upgrade shape: one
+// node still speaking wire codec v1, the rest v2 with different
+// full-stamp intervals (including K=1, which full-stamps every PDU).
+// Reception is version-agnostic, so the cluster must converge to the
+// same causally ordered deliveries regardless of the codec mix.
+func TestUDPMixedCodecClusterConverges(t *testing.T) {
+	common := []cobcast.Option{cobcast.WithDeferredAckInterval(2 * time.Millisecond)}
+	perNode := [][]cobcast.Option{
+		{cobcast.WithWireCodec(1)},
+		{cobcast.WithWireCodec(2)},
+		{cobcast.WithWireCodec(2), cobcast.WithStampInterval(1)},
+		{cobcast.WithWireCodec(2), cobcast.WithStampInterval(2)},
+	}
+	n := len(perNode)
+	nodes := newUDPClusterPerNode(t, n, func(i int) []cobcast.Option {
+		return append(append([]cobcast.Option{}, common...), perNode[i]...)
+	})
+	const msgs = 20
+	for i := 0; i < msgs; i++ {
+		if err := nodes[i%n].Broadcast([]byte(fmt.Sprintf("mixed-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, nd := range nodes {
+		var got []cobcast.Message
+		deadline := time.After(30 * time.Second)
+		for len(got) < msgs {
+			select {
+			case m := <-nd.Deliveries():
+				got = append(got, m)
+			case <-deadline:
+				t.Fatalf("node %d delivered %d/%d (stats %+v)", i, len(got), msgs, nd.Stats())
+			}
+		}
+		last := map[int]uint64{}
+		for _, m := range got {
+			if prev, ok := last[m.Src]; ok && m.Seq <= prev {
+				t.Errorf("node %d: source %d out of order", i, m.Src)
+			}
+			last[m.Src] = m.Seq
+		}
+	}
+}
+
+func TestNewNodeRejectsUnknownWireCodec(t *testing.T) {
+	tr, err := cobcast.NewUDPTransport("127.0.0.1:0", []string{"127.0.0.1:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := cobcast.NewNode(0, 2, tr, cobcast.WithWireCodec(3)); err == nil {
+		t.Fatal("wire codec version 3 accepted")
 	}
 }
 
