@@ -712,7 +712,7 @@ func BenchmarkFrameCodec(b *testing.B) {
 // (discover ephemeral ports first, then re-bind with peer lists). The
 // discover-then-rebind window can lose a port to another process, so
 // the whole mesh build retries a few times before giving up.
-func newBenchUDPMesh(b *testing.B, n int) []*udpnet.Transport {
+func newBenchUDPMesh(b *testing.B, n int, opts ...udpnet.Option) []*udpnet.Transport {
 	b.Helper()
 	const attempts = 5
 	for attempt := 1; ; attempt++ {
@@ -736,7 +736,7 @@ func newBenchUDPMesh(b *testing.B, n int) []*udpnet.Transport {
 					peers = append(peers, a)
 				}
 			}
-			tr, err := udpnet.New(addrs[i], peers, 8192)
+			tr, err := udpnet.New(addrs[i], peers, 8192, opts...)
 			if err != nil {
 				if attempt == attempts {
 					b.Fatalf("rebind %d: %v", i, err)
@@ -755,24 +755,42 @@ func newBenchUDPMesh(b *testing.B, n int) []*udpnet.Transport {
 	}
 }
 
-// BenchmarkBatchedThroughput is the PR 2 headline experiment: PDU
-// broadcast throughput over the real UDP loopback path, per-PDU
-// datagrams (batch=1, the pre-batching wire behavior: one frame of one
-// PDU per datagram and per syscall) against batched frames (batch=16,
-// what the flush-on-loop-idle link produces under load). One benchmark
-// op is one PDU broadcast from node 0 to the n-1 receivers, which drain
-// and decode concurrently; the delivered-frac metric reports the
-// fraction of PDU copies that survived the lossy path. The sender hot
-// loop must stay at 0 allocs/op.
+// BenchmarkBatchedThroughput is the wire-speed headline experiment: PDU
+// broadcast throughput over the real UDP loopback path across three
+// wire shapes. "per-datagram" is the seed's wire behavior (one frame of
+// one PDU per datagram, one sendto per peer transmission); "batched" is
+// the flush-on-loop-idle link's frame batching from PR 2 (16 PDUs per
+// frame, four frames staged per flush) over the same portable sendto
+// path; "mmsg" is that frame batching over the batched sendmmsg/
+// recvmmsg path, where one staged flush toward all peers is a single
+// syscall. One benchmark op is one PDU broadcast from node 0 to the n-1
+// receivers, which drain and decode concurrently; the delivered-frac
+// metric reports the fraction of PDU copies that survived the lossy
+// path. The sender hot loop must stay at 0 allocs/op on every shape.
 func BenchmarkBatchedThroughput(b *testing.B) {
+	// frameGroup mirrors the frames a multi-frame flush stages before
+	// handing them to BroadcastBatch (see wireLink.sendStaged).
+	const frameGroup = 4
 	for _, mode := range []struct {
 		name  string
-		batch int
-	}{{"unbatched", 1}, {"batched", 16}} {
-		for _, n := range []int{2, 4, 8} {
+		batch int // PDUs per frame
+		group int // frames per BroadcastBatch
+		mmsg  bool
+	}{
+		{"per-datagram", 1, 1, false},
+		{"batched", 16, frameGroup, false},
+		{"mmsg", 16, frameGroup, true},
+	} {
+		for _, n := range []int{2, 4, 8, 16, 32} {
 			mode, n := mode, n
 			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
-				trs := newBenchUDPMesh(b, n)
+				trs := newBenchUDPMesh(b, n, udpnet.WithBatchSyscalls(mode.mmsg))
+				if mode.mmsg && !trs[0].BatchSyscalls() {
+					for _, tr := range trs {
+						tr.Close()
+					}
+					b.Skip("batched syscalls unsupported on this platform")
+				}
 				var delivered atomic.Uint64
 				var wg sync.WaitGroup
 				for _, tr := range trs[1:] {
@@ -801,26 +819,38 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 					Data: make([]byte, 64),
 				}
 				var enc pdu.FrameEncoder
-				buf := make([]byte, 0, udpnet.MaxDatagram)
+				bufs := make([][]byte, mode.group)
+				for k := range bufs {
+					bufs[k] = make([]byte, 0, udpnet.MaxDatagram)
+				}
+				staged := make([][]byte, 0, mode.group)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; {
-					enc.Begin(buf[:0])
-					for j := 0; j < mode.batch && i < b.N; j++ {
-						p.SEQ = pdu.Seq(i + 1)
-						if err := enc.Append(p); err != nil {
+					staged = staged[:0]
+					for g := 0; g < mode.group && i < b.N; g++ {
+						enc.Begin(bufs[g][:0])
+						for j := 0; j < mode.batch && i < b.N; j++ {
+							p.SEQ = pdu.Seq(i + 1)
+							if err := enc.Append(p); err != nil {
+								b.Fatal(err)
+							}
+							i++
+						}
+						bufs[g] = enc.Bytes()
+						staged = append(staged, bufs[g])
+					}
+					if len(staged) == 1 {
+						if err := trs[0].Broadcast(staged[0]); err != nil {
 							b.Fatal(err)
 						}
-						i++
-					}
-					frame := enc.Bytes()
-					buf = frame
-					if err := trs[0].Broadcast(frame); err != nil {
+					} else if err := trs[0].BroadcastBatch(staged); err != nil {
 						b.Fatal(err)
 					}
 				}
 				b.StopTimer()
 				time.Sleep(20 * time.Millisecond) // let in-flight datagrams land
+				sent := trs[0].Stats()
 				for _, tr := range trs {
 					tr.Close()
 				}
@@ -828,10 +858,17 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 				// delivered-frac: PDU copies surviving the lossy
 				// saturated path; delivered_kpps: decoded PDU copies
 				// per second of measured send time — the end-to-end
-				// throughput the batching is after.
+				// throughput the batching is after; syscalls_per_op:
+				// send-side syscalls per PDU broadcast, the quantity
+				// sendmmsg amortizes.
 				total := uint64(b.N) * uint64(n-1)
 				b.ReportMetric(float64(delivered.Load())/float64(total), "delivered-frac")
 				b.ReportMetric(float64(delivered.Load())/b.Elapsed().Seconds()/1000, "delivered_kpps")
+				calls := sent.Sent + sent.SendErrors
+				if sent.SendmmsgCalls > 0 {
+					calls = sent.SendmmsgCalls
+				}
+				b.ReportMetric(float64(calls)/float64(b.N), "syscalls_per_op")
 			})
 		}
 	}

@@ -10,7 +10,8 @@
 //	cobench -exp fig8 -quick
 //
 // Experiments: table1, services, fig8, acklat, buffer, pdulen, wire,
-// retx, isis, msgs, ablate-window, ablate-defer, ablate-buffer, all.
+// syscalls, retx, isis, msgs, ablate-window, ablate-defer,
+// ablate-buffer, all.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|services|fig8|acklat|buffer|pdulen|wire|retx|isis|msgs|ablate-window|ablate-defer|ablate-buffer|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|services|fig8|acklat|buffer|pdulen|wire|syscalls|retx|isis|msgs|ablate-window|ablate-defer|ablate-buffer|all)")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
 	if err := run(*exp, *quick); err != nil {
@@ -42,6 +43,7 @@ func run(exp string, quick bool) error {
 		"buffer":        bufferOccupancy,
 		"pdulen":        pduLength,
 		"wire":          wireBytes,
+		"syscalls":      syscallAmortization,
 		"retx":          retxComparison,
 		"isis":          isisComparison,
 		"msgs":          messageComplexity,
@@ -51,7 +53,7 @@ func run(exp string, quick bool) error {
 	}
 	if exp == "all" {
 		order := []string{"table1", "services", "fig8", "acklat", "buffer", "pdulen",
-			"wire", "retx", "isis", "msgs", "ablate-window", "ablate-defer", "ablate-buffer"}
+			"wire", "syscalls", "retx", "isis", "msgs", "ablate-window", "ablate-defer", "ablate-buffer"}
 		for _, name := range order {
 			if err := runners[name](quick); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -196,6 +198,37 @@ func wireBytes(quick bool) error {
 	fmt.Print(tbl.String())
 	fmt.Println("v1 grows 8 B per entity (E5); v2's delta stamps stay near-flat, full")
 	fmt.Println("stamps reappearing only at sync points (stream head, every 32nd SEQ).")
+	return nil
+}
+
+func syscallAmortization(quick bool) error {
+	ns := []int{2, 8, 16, 32}
+	frames, batch := 2000, 16
+	if quick {
+		ns = []int{2, 8}
+		frames = 400
+	}
+	rows, err := experiments.SyscallAmortization(ns, frames, batch)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable(
+		"[E13] Syscall amortization: sendmmsg/recvmmsg vs per-datagram sendto/recvfrom",
+		"n", "wire path", "PDUs", "send calls", "recv calls", "syscalls/PDU", "delivered kpps", "delivered")
+	for _, r := range rows {
+		path := "per-datagram"
+		if r.Mmsg {
+			path = "mmsg"
+		}
+		tbl.AddRow(r.N, path, r.PDUs, r.SendSyscalls, r.RecvSyscalls,
+			fmt.Sprintf("%.3f", r.SyscallsPerPDU),
+			fmt.Sprintf("%.0f", r.DeliveredKpps),
+			fmt.Sprintf("%.0f%%", 100*r.DeliveredFrac))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("per-datagram pays one syscall per datagram per peer; mmsg amortizes a")
+	fmt.Println("4-frame flush toward all peers into one sendmmsg and drains a 32-slot")
+	fmt.Println("ring per recvmmsg, so syscalls/PDU falls with both batch depth and n.")
 	return nil
 }
 

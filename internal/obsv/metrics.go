@@ -150,9 +150,41 @@ type TransportMetrics struct {
 	// rejected for exceeding the datagram budget.
 	Sent, Received, Overrun, ReadErrors, Oversize Counter
 
+	// SendErrors counts per-peer datagram transmissions the kernel
+	// rejected (EPERM, ENOBUFS, unreachable peer, ...). Sent and
+	// BytesSent count only successful transmissions on every path, so
+	// Sent + SendErrors is the number attempted and an EPERM/ENOBUFS
+	// storm shows up here instead of as mystery loss.
+	SendErrors Counter
+
 	// BytesSent/BytesReceived count datagram payload bytes on the
-	// wire (BytesSent once per peer transmission, like Sent).
+	// wire (BytesSent once per successful peer transmission, like
+	// Sent, identically on the batched and per-datagram paths).
 	BytesSent, BytesReceived Counter
+
+	// SendmmsgCalls/RecvmmsgCalls count batched syscalls issued by the
+	// sendmmsg/recvmmsg fast path; both stay 0 on the portable
+	// per-datagram path. Sent/SendmmsgCalls and Received/RecvmmsgCalls
+	// are the observed amortization ratios.
+	SendmmsgCalls, RecvmmsgCalls Counter
+
+	// SendBatch/RecvBatch observe datagrams per batched syscall (the
+	// DatagramsPerCall distribution). Nil unless the transport runs
+	// the batched path; Observe is nil-safe.
+	SendBatch, RecvBatch *Histogram
+}
+
+// TransportState is slow-changing transport configuration published to
+// /statez alongside the node snapshots: which wire path the transport
+// runs and the effective kernel socket buffer sizes. Effective sizes
+// are read back from the socket where the platform allows (Linux
+// doubles and caps the requested value against rmem_max/wmem_max);
+// 0 means the OS default was left in place.
+type TransportState struct {
+	Transport        string `json:"transport"`
+	BatchSyscalls    bool   `json:"batch_syscalls"`
+	ReadBufferBytes  int    `json:"read_buffer_bytes"`
+	WriteBufferBytes int    `json:"write_buffer_bytes"`
 }
 
 // NetworkMetrics counts the in-memory simulated network

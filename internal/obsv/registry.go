@@ -35,6 +35,9 @@ type nodeEntry struct {
 type labeledTransport struct {
 	label string
 	m     *TransportMetrics
+	// state is the transport's static configuration for /statez; nil
+	// until SetTransportState.
+	state *TransportState
 }
 
 type labeledNetwork struct {
@@ -98,6 +101,24 @@ func (r *Registry) RegisterTransport(label string, m *TransportMetrics) string {
 	})
 	r.transports = append(r.transports, labeledTransport{label: label, m: m})
 	return label
+}
+
+// SetTransportState attaches static configuration (wire path, socket
+// buffer sizes) to a transport registered under label (the label
+// RegisterTransport returned). Unknown labels are ignored.
+func (r *Registry) SetTransportState(label string, s TransportState) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.transports {
+		if r.transports[i].label == label {
+			s.Transport = label
+			r.transports[i].state = &s
+			return
+		}
+	}
 }
 
 // RegisterNetwork publishes one in-memory network's counters.
@@ -243,8 +264,11 @@ var transportCounterFamilies = []struct {
 	{"cobcast_transport_overruns_total", "Inbound datagrams dropped on receive-queue overrun.", func(m *TransportMetrics) *Counter { return &m.Overrun }},
 	{"cobcast_transport_read_errors_total", "Transient socket read errors.", func(m *TransportMetrics) *Counter { return &m.ReadErrors }},
 	{"cobcast_transport_oversize_total", "Local sends rejected for exceeding the datagram budget.", func(m *TransportMetrics) *Counter { return &m.Oversize }},
-	{"cobcast_transport_bytes_sent_total", "Datagram bytes sent by the UDP transport (counted once per peer transmission).", func(m *TransportMetrics) *Counter { return &m.BytesSent }},
+	{"cobcast_transport_send_errors_total", "Per-peer datagram transmissions rejected by the kernel (EPERM, ENOBUFS, ...).", func(m *TransportMetrics) *Counter { return &m.SendErrors }},
+	{"cobcast_transport_bytes_sent_total", "Datagram bytes sent by the UDP transport (counted once per successful peer transmission).", func(m *TransportMetrics) *Counter { return &m.BytesSent }},
 	{"cobcast_transport_bytes_received_total", "Datagram bytes received by the UDP transport.", func(m *TransportMetrics) *Counter { return &m.BytesReceived }},
+	{"cobcast_transport_sendmmsg_calls_total", "sendmmsg syscalls issued by the batched send path.", func(m *TransportMetrics) *Counter { return &m.SendmmsgCalls }},
+	{"cobcast_transport_recvmmsg_calls_total", "recvmmsg syscalls issued by the batched receive path.", func(m *TransportMetrics) *Counter { return &m.RecvmmsgCalls }},
 }
 
 // WriteMetrics renders every registered metric in Prometheus text
@@ -310,6 +334,26 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 				wroteHeader = true
 			}
 			bw.printf("%s{transport=%q} %d\n", fam.name, t.label, fam.get(t.m).Load())
+		}
+	}
+	writeTransportHist(bw, "cobcast_transport_send_batch_datagrams",
+		"Datagrams per sendmmsg call.", transports,
+		func(m *TransportMetrics) *Histogram { return m.SendBatch })
+	writeTransportHist(bw, "cobcast_transport_recv_batch_datagrams",
+		"Datagrams per recvmmsg call.", transports,
+		func(m *TransportMetrics) *Histogram { return m.RecvBatch })
+	{
+		wroteHeader := false
+		for _, t := range transports {
+			if t.state == nil {
+				continue
+			}
+			if !wroteHeader {
+				bw.printf("# HELP cobcast_transport_socket_buffer_bytes Effective kernel socket buffer size, by direction (0 = OS default).\n# TYPE cobcast_transport_socket_buffer_bytes gauge\n")
+				wroteHeader = true
+			}
+			bw.printf("cobcast_transport_socket_buffer_bytes{transport=%q,dir=\"read\"} %d\n", t.label, t.state.ReadBufferBytes)
+			bw.printf("cobcast_transport_socket_buffer_bytes{transport=%q,dir=\"write\"} %d\n", t.label, t.state.WriteBufferBytes)
 		}
 	}
 
@@ -382,6 +426,21 @@ func writeGauge(bw *errWriter, name, help string, snaps []snappedNode, get func(
 	}
 }
 
+func writeTransportHist(bw *errWriter, name, help string, transports []labeledTransport, get func(*TransportMetrics) *Histogram) {
+	wroteHeader := false
+	for _, t := range transports {
+		h := get(t.m)
+		if h == nil {
+			continue
+		}
+		if !wroteHeader {
+			bw.printf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+			wroteHeader = true
+		}
+		writeLabeledHistogram(bw, name, "transport", t.label, h.Snapshot())
+	}
+}
+
 func writeHistFamily(bw *errWriter, name, help string, nodes []nodeEntry, get func(*EntityMetrics) *Histogram) {
 	wroteHeader := false
 	for _, n := range nodes {
@@ -397,12 +456,16 @@ func writeHistFamily(bw *errWriter, name, help string, nodes []nodeEntry, get fu
 }
 
 func writeHistogram(bw *errWriter, name, node string, s HistogramSnapshot) {
+	writeLabeledHistogram(bw, name, "node", node, s)
+}
+
+func writeLabeledHistogram(bw *errWriter, name, key, val string, s HistogramSnapshot) {
 	for i, b := range s.Bounds {
-		bw.printf("%s_bucket{node=%q,le=\"%d\"} %d\n", name, node, b, s.Cumulative[i])
+		bw.printf("%s_bucket{%s=%q,le=\"%d\"} %d\n", name, key, val, b, s.Cumulative[i])
 	}
-	bw.printf("%s_bucket{node=%q,le=\"+Inf\"} %d\n", name, node, s.Count)
-	bw.printf("%s_sum{node=%q} %d\n", name, node, s.Sum)
-	bw.printf("%s_count{node=%q} %d\n", name, node, s.Count)
+	bw.printf("%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, key, val, s.Count)
+	bw.printf("%s_sum{%s=%q} %d\n", name, key, val, s.Sum)
+	bw.printf("%s_count{%s=%q} %d\n", name, key, val, s.Count)
 }
 
 // errWriter latches the first write error so render code stays linear.
@@ -419,14 +482,17 @@ func (e *errWriter) printf(format string, args ...any) {
 }
 
 // Statez is the JSON document served at /statez: one entry per node
-// whose snapshot could be taken, sorted by label.
+// whose snapshot could be taken, sorted by label, plus one entry per
+// transport that published its static configuration (wire path and
+// effective socket buffer sizes).
 type Statez struct {
-	Nodes []StateSnapshot `json:"nodes"`
+	Nodes      []StateSnapshot  `json:"nodes"`
+	Transports []TransportState `json:"transports,omitempty"`
 }
 
 // Statez collects the current state snapshots.
 func (r *Registry) Statez() Statez {
-	nodes, _, _ := r.snapshotLists()
+	nodes, transports, _ := r.snapshotLists()
 	var out Statez
 	for _, n := range nodes {
 		if n.snap == nil {
@@ -440,6 +506,12 @@ func (r *Registry) Statez() Statez {
 		}
 	}
 	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Node < out.Nodes[j].Node })
+	for _, t := range transports {
+		if t.state != nil {
+			out.Transports = append(out.Transports, *t.state)
+		}
+	}
+	sort.Slice(out.Transports, func(i, j int) bool { return out.Transports[i].Transport < out.Transports[j].Transport })
 	return out
 }
 

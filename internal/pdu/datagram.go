@@ -35,3 +35,59 @@ func PutDatagram(b []byte) {
 	}
 	datagramPool.Put((*[DatagramBufCap]byte)(b[:DatagramBufCap]))
 }
+
+// DatagramRing is a fixed-slot ring of pooled datagram buffers for
+// batched receive paths (recvmmsg): every slot stays registered with the
+// kernel across syscalls (its address is baked into a pre-built iovec),
+// and only slots that actually received a datagram are swapped out.
+//
+// Ownership rules: Buf(i) is scratch the ring owns — the kernel may
+// write into it on the next batched read, so its contents are only
+// meaningful between a read and the Take for that slot. Take(i, n)
+// transfers the slot's buffer (first n bytes) to the caller — who
+// releases it with PutDatagram, exactly like a GetDatagram buffer — and
+// refills the slot from the pool, so the slot's address changes and any
+// iovec pointing at it must be re-pointed via Buf(i). Release returns
+// every slot to the pool; the ring must not be used afterwards.
+//
+// A ring is owned by a single goroutine (the read loop); none of its
+// methods are safe for concurrent use.
+type DatagramRing struct {
+	slots []*[DatagramBufCap]byte
+}
+
+// NewDatagramRing returns a ring of k pool-backed slots.
+func NewDatagramRing(k int) *DatagramRing {
+	r := &DatagramRing{slots: make([]*[DatagramBufCap]byte, k)}
+	for i := range r.slots {
+		r.slots[i] = datagramPool.Get().(*[DatagramBufCap]byte)
+	}
+	return r
+}
+
+// Len returns the number of slots.
+func (r *DatagramRing) Len() int { return len(r.slots) }
+
+// Buf returns slot i's full-capacity buffer for registering with the
+// kernel (iovec base/len). The ring retains ownership.
+func (r *DatagramRing) Buf(i int) []byte { return r.slots[i][:] }
+
+// Take hands slot i's buffer (first n bytes) to the caller and refills
+// the slot with a fresh pooled buffer. The returned slice has
+// DatagramBufCap capacity, so PutDatagram recycles it.
+func (r *DatagramRing) Take(i, n int) []byte {
+	b := r.slots[i]
+	r.slots[i] = datagramPool.Get().(*[DatagramBufCap]byte)
+	return b[:n]
+}
+
+// Release returns every slot to the pool. Idempotent; the ring is dead
+// afterwards (Buf/Take would dereference nil).
+func (r *DatagramRing) Release() {
+	for i, s := range r.slots {
+		if s != nil {
+			datagramPool.Put(s)
+			r.slots[i] = nil
+		}
+	}
+}

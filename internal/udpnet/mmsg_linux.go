@@ -1,0 +1,383 @@
+//go:build linux && (amd64 || arm64 || riscv64 || loong64)
+
+// Batched-syscall wire path: sendmmsg/recvmmsg via the net.UDPConn's
+// SyscallConn, keeping the module zero-dependency. One sendmmsg carries
+// a whole flush (every datagram × every peer) and one recvmmsg drains
+// up to recvRingSize inbound datagrams into a ring of pooled,
+// pre-registered buffers. The path degrades gracefully: any condition
+// it cannot express (IPv6 zones, empty datagrams, a kernel without the
+// syscalls) routes through the portable per-datagram code, which is
+// byte-identical on the wire.
+package udpnet
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+
+	"cobcast/internal/pdu"
+)
+
+// mmsgSupported gates auto-detection: Linux has had sendmmsg/recvmmsg
+// since 3.0/2.6.33; if a kernel (or seccomp filter) rejects them anyway
+// the transport falls back at the first syscall.
+const mmsgSupported = true
+
+// recvRingSize is the number of pre-registered datagram slots one
+// recvmmsg can fill: 32 slots × 60 KiB bounds the ring under 2 MiB
+// while letting a single syscall drain a deep kernel queue.
+const recvRingSize = 32
+
+// mmsghdr mirrors the kernel's struct mmsghdr: a msghdr plus the
+// kernel-written transfer length. Go's alignment rules reproduce the C
+// layout (trailing padding to the msghdr's pointer alignment) on every
+// linux arch.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+}
+
+// rawPeer is one peer's pre-built sockaddr. name points at sa4 or sa6;
+// the mmsgState.peers slice is allocated once and never grown, so the
+// interior pointers stay valid for the transport's lifetime.
+type rawPeer struct {
+	sa4     syscall.RawSockaddrInet4
+	sa6     syscall.RawSockaddrInet6
+	name    unsafe.Pointer
+	namelen uint32
+}
+
+// init encodes addr for an AF_INET (v6Socket false) or AF_INET6 socket.
+// Port bytes are written positionally so the in-memory representation
+// is network order on any host endianness.
+func (p *rawPeer) init(addr *net.UDPAddr, v6Socket bool) error {
+	if addr.Zone != "" {
+		// Scoped addresses would need an interface-index lookup;
+		// leave them to the portable path.
+		return errors.New("udpnet: zoned IPv6 peer on batched path")
+	}
+	if !v6Socket {
+		ip4 := addr.IP.To4()
+		if ip4 == nil {
+			return errors.New("udpnet: IPv6 peer on IPv4 socket")
+		}
+		p.sa4.Family = syscall.AF_INET
+		putPortNBO(&p.sa4.Port, addr.Port)
+		copy(p.sa4.Addr[:], ip4)
+		p.name = unsafe.Pointer(&p.sa4)
+		p.namelen = syscall.SizeofSockaddrInet4
+		return nil
+	}
+	ip := addr.IP.To16() // v4 peers become v4-mapped v6 addresses
+	if ip == nil {
+		return errors.New("udpnet: unencodable peer IP")
+	}
+	p.sa6.Family = syscall.AF_INET6
+	putPortNBO(&p.sa6.Port, addr.Port)
+	copy(p.sa6.Addr[:], ip)
+	p.name = unsafe.Pointer(&p.sa6)
+	p.namelen = syscall.SizeofSockaddrInet6
+	return nil
+}
+
+func putPortNBO(dst *uint16, port int) {
+	b := (*[2]byte)(unsafe.Pointer(dst))
+	b[0] = byte(port >> 8)
+	b[1] = byte(port)
+}
+
+// mmsgState is the Linux batched-syscall state. The send scratch
+// (hdrs/iovs) is guarded by mu so Broadcast stays safe for concurrent
+// callers like the portable path; the protocol loop is in practice the
+// only sender, so the lock is uncontended.
+type mmsgState struct {
+	rc    syscall.RawConn
+	peers []rawPeer
+
+	// sendOK flips off permanently if the kernel rejects sendmmsg
+	// (ENOSYS under seccomp, say); reads are atomic because send and
+	// receive goroutines both consult it.
+	sendOK atomic.Bool
+	// recvOK is only touched by the read-loop goroutine.
+	recvOK bool
+
+	mu sync.Mutex
+	// bcastIov/bcastHdrs: the single-datagram Broadcast pattern — one
+	// shared iovec, one pre-built header per peer.
+	bcastIov  []syscall.Iovec
+	bcastHdrs []mmsghdr
+	// batchIovs/batchHdrs: the BroadcastBatch pattern — one iovec per
+	// datagram row, headers laid out datagram-major so the kernel's
+	// sequential processing preserves per-peer datagram order.
+	batchIovs []syscall.Iovec
+	batchHdrs []mmsghdr
+	batchRows int
+	// hdrs is the active entry slice for the in-flight send; off the
+	// resume point across EAGAIN waits. sendFn is bound once so the
+	// hot path passes a preallocated closure to RawConn.Write.
+	hdrs     []mmsghdr
+	off      int
+	fellBack bool
+	sendFn   func(fd uintptr) bool
+}
+
+// initMmsg prepares the raw-syscall state; an error means the portable
+// path (not a construction failure).
+func (t *Transport) initMmsg() error {
+	rc, err := t.conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	la, ok := t.conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		return errors.New("udpnet: non-UDP local address")
+	}
+	v6 := la.IP.To4() == nil
+	mm := &t.mm
+	mm.rc = rc
+	mm.peers = make([]rawPeer, len(t.peers))
+	for i, a := range t.peers {
+		if err := mm.peers[i].init(a, v6); err != nil {
+			return err
+		}
+	}
+	mm.bcastIov = make([]syscall.Iovec, 1)
+	mm.bcastHdrs = make([]mmsghdr, len(mm.peers))
+	for i := range mm.bcastHdrs {
+		h := &mm.bcastHdrs[i]
+		h.hdr.Name = (*byte)(mm.peers[i].name)
+		h.hdr.Namelen = mm.peers[i].namelen
+		h.hdr.Iov = &mm.bcastIov[0]
+		h.hdr.Iovlen = 1
+	}
+	mm.sendFn = t.sendStep
+	mm.sendOK.Store(true)
+	mm.recvOK = true
+	return nil
+}
+
+func (t *Transport) sendMmsgActive() bool { return t.batch && t.mm.sendOK.Load() }
+
+// broadcastMmsg sends one datagram to every peer with one sendmmsg.
+// false means nothing was sent and the caller should use the portable
+// path.
+func (t *Transport) broadcastMmsg(datagram []byte) bool {
+	if len(datagram) == 0 {
+		return false
+	}
+	mm := &t.mm
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	mm.bcastIov[0].Base = &datagram[0]
+	mm.bcastIov[0].SetLen(len(datagram))
+	mm.hdrs = mm.bcastHdrs
+	ok := t.runSend()
+	runtime.KeepAlive(datagram)
+	return ok
+}
+
+// batchMmsg sends every datagram to every peer with one sendmmsg
+// (datagram-major, so each peer sees the datagrams in order). false
+// means nothing was sent.
+func (t *Transport) batchMmsg(datagrams [][]byte) bool {
+	for _, d := range datagrams {
+		if len(d) == 0 {
+			return false
+		}
+	}
+	mm := &t.mm
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	mm.ensureBatch(len(datagrams))
+	for i, d := range datagrams {
+		mm.batchIovs[i].Base = &d[0]
+		mm.batchIovs[i].SetLen(len(d))
+	}
+	mm.hdrs = mm.batchHdrs[:len(datagrams)*len(mm.peers)]
+	ok := t.runSend()
+	runtime.KeepAlive(datagrams)
+	return ok
+}
+
+// ensureBatch lays out the (datagram × peer) header pattern for at
+// least rows datagrams. Growing reallocates the iovec array the headers
+// point into, so the whole pattern is rebuilt; doubling amortizes this
+// to zero steady-state allocations.
+func (mm *mmsgState) ensureBatch(rows int) {
+	if rows <= mm.batchRows {
+		return
+	}
+	if rows < 2*mm.batchRows {
+		rows = 2 * mm.batchRows
+	}
+	peers := len(mm.peers)
+	iovs := make([]syscall.Iovec, rows)
+	hdrs := make([]mmsghdr, rows*peers)
+	for r := 0; r < rows; r++ {
+		for p := 0; p < peers; p++ {
+			h := &hdrs[r*peers+p]
+			h.hdr.Name = (*byte)(mm.peers[p].name)
+			h.hdr.Namelen = mm.peers[p].namelen
+			h.hdr.Iov = &iovs[r]
+			h.hdr.Iovlen = 1
+		}
+	}
+	mm.batchIovs, mm.batchHdrs, mm.batchRows = iovs, hdrs, rows
+}
+
+// runSend pushes mm.hdrs through sendmmsg, waiting out EAGAIN via the
+// runtime poller. Caller holds mm.mu. false means the kernel lacks the
+// syscall and nothing was sent.
+func (t *Transport) runSend() bool {
+	mm := &t.mm
+	mm.off = 0
+	mm.fellBack = false
+	if err := mm.rc.Write(mm.sendFn); err != nil {
+		// Socket closed mid-send: remaining entries are lost
+		// datagrams, indistinguishable from network loss.
+		return true
+	}
+	if mm.fellBack {
+		mm.sendOK.Store(false)
+		return false
+	}
+	return true
+}
+
+// sendStep is one writability window: issue sendmmsg until the batch is
+// done (true) or the socket would block (false → the poller waits and
+// calls again). Entry errors skip the failing head entry, counted in
+// SendErrors, and carry on — an EPERM/ENOBUFS storm shows up in the
+// counter instead of stalling the flush.
+func (t *Transport) sendStep(fd uintptr) bool {
+	mm := &t.mm
+	for mm.off < len(mm.hdrs) {
+		n, errno := sendmmsg(fd, mm.hdrs[mm.off:])
+		t.m.SendmmsgCalls.Inc()
+		switch {
+		case errno == 0 && n > 0:
+			t.m.SendBatch.Observe(uint64(n))
+			for i := 0; i < n; i++ {
+				t.m.Sent.Inc()
+				t.m.BytesSent.Add(uint64(mm.hdrs[mm.off+i].hdr.Iov.Len))
+			}
+			mm.off += n
+		case errno == syscall.EAGAIN:
+			return false
+		case errno == syscall.EINTR:
+			// retry
+		case errno == syscall.ENOSYS || errno == syscall.EOPNOTSUPP:
+			if mm.off == 0 {
+				mm.fellBack = true // nothing sent: caller retries portably
+				return true
+			}
+			t.m.SendErrors.Add(uint64(len(mm.hdrs) - mm.off))
+			mm.off = len(mm.hdrs)
+		default:
+			t.m.SendErrors.Inc()
+			mm.off++
+		}
+	}
+	return true
+}
+
+// readLoopMmsg drains the socket with recvmmsg into a ring of pooled
+// slots: each filled slot's buffer is handed to the inbox (ownership
+// transfers to the consumer, who recycles it via pdu.PutDatagram) and
+// the slot is refilled from the pool, re-pointing its iovec. Steady
+// state allocates nothing: taken buffers cycle back through the pool.
+func (t *Transport) readLoopMmsg() {
+	defer close(t.readDone)
+	mm := &t.mm
+	ring := pdu.NewDatagramRing(recvRingSize)
+	defer ring.Release()
+	hdrs := make([]mmsghdr, recvRingSize)
+	iovs := make([]syscall.Iovec, recvRingSize)
+	for i := range hdrs {
+		iovs[i].Base = &ring.Buf(i)[0]
+		iovs[i].SetLen(MaxDatagram)
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1
+	}
+	var n int
+	var errno syscall.Errno
+	recvStep := func(fd uintptr) bool {
+		for {
+			n, errno = recvmmsg(fd, hdrs)
+			if errno == syscall.EINTR {
+				continue
+			}
+			return errno != syscall.EAGAIN
+		}
+	}
+	for {
+		if err := mm.rc.Read(recvStep); err != nil {
+			select {
+			case <-t.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			t.m.ReadErrors.Inc()
+			continue
+		}
+		switch {
+		case errno == 0 && n > 0:
+			t.m.RecvmmsgCalls.Inc()
+			t.m.RecvBatch.Observe(uint64(n))
+			for i := 0; i < n; i++ {
+				t.deliverInbound(ring.Take(i, int(hdrs[i].len)))
+				iovs[i].Base = &ring.Buf(i)[0]
+			}
+		case errno == syscall.ENOSYS || errno == syscall.EOPNOTSUPP:
+			// Kernel without recvmmsg: per-datagram reads from here on.
+			mm.recvOK = false
+			t.readLoopBody()
+			return
+		default:
+			select {
+			case <-t.stop:
+				return
+			default:
+				t.m.ReadErrors.Inc()
+			}
+		}
+	}
+}
+
+func sendmmsg(fd uintptr, hdrs []mmsghdr) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), 0, 0, 0)
+	return int(n), e
+}
+
+func recvmmsg(fd uintptr, hdrs []mmsghdr) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), 0, 0, 0)
+	return int(n), e
+}
+
+// effectiveSocketBuffers reads the kernel's view of SO_RCVBUF/SO_SNDBUF
+// (Linux doubles the requested value for bookkeeping headroom and caps
+// it at rmem_max/wmem_max).
+func effectiveSocketBuffers(conn *net.UDPConn, requested int) (r, w int) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return requested, requested
+	}
+	_ = rc.Control(func(fd uintptr) {
+		if v, err := syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF); err == nil {
+			r = v
+		}
+		if v, err := syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUF); err == nil {
+			w = v
+		}
+	})
+	return r, w
+}

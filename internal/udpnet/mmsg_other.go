@@ -1,0 +1,45 @@
+//go:build !(linux && (amd64 || arm64 || riscv64 || loong64))
+
+// Portable fallback for platforms without sendmmsg/recvmmsg: the
+// batched-syscall hooks all decline, so every send and receive goes
+// through the per-datagram WriteToUDP/ReadFromUDP path in udpnet.go.
+// The wire format is identical; only the syscall count differs.
+package udpnet
+
+import (
+	"errors"
+	"net"
+)
+
+const mmsgSupported = false
+
+// mmsgState is empty off Linux; the hooks below keep udpnet.go
+// platform-agnostic.
+type mmsgState struct{}
+
+func (t *Transport) initMmsg() error {
+	return errors.New("udpnet: batched syscalls unsupported on this platform")
+}
+
+func (t *Transport) sendMmsgActive() bool { return false }
+
+func (t *Transport) broadcastMmsg(datagram []byte) bool { return false }
+
+func (t *Transport) batchMmsg(datagrams [][]byte) bool { return false }
+
+// readLoopMmsg never runs off Linux (New only selects it when initMmsg
+// succeeded), but keep the symbol total: it degrades to the portable
+// loop.
+func (t *Transport) readLoopMmsg() {
+	defer close(t.readDone)
+	t.readLoopBody()
+}
+
+// effectiveSocketBuffers cannot portably read SO_RCVBUF/SO_SNDBUF back;
+// report the requested sizes as a best-effort answer (0 = OS default).
+func effectiveSocketBuffers(conn *net.UDPConn, requested int) (r, w int) {
+	if requested <= 0 {
+		return 0, 0
+	}
+	return requested, requested
+}

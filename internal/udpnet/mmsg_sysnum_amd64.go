@@ -1,0 +1,10 @@
+//go:build linux
+
+package udpnet
+
+// linux/amd64 syscall numbers; the stdlib syscall table predates
+// sendmmsg (307), so both are pinned here.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

@@ -1,0 +1,10 @@
+//go:build linux && (arm64 || riscv64 || loong64)
+
+package udpnet
+
+// Generic (asm-generic) Linux syscall table, shared by arm64, riscv64
+// and loong64.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -145,27 +145,43 @@ func (l *memLink) close() error {
 	return nil
 }
 
+// wireBatchMax bounds how many sealed frames a wireLink stages before
+// sending them mid-drain; it keeps one very long input burst from
+// growing the staging buffers without bound while still letting the
+// common burst ride down in a single BroadcastBatch call.
+const wireBatchMax = 16
+
 // wireLink attaches a node to a Transport. append marshals each PDU
-// straight into an in-progress batch frame (flushing first if the PDU
-// would push the frame past MaxDatagram), flush broadcasts the sealed
-// frame, and deliver decodes arriving frames into a reused scratch PDU —
-// so the whole encode/decode hot path is allocation-free in steady state,
-// reusing one grown send buffer and the transport's datagram pool.
+// straight into an in-progress batch frame (sealing it into the staged
+// set first if the PDU would push the frame past MaxDatagram), flush
+// seals the last frame and hands the whole staged set to the transport —
+// in one BroadcastBatch call when the transport implements
+// BatchTransport (the UDP transport's sendmmsg path turns that into one
+// syscall per flush), else one Broadcast per frame. deliver decodes
+// arriving frames into a reused scratch PDU — so the whole encode/decode
+// hot path is allocation-free in steady state, reusing a small set of
+// grown frame buffers and the transport's datagram pool.
 //
 // The entry codec version is a send-side choice: reception accepts v1
 // and v2 frames alike (the per-source stamp cache resolves v2 delta
 // entries whatever this node emits), so a mixed-version cluster
 // interoperates and the version can roll node by node.
 type wireLink struct {
-	trans   Transport
+	trans Transport
+	// bt is trans's batched-send extension, nil when unimplemented.
+	bt      BatchTransport
 	version uint8
 	enc     pdu.FrameEncoder
 	// stamps is the v2 reference-stamp state threaded through every
 	// frame this link sends; nil for a v1 link.
 	stamps *pdu.StampEncoder
-	// sendBuf is the frame build buffer, retained across flushes so it
-	// grows once; only the loop goroutine touches it.
-	sendBuf []byte
+	// bufs are the frame build buffers, retained across flushes so each
+	// grows once: bufs[:nframes] hold sealed frames awaiting send,
+	// bufs[nframes] is the in-progress frame the encoder writes into.
+	// Only the loop goroutine touches them. Staged frames are sent in
+	// seal order, preserving the per-sender PDU order across frames.
+	bufs    [][]byte
+	nframes int
 	dec     pdu.FrameDecoder
 	// sdec caches the last stamp decoded per source, mirroring each
 	// sender's stream across frames (see pdu.StampDecoder).
@@ -185,10 +201,13 @@ func newWireLink(trans Transport, version uint8, stampK int) *wireLink {
 	l := &wireLink{
 		trans:   trans,
 		version: version,
-		sendBuf: make([]byte, 0, 4096),
+		bufs:    [][]byte{make([]byte, 0, 4096)},
 		in:      make(chan inbound),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	if bt, ok := trans.(BatchTransport); ok {
+		l.bt = bt
 	}
 	if version == pdu.WireVersion2 {
 		l.stamps = pdu.NewStampEncoder(stampK)
@@ -199,12 +218,17 @@ func newWireLink(trans Transport, version uint8, stampK int) *wireLink {
 	return l
 }
 
-// begin opens the next outgoing frame with the link's entry codec.
+// begin opens the next outgoing frame with the link's entry codec,
+// writing into the first unsealed build buffer.
 func (l *wireLink) begin() {
+	if l.nframes == len(l.bufs) {
+		l.bufs = append(l.bufs, make([]byte, 0, 4096))
+	}
+	buf := l.bufs[l.nframes][:0]
 	if l.version == pdu.WireVersion2 {
-		l.enc.BeginV2(l.sendBuf, l.stamps)
+		l.enc.BeginV2(buf, l.stamps)
 	} else {
-		l.enc.Begin(l.sendBuf)
+		l.enc.Begin(buf)
 	}
 }
 
@@ -219,27 +243,55 @@ func (l *wireLink) entryBound(p *pdu.PDU) int {
 
 func (l *wireLink) append(p *pdu.PDU) {
 	if l.enc.Count() > 0 && l.enc.Size()+pdu.FrameEntrySize+l.entryBound(p) > MaxDatagram {
-		l.flushFrame(true)
+		l.seal(true)
+		if l.nframes >= wireBatchMax {
+			l.sendStaged()
+		}
+		l.begin()
 	}
 	// An Append error means the PDU itself cannot be encoded (field
 	// overflow); dropping it is indistinguishable from transport loss.
 	_ = l.enc.Append(p)
 }
 
-func (l *wireLink) flush() { l.flushFrame(false) }
+func (l *wireLink) flush() {
+	l.seal(false)
+	if l.nframes == 0 {
+		return
+	}
+	l.sendStaged()
+	l.begin()
+}
 
-func (l *wireLink) flushFrame(early bool) {
+// seal closes the in-progress frame, if non-empty, into the staged set.
+// The encoder is left un-begun; callers begin() the next frame after
+// any staged send so the build buffer index is stable.
+func (l *wireLink) seal(early bool) {
 	if l.enc.Count() == 0 {
 		return
 	}
 	l.lm.Flush(l.enc.Count(), early)
 	b := l.enc.Bytes()
 	l.lm.FlushBytes(len(b), l.version)
-	// Loss and oversize are the transport's to count; the protocol
-	// repairs both via selective retransmission.
-	_ = l.trans.Broadcast(b)
-	l.sendBuf = b[:0]
-	l.begin()
+	l.bufs[l.nframes] = b
+	l.nframes++
+}
+
+// sendStaged hands every sealed frame to the transport and resets the
+// staged set. Loss and oversize are the transport's to count; the
+// protocol repairs both via selective retransmission.
+func (l *wireLink) sendStaged() {
+	switch {
+	case l.nframes == 1:
+		_ = l.trans.Broadcast(l.bufs[0])
+	case l.bt != nil:
+		_ = l.bt.BroadcastBatch(l.bufs[:l.nframes])
+	default:
+		for _, b := range l.bufs[:l.nframes] {
+			_ = l.trans.Broadcast(b)
+		}
+	}
+	l.nframes = 0
 }
 
 func (l *wireLink) instrument(m *obsv.LinkMetrics) { l.lm = m }

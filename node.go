@@ -32,6 +32,19 @@ type Transport interface {
 	Close() error
 }
 
+// BatchTransport is an optional Transport extension for substrates that
+// can move several datagrams in one operation. When a flush has staged
+// more than one frame, the node's link layer hands the whole set to
+// BroadcastBatch instead of looping over Broadcast — the UDP transport's
+// sendmmsg path turns that into a single syscall. BroadcastBatch must
+// transmit the datagrams in slice order toward every peer (preserving
+// the per-sender datagram order the MC service contract requires) and,
+// like Broadcast, must not retain any slice after returning.
+type BatchTransport interface {
+	Transport
+	BroadcastBatch(datagrams [][]byte) error
+}
+
 // ErrClosed is returned by operations on a closed node or cluster.
 var ErrClosed = errors.New("cobcast: closed")
 
@@ -92,9 +105,14 @@ func NewNode(id, n int, trans Transport, opts ...Option) (*Node, error) {
 	}
 	if o.registry != nil {
 		// A transport that exposes live counters (UDPTransport does)
-		// publishes them alongside the node's metrics.
+		// publishes them alongside the node's metrics; one that also
+		// reports its wire-path configuration (batched syscalls, socket
+		// buffer sizes) gets that attached for /statez.
 		if tm, ok := trans.(interface{ Metrics() *obsv.TransportMetrics }); ok {
-			o.registry.RegisterTransport(strconv.Itoa(id), tm.Metrics())
+			lbl := o.registry.RegisterTransport(strconv.Itoa(id), tm.Metrics())
+			if ts, ok := trans.(interface{ TransportState() obsv.TransportState }); ok {
+				o.registry.SetTransportState(lbl, ts.TransportState())
+			}
 		}
 	}
 	return nd, nil

@@ -3,6 +3,7 @@ package cobcast_test
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -17,7 +18,8 @@ func newUDPCluster(t *testing.T, n int, opts ...cobcast.Option) []*cobcast.Node 
 
 // newUDPClusterPerNode is newUDPCluster with per-node options, for
 // clusters whose members are configured differently (mixed wire codecs).
-func newUDPClusterPerNode(t *testing.T, n int, optsFor func(i int) []cobcast.Option) []*cobcast.Node {
+// Trailing transport options apply to every member's UDP transport.
+func newUDPClusterPerNode(t *testing.T, n int, optsFor func(i int) []cobcast.Option, topts ...cobcast.TransportOption) []*cobcast.Node {
 	t.Helper()
 	// Discover n free ports first (bind :0, note the address, release),
 	// then re-bind each with the full peer list. Mildly racy, but fine on
@@ -41,7 +43,7 @@ func newUDPClusterPerNode(t *testing.T, n int, optsFor func(i int) []cobcast.Opt
 				peers = append(peers, addrs[j])
 			}
 		}
-		tr, err := cobcast.NewUDPTransport(addrs[i], peers, 0)
+		tr, err := cobcast.NewUDPTransport(addrs[i], peers, 0, topts...)
 		if err != nil {
 			t.Fatalf("rebind %d: %v", i, err)
 		}
@@ -125,6 +127,64 @@ func TestUDPMixedCodecClusterConverges(t *testing.T) {
 			}
 			last[m.Src] = m.Seq
 		}
+	}
+}
+
+// TestUDPWirePathEquivalence runs the same workload over two clusters —
+// one forced onto the batched sendmmsg/recvmmsg wire path, one forced
+// onto the portable per-datagram path — and requires the protocol
+// outcome to be identical: every node delivers the same message set, in
+// per-source order, with equal digests across the two wire paths. The
+// wire paths must be indistinguishable above the transport.
+func TestUDPWirePathEquivalence(t *testing.T) {
+	const n, msgs = 3, 24
+	digest := func(batch bool) string {
+		nodes := newUDPClusterPerNode(t, n,
+			func(int) []cobcast.Option {
+				return []cobcast.Option{cobcast.WithDeferredAckInterval(2 * time.Millisecond)}
+			},
+			cobcast.WithBatchSyscalls(batch))
+		for i := 0; i < msgs; i++ {
+			if err := nodes[i%n].Broadcast([]byte(fmt.Sprintf("wirepath-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var sum string
+		for i, nd := range nodes {
+			var got []cobcast.Message
+			deadline := time.After(30 * time.Second)
+			for len(got) < msgs {
+				select {
+				case m := <-nd.Deliveries():
+					got = append(got, m)
+				case <-deadline:
+					t.Fatalf("batch=%v node %d delivered %d/%d", batch, i, len(got), msgs)
+				}
+			}
+			last := map[int]uint64{}
+			for _, m := range got {
+				if prev, ok := last[m.Src]; ok && m.Seq <= prev {
+					t.Errorf("batch=%v node %d: source %d out of order", batch, i, m.Src)
+				}
+				last[m.Src] = m.Seq
+			}
+			// Canonical per-node digest: deliveries sorted by (Src, Seq)
+			// so legal cross-source interleaving differences don't leak in.
+			sort.Slice(got, func(a, b int) bool {
+				if got[a].Src != got[b].Src {
+					return got[a].Src < got[b].Src
+				}
+				return got[a].Seq < got[b].Seq
+			})
+			for _, m := range got {
+				sum += fmt.Sprintf("%d/%d/%s;", m.Src, m.Seq, m.Data)
+			}
+			sum += "|"
+		}
+		return sum
+	}
+	if a, b := digest(true), digest(false); a != b {
+		t.Errorf("clusters diverged across wire paths:\nmmsg: %s\nper-datagram: %s", a, b)
 	}
 }
 
