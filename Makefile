@@ -2,7 +2,7 @@ GO ?= go
 
 # The benchmarks pinned by the latest BENCH_PR*.json "benchmarks" map;
 # benchdiff reruns exactly these. SnapshotInto lives in internal/core.
-BENCHDIFF_PATTERN = HotPath|Fig8Tco|FrameCodec|MarshalAppend$$
+BENCHDIFF_PATTERN = HotPath|Fig8Tco|FrameCodec|MarshalAppend$$|MultiGroupThroughput
 
 .PHONY: check vet build test race bench benchdiff
 

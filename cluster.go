@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 
+	"cobcast/internal/groups"
 	"cobcast/internal/network"
+	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 )
 
@@ -45,7 +47,13 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 	}
 	c := &Cluster{net: memnet, nodes: make([]*Node, n)}
 	for i := 0; i < n; i++ {
-		nd, err := newNode(i, n, o, newMemLink(memnet.Endpoint(pdu.EntityID(i))))
+		ep := memnet.Endpoint(pdu.EntityID(i))
+		nd, err := newNode(i, n, o, newMemLink(ep),
+			func(shard int, lm *obsv.LinkMetrics) groups.Frames {
+				// Shards share the node's port: BroadcastGroup is safe for
+				// concurrent use and tags PDUs at the network boundary.
+				return newMemGroupFrames(ep, lm)
+			})
 		if err != nil {
 			c.Close()
 			return nil, err

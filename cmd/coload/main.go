@@ -5,6 +5,7 @@
 //
 //	coload -n 4 -msgs 2000 -rate 5000 -size 128 -loss 0.05
 //	coload -n 3 -msgs 500 -total        # total-order mode
+//	coload -n 4 -msgs 4000 -groups 8    # spread over 8 ordered groups
 //	coload -n 4 -msgs 1e9 -obsv 127.0.0.1:9090   # watch /metrics live
 package main
 
@@ -17,30 +18,37 @@ import (
 	"time"
 
 	"cobcast"
+	"cobcast/internal/experiments"
 	"cobcast/internal/metrics"
 	"cobcast/obsv"
 )
 
 func main() {
 	var (
-		n     = flag.Int("n", 4, "cluster size")
-		msgs  = flag.Int("msgs", 1000, "total messages to broadcast")
-		rate  = flag.Float64("rate", 2000, "target submit rate, messages/second (0 = unthrottled)")
-		size  = flag.Int("size", 64, "payload bytes")
-		loss  = flag.Float64("loss", 0, "injected network loss rate")
-		seed  = flag.Int64("seed", 1, "loss RNG seed")
-		total = flag.Bool("total", false, "use total-order delivery")
-		wait  = flag.Duration("timeout", 2*time.Minute, "overall deadline")
-		addr  = flag.String("obsv", "", "serve /metrics, /statez and pprof on this address during the run (e.g. 127.0.0.1:9090)")
+		n      = flag.Int("n", 4, "cluster size")
+		msgs   = flag.Int("msgs", 1000, "total messages to broadcast")
+		rate   = flag.Float64("rate", 2000, "target submit rate, messages/second (0 = unthrottled)")
+		size   = flag.Int("size", 64, "payload bytes")
+		loss   = flag.Float64("loss", 0, "injected network loss rate")
+		seed   = flag.Int64("seed", 1, "loss RNG seed")
+		total  = flag.Bool("total", false, "use total-order delivery")
+		groups = flag.Int("groups", 1, "spread traffic over this many independent ordered groups")
+		shards = flag.Int("shards", 0, "shard goroutines for the multi-group runtime (0 = GOMAXPROCS)")
+		wait   = flag.Duration("timeout", 2*time.Minute, "overall deadline")
+		addr   = flag.String("obsv", "", "serve /metrics, /statez and pprof on this address during the run (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
-	if err := run(*n, *msgs, *rate, *size, *loss, *seed, *total, *wait, *addr); err != nil {
+	if *groups < 1 {
+		fmt.Fprintln(os.Stderr, "coload: -groups must be >= 1")
+		os.Exit(2)
+	}
+	if err := run(*n, *msgs, *rate, *size, *loss, *seed, *total, *groups, *shards, *wait, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "coload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bool, wait time.Duration, obsvAddr string) error {
+func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bool, groups, shards int, wait time.Duration, obsvAddr string) error {
 	opts := []cobcast.Option{
 		cobcast.WithLossRate(loss),
 		cobcast.WithSeed(seed),
@@ -49,6 +57,9 @@ func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bo
 	}
 	if total {
 		opts = append(opts, cobcast.WithTotalOrder())
+	}
+	if shards > 0 {
+		opts = append(opts, cobcast.WithGroupShards(shards))
 	}
 	if obsvAddr != "" {
 		reg := obsv.NewRegistry()
@@ -76,38 +87,49 @@ func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bo
 	)
 	key := func(src int, idx uint64) uint64 { return uint64(src)<<40 | idx }
 
+	// One port per (node, group); with -groups 1 these are the nodes'
+	// default ports and the run is byte-identical to the classic
+	// single-group load test.
+	ports := experiments.MultiGroupPorts(cluster, n, groups)
+	perGroup := make([]int, groups)
+	for i := 0; i < msgs; i++ {
+		perGroup[i%groups]++
+	}
+
 	var wg sync.WaitGroup
-	errs := make(chan error, n)
+	errs := make(chan error, n*groups)
 	for i := 0; i < n; i++ {
-		nd := cluster.Node(i)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			seen := 0
-			deadline := time.After(wait)
-			for seen < msgs {
-				select {
-				case m, ok := <-nd.Deliveries():
-					if !ok {
-						errs <- fmt.Errorf("node %d: closed at %d/%d", nd.ID(), seen, msgs)
+		for g := 0; g < groups; g++ {
+			i, g := i, g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				seen := 0
+				deadline := time.After(wait)
+				for seen < perGroup[g] {
+					select {
+					case m, ok := <-ports[i][g].Deliveries():
+						if !ok {
+							errs <- fmt.Errorf("node %d group %d: closed at %d/%d", i, g, seen, perGroup[g])
+							return
+						}
+						now := time.Now()
+						idx := binary.BigEndian.Uint64(m.Data[4:])
+						mu.Lock()
+						if at, ok := sendTimes[key(m.Src, idx)]; ok {
+							lat.Record(float64(now.Sub(at).Microseconds()))
+						}
+						mu.Unlock()
+						seen++
+					case <-deadline:
+						errs <- fmt.Errorf("node %d group %d: timeout at %d/%d (stats %+v)",
+							i, g, seen, perGroup[g], cluster.Node(i).Stats())
 						return
 					}
-					now := time.Now()
-					idx := binary.BigEndian.Uint64(m.Data[4:])
-					mu.Lock()
-					if at, ok := sendTimes[key(m.Src, idx)]; ok {
-						lat.Record(float64(now.Sub(at).Microseconds()))
-					}
-					mu.Unlock()
-					seen++
-				case <-deadline:
-					errs <- fmt.Errorf("node %d: timeout at %d/%d (stats %+v)",
-						nd.ID(), seen, msgs, nd.Stats())
-					return
 				}
-			}
-			errs <- nil
-		}()
+				errs <- nil
+			}()
+		}
 	}
 
 	payload := make([]byte, size)
@@ -124,7 +146,7 @@ func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bo
 		mu.Lock()
 		sendTimes[key(src, uint64(i))] = time.Now()
 		mu.Unlock()
-		if err := cluster.Broadcast(src, payload); err != nil {
+		if err := ports[src][i%groups].Broadcast(payload); err != nil {
 			return err
 		}
 		if interval > 0 {
@@ -148,6 +170,9 @@ func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bo
 	if total {
 		mode = "total order"
 	}
+	if groups > 1 {
+		mode = fmt.Sprintf("%s, %d groups", mode, groups)
+	}
 	fmt.Printf("%d messages × %d nodes (%s, %.0f%% loss) in %v (submit phase %v)\n",
 		msgs, n, mode, loss*100, elapsed.Round(time.Millisecond), submitted.Round(time.Millisecond))
 	fmt.Printf("delivery throughput: %.0f msg/s per node (%.0f deliveries/s cluster-wide)\n",
@@ -157,14 +182,19 @@ func run(n, msgs int, rate float64, size int, loss float64, seed int64, total bo
 
 	var agg cobcast.Stats
 	for i := 0; i < n; i++ {
-		s := cluster.Node(i).Stats()
-		agg.DataSent += s.DataSent
-		agg.SyncSent += s.SyncSent
-		agg.AckOnlySent += s.AckOnlySent
-		agg.RetSent += s.RetSent
-		agg.Retransmitted += s.Retransmitted
-		agg.Duplicates += s.Duplicates
-		agg.FlowBlocked += s.FlowBlocked
+		for g := 0; g < groups; g++ {
+			s, ok := ports[i][g].Stats()
+			if !ok {
+				continue
+			}
+			agg.DataSent += s.DataSent
+			agg.SyncSent += s.SyncSent
+			agg.AckOnlySent += s.AckOnlySent
+			agg.RetSent += s.RetSent
+			agg.Retransmitted += s.Retransmitted
+			agg.Duplicates += s.Duplicates
+			agg.FlowBlocked += s.FlowBlocked
+		}
 	}
 	fmt.Printf("protocol: data=%d sync=%d ackonly=%d ret=%d retx=%d dup=%d flow-blocked=%d\n",
 		agg.DataSent, agg.SyncSent, agg.AckOnlySent, agg.RetSent,

@@ -6,31 +6,43 @@ import (
 )
 
 func TestRunSmall(t *testing.T) {
-	if err := run(3, 60, 0, 32, 0, 1, false, time.Minute, ""); err != nil {
+	if err := run(3, 60, 0, 32, 0, 1, false, 1, 0, time.Minute, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithLossAndRate(t *testing.T) {
-	if err := run(3, 40, 5000, 32, 0.1, 2, false, time.Minute, ""); err != nil {
+	if err := run(3, 40, 5000, 32, 0.1, 2, false, 1, 0, time.Minute, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTotalOrder(t *testing.T) {
-	if err := run(3, 30, 0, 32, 0, 3, true, time.Minute, ""); err != nil {
+	if err := run(3, 30, 0, 32, 0, 3, true, 1, 0, time.Minute, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithObservability(t *testing.T) {
-	if err := run(3, 30, 0, 32, 0, 4, false, time.Minute, "127.0.0.1:0"); err != nil {
+	if err := run(3, 30, 0, 32, 0, 4, false, 1, 0, time.Minute, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiGroup(t *testing.T) {
+	if err := run(3, 60, 0, 32, 0, 5, false, 4, 2, time.Minute, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiGroupWithLoss(t *testing.T) {
+	if err := run(2, 40, 0, 32, 0.1, 6, false, 2, 0, time.Minute, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadCluster(t *testing.T) {
-	if err := run(1, 1, 0, 16, 0, 1, false, time.Second, ""); err != nil {
+	if err := run(1, 1, 0, 16, 0, 1, false, 1, 0, time.Second, ""); err != nil {
 		t.Log(err)
 	} else {
 		t.Error("n=1 accepted")

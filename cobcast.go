@@ -41,6 +41,11 @@ import (
 
 // Message is one causally ordered delivery.
 type Message struct {
+	// Group is the ordered group the message was broadcast on
+	// (DefaultGroup for Node.Broadcast). Each group is an independent
+	// sequence space: ordering guarantees hold within a group, never
+	// across groups.
+	Group GroupID
 	// Src is the node that broadcast the message.
 	Src int
 	// Seq is the per-source sequence number (starting at 1). Sequence
@@ -154,6 +159,8 @@ type options struct {
 	registry            *obsv.Registry
 	wireVersion         int
 	stampInterval       int
+	groupShards         int
+	maxGroups           int
 
 	// In-memory network knobs (NewCluster only).
 	netDelay    time.Duration
@@ -301,6 +308,23 @@ func WithStampInterval(k int) Option {
 // option the engine runs instrumentation-free.
 func WithObservability(reg *obsv.Registry) Option {
 	return optionFunc(func(o *options) { o.registry = reg })
+}
+
+// WithGroupShards sets how many shard goroutines the multi-group
+// runtime runs; each group is hash-assigned to one shard, which owns
+// its engine (the single-writer invariant, per group). n <= 0 (the
+// default) derives the count from GOMAXPROCS. The default group is
+// unaffected — it stays on the node's own protocol loop.
+func WithGroupShards(n int) Option {
+	return optionFunc(func(o *options) { o.groupShards = n })
+}
+
+// WithMaxGroups bounds how many groups a node will lazily instantiate
+// (each costs O(cluster size) state plus logs). Submits past the bound
+// fail; inbound frames for groups past it are dropped and counted as
+// unknown-group loss. n <= 0 selects the default (1024).
+func WithMaxGroups(n int) Option {
+	return optionFunc(func(o *options) { o.maxGroups = n })
 }
 
 // WithNetworkDelay sets the in-memory network's uniform propagation delay

@@ -1,0 +1,345 @@
+package cobcast_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cobcast"
+	"cobcast/internal/obsv/promtext"
+	"cobcast/obsv"
+)
+
+// drainGroup collects want messages from one group port.
+func drainGroup(t *testing.T, p *cobcast.GroupPort, want int) []cobcast.Message {
+	t.Helper()
+	var got []cobcast.Message
+	deadline := time.After(30 * time.Second)
+	for len(got) < want {
+		select {
+		case m, ok := <-p.Deliveries():
+			if !ok {
+				t.Fatalf("group %d deliveries closed at %d/%d", p.ID(), len(got), want)
+			}
+			got = append(got, m)
+		case <-deadline:
+			t.Fatalf("group %d delivered %d/%d", p.ID(), len(got), want)
+		}
+	}
+	return got
+}
+
+// checkGroupStream asserts per-source ordering and the group tag on one
+// node's deliveries for one group.
+func checkGroupStream(t *testing.T, node int, g cobcast.GroupID, got []cobcast.Message) {
+	t.Helper()
+	last := map[int]uint64{}
+	for _, m := range got {
+		if m.Group != g {
+			t.Errorf("node %d: message tagged group %d on group %d's stream", node, m.Group, g)
+		}
+		if prev, ok := last[m.Src]; ok && m.Seq <= prev {
+			t.Errorf("node %d group %d: source %d out of order", node, g, m.Src)
+		}
+		last[m.Src] = m.Seq
+	}
+}
+
+func TestGroupNameDerivation(t *testing.T) {
+	a, b := cobcast.Group("orders"), cobcast.Group("payments")
+	if a != cobcast.Group("orders") {
+		t.Error("Group is not deterministic")
+	}
+	if a == b {
+		t.Error("distinct names collided (for these two, they should not)")
+	}
+	if a == cobcast.DefaultGroup || b == cobcast.DefaultGroup {
+		t.Error("named group mapped to the default group")
+	}
+	if cobcast.Group("") == cobcast.DefaultGroup {
+		t.Error("empty name mapped to the default group")
+	}
+}
+
+// TestClusterMultiGroupConverges runs two named groups plus the default
+// group over one in-process cluster: every node must deliver every
+// group's full stream, per-source ordered, with the right group tags —
+// and the per-group streams must not bleed into each other or into the
+// default Deliveries channel.
+func TestClusterMultiGroupConverges(t *testing.T) {
+	const nodes, perGroup = 3, 12
+	c, err := cobcast.NewCluster(nodes,
+		cobcast.WithDeferredAckInterval(time.Millisecond),
+		cobcast.WithGroupShards(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ga, gb := cobcast.Group("alpha"), cobcast.Group("beta")
+	var wg sync.WaitGroup
+	results := make([][]cobcast.Message, nodes*3)
+	for i := 0; i < nodes; i++ {
+		for j, g := range []cobcast.GroupID{ga, gb, cobcast.DefaultGroup} {
+			p := c.Group(i, g)
+			slot := i*3 + j
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[slot] = drainGroup(t, p, perGroup)
+			}()
+		}
+	}
+	for i := 0; i < perGroup; i++ {
+		from := i % nodes
+		if err := c.Group(from, ga).Broadcast([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Group(from, gb).Broadcast([]byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Broadcast(from, []byte(fmt.Sprintf("d%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	for i := 0; i < nodes; i++ {
+		for j, g := range []cobcast.GroupID{ga, gb, cobcast.DefaultGroup} {
+			got := results[i*3+j]
+			checkGroupStream(t, i, g, got)
+			prefix := []byte{'a', 'b', 'd'}[j]
+			for _, m := range got {
+				if len(m.Data) == 0 || m.Data[0] != prefix {
+					t.Errorf("node %d group %d: foreign payload %q", i, g, m.Data)
+				}
+			}
+		}
+	}
+
+	if _, ok := c.Group(0, ga).Stats(); !ok {
+		t.Error("group with traffic reported no stats")
+	}
+	if s, ok := c.Group(0, cobcast.DefaultGroup).Stats(); !ok || s.Delivered == 0 {
+		t.Errorf("default group stats = %+v, %v", s, ok)
+	}
+}
+
+// TestDefaultGroupPortDelegates pins the byte-compat contract: the
+// DefaultGroup port is the node's own API — same delivery channel, same
+// Broadcast path — so wrapping existing code in Group(DefaultGroup)
+// changes nothing.
+func TestDefaultGroupPortDelegates(t *testing.T) {
+	c, err := cobcast.NewCluster(2, cobcast.WithDeferredAckInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p := c.Group(0, cobcast.DefaultGroup)
+	if p.Deliveries() != c.Node(0).Deliveries() {
+		t.Fatal("default port has its own delivery channel")
+	}
+	if p != c.Group(0, cobcast.DefaultGroup) {
+		t.Fatal("Group is not idempotent")
+	}
+	if err := p.Broadcast([]byte("via-port")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-c.Node(1).Deliveries():
+		if string(m.Data) != "via-port" || m.Group != cobcast.DefaultGroup {
+			t.Errorf("got %q group %d", m.Data, m.Group)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("default-group message not delivered")
+	}
+}
+
+func TestMaxGroupsBound(t *testing.T) {
+	c, err := cobcast.NewCluster(2,
+		cobcast.WithDeferredAckInterval(time.Millisecond),
+		cobcast.WithMaxGroups(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Group(0, 1).Broadcast([]byte("g1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Group(0, 2).Broadcast([]byte("g2")); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Group(0, 3).Broadcast([]byte("g3"))
+	if !errors.Is(err, cobcast.ErrTooManyGroups) {
+		t.Fatalf("third group error = %v, want ErrTooManyGroups", err)
+	}
+	// The default group rides outside the bound.
+	if err := c.Broadcast(0, []byte("default-still-fine")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUDPMultiGroupConverges is the wire-path twin of the cluster test:
+// group frames ride v3 batch frames over UDP loopback, interleaved with
+// default-group v2 traffic in the same socket stream.
+func TestUDPMultiGroupConverges(t *testing.T) {
+	const n, perGroup = 3, 10
+	nodes := newUDPCluster(t, n, cobcast.WithDeferredAckInterval(2*time.Millisecond))
+	ga, gb := cobcast.Group("udp-a"), cobcast.Group("udp-b")
+
+	var wg sync.WaitGroup
+	results := make([][]cobcast.Message, n*3)
+	for i, nd := range nodes {
+		for j, g := range []cobcast.GroupID{ga, gb, cobcast.DefaultGroup} {
+			p := nd.Group(g)
+			slot := i*3 + j
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[slot] = drainGroup(t, p, perGroup)
+			}()
+		}
+	}
+	for i := 0; i < perGroup; i++ {
+		nd := nodes[i%n]
+		if err := nd.Group(ga).Broadcast([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Group(gb).Broadcast([]byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Broadcast([]byte(fmt.Sprintf("d%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		for j, g := range []cobcast.GroupID{ga, gb, cobcast.DefaultGroup} {
+			checkGroupStream(t, i, g, results[i*3+j])
+		}
+	}
+}
+
+// TestUDPUnknownGroupCounted injects a hand-built v3 frame whose group
+// ID is outside the 28-bit range straight into a node's socket. The node
+// must drop it whole, count it on the unknown-group counter, and keep
+// working.
+func TestUDPUnknownGroupCounted(t *testing.T) {
+	reg := obsv.NewRegistry()
+	tr0, err := cobcast.NewUDPTransport("127.0.0.1:0", []string{"127.0.0.1:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr0 := tr0.LocalAddr()
+	if err := tr0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := cobcast.NewUDPTransport("127.0.0.1:0", []string{addr0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1 := tr1.LocalAddr()
+	tr0, err = cobcast.NewUDPTransport(addr0, []string{addr1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []cobcast.Option{
+		cobcast.WithDeferredAckInterval(2 * time.Millisecond),
+		cobcast.WithObservability(reg),
+	}
+	var nodes [2]*cobcast.Node
+	for i, tr := range []cobcast.Transport{tr0, tr1} {
+		nd, err := cobcast.NewNode(i, 2, tr, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+		t.Cleanup(func() { nd.Close() })
+	}
+
+	// magic 0xC0BF | frame v3 | entry codec 1 | group 0xFFFFFFFF | count 0
+	evil := []byte{0xC0, 0xBF, 0x03, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x00}
+	conn, err := net.Dial("udp", addr0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(evil); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var buf bytes.Buffer
+		if err := reg.WriteMetrics(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := promtext.Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := fams.Value("cobcast_link_unknown_group_frames_total", nil); v >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("unknown-group frame never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The node is unharmed: normal traffic still converges.
+	if err := nodes[0].Broadcast([]byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-nodes[1].Deliveries():
+		if string(m.Data) != "alive" {
+			t.Errorf("got %q", m.Data)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster wedged after unknown-group frame")
+	}
+}
+
+// TestGroupStatezSections pins the bounded per-group observability: a
+// cluster with multi-group traffic publishes per-group /statez sections
+// tagged with their group ID under the owning node's label.
+func TestGroupStatezSections(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c, err := cobcast.NewCluster(2,
+		cobcast.WithDeferredAckInterval(time.Millisecond),
+		cobcast.WithObservability(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := cobcast.Group("statez")
+	if err := c.Group(0, g).Broadcast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	drainGroup(t, c.Group(0, g), 1)
+	drainGroup(t, c.Group(1, g), 1)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		found := false
+		for _, s := range reg.Statez().Nodes {
+			if s.Group == uint32(g) {
+				found = true
+			}
+		}
+		if found {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no per-group statez section appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -62,6 +62,10 @@ type Result struct {
 	// The digest is the determinism witness: same Config ⇒ same digest.
 	TraceJSON   []byte
 	TraceDigest string
+	// GroupDigests is set by multi-group runs (Config.Groups >= 2): one
+	// trace digest per group, in group order; TraceDigest then binds
+	// them all. Nil for single-group runs.
+	GroupDigests []string
 }
 
 // schedule is the concrete fault plan derived from Config.Seed. It exists
@@ -92,6 +96,9 @@ func Run(cfg Config) (*Result, error) { return RunWithRegistry(cfg, nil) }
 func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Groups >= 2 {
+		return runMultiGroup(cfg, reg)
 	}
 	// The chaos RNG: first derives the static schedule (below, in fixed
 	// order), then serves fault rolls during the run (in simulator-event

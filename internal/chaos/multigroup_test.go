@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// pinnedMultiGroup is the fixed scenario whose per-group digests are
+// pinned below: three groups sharing one lossy, partitioning, pausing
+// network. Any change to the multi-group harness, the v3 frame codec, or
+// the protocol core that alters what any group delivers shows up here.
+var pinnedMultiGroup = Config{
+	Seed: 11, N: 3, Groups: 3,
+	Workload: WorkloadContinuous, Messages: 18, PayloadSize: 32,
+	MeanGapUS: 400, DelayBaseUS: 300, JitterUS: 200,
+	Loss: 0.15, Duplicate: 0.05,
+	Partitions: 1, Pauses: 1,
+}
+
+// pinnedMultiGroupDigests are pinnedMultiGroup's expected per-group trace
+// digests (regenerate with: go test -run TestMultiGroupPinnedDigests -v
+// after an intentional protocol change).
+var pinnedMultiGroupDigests = []string{
+	"9a9f54261c0b6c4e2c3755b9d8fd56ab62de33da8e6f11e7c636fd9f7babc57e",
+	"24f7cdb6d7cd70eb9647696e5d87794bb5c63d835802b6de3269d4672b2e3591",
+	"694dd671540feb0c47da637142144c4b653af5e4d88e52e48ef8517683e2cc43",
+}
+
+// TestMultiGroupConverges runs 2..4 groups over one faulty network and
+// requires every per-group predicate to hold, every group to carry
+// traffic, and the faults to have genuinely bitten.
+func TestMultiGroupConverges(t *testing.T) {
+	for groups := 2; groups <= 4; groups++ {
+		cfg := pinnedMultiGroup
+		cfg.Groups = groups
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("groups=%d: %v", groups, err)
+		}
+		if res.Submitted != cfg.Messages {
+			t.Fatalf("groups=%d: submitted %d, want %d", groups, res.Submitted, cfg.Messages)
+		}
+		if len(res.GroupDigests) != groups {
+			t.Fatalf("groups=%d: %d group digests", groups, len(res.GroupDigests))
+		}
+		seen := map[string]int{}
+		for g, d := range res.GroupDigests {
+			if d == "" {
+				t.Fatalf("groups=%d: empty digest for group %d", groups, g)
+			}
+			seen[d]++
+		}
+		if len(seen) != groups {
+			t.Fatalf("groups=%d: digests collide (%v) — groups not isolated", groups, res.GroupDigests)
+		}
+		// Deliveries count every (message, entity) pair exactly once
+		// across all groups: group isolation means no message reaches a
+		// group it was not submitted to.
+		if want := uint64(cfg.Messages * cfg.N); res.Stats.Delivered != want {
+			t.Fatalf("groups=%d: delivered %d engine-deliveries, want %d", groups, res.Stats.Delivered, want)
+		}
+		if res.Net.Dropped == 0 {
+			t.Errorf("groups=%d: no datagram loss injected", groups)
+		}
+	}
+}
+
+// TestMultiGroupDeterminism is the contract extended to groups: same
+// config, identical per-group digests, run over run.
+func TestMultiGroupDeterminism(t *testing.T) {
+	for _, wire := range []int{0, 2} {
+		cfg := pinnedMultiGroup
+		cfg.WireVersion = wire
+		a, errA := Run(cfg)
+		b, errB := Run(cfg)
+		if errA != nil || errB != nil {
+			t.Fatalf("wire=%d: run errors %v / %v", wire, errA, errB)
+		}
+		if a.TraceDigest != b.TraceDigest {
+			t.Fatalf("wire=%d: combined digests differ: %s vs %s", wire, a.TraceDigest, b.TraceDigest)
+		}
+		for g := range a.GroupDigests {
+			if a.GroupDigests[g] != b.GroupDigests[g] {
+				t.Fatalf("wire=%d: group %d digests differ", wire, g)
+			}
+		}
+		if a.VirtualElapsed != b.VirtualElapsed || a.Net != b.Net {
+			t.Fatalf("wire=%d: run statistics differ", wire)
+		}
+	}
+}
+
+// TestMultiGroupPinnedDigests replays the fixed scenario and compares
+// against the checked-in digests, so a behavior change anywhere in the
+// multi-group path is a visible diff, not a silent drift.
+func TestMultiGroupPinnedDigests(t *testing.T) {
+	res, err := Run(pinnedMultiGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, want := range pinnedMultiGroupDigests {
+		if got := res.GroupDigests[g]; got != want {
+			t.Errorf("group %d digest drifted:\n got  %s\n want %s", g, got, want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full digest list for re-pinning: %q", res.GroupDigests)
+	}
+}
+
+// TestMultiGroupV2Wire runs the scenario with the delta-stamp entry codec
+// in the loop: per-(channel, group) stamp caches must keep each group's
+// sequence space intact under loss and duplication.
+func TestMultiGroupV2Wire(t *testing.T) {
+	cfg := pinnedMultiGroup
+	cfg.WireVersion = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(cfg.Messages * cfg.N); res.Stats.Delivered != want {
+		t.Fatalf("delivered %d engine-deliveries, want %d", res.Stats.Delivered, want)
+	}
+}
+
+// TestMultiGroupTotalOrder checks the TO release stage per group.
+func TestMultiGroupTotalOrder(t *testing.T) {
+	cfg := pinnedMultiGroup
+	cfg.TotalOrder = true
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFromSeedDrawsGroups checks the exploration distribution actually
+// emits multi-group configs (about a quarter of seeds) and stays in the
+// validated 0..4 envelope.
+func TestFromSeedDrawsGroups(t *testing.T) {
+	multi := 0
+	for seed := int64(0); seed < 400; seed++ {
+		cfg := FromSeed(seed)
+		if cfg.Groups < 0 || cfg.Groups == 1 || cfg.Groups > 4 {
+			t.Fatalf("seed %d: groups=%d outside {0, 2..4}", seed, cfg.Groups)
+		}
+		if cfg.Groups >= 2 {
+			multi++
+		}
+	}
+	if multi < 50 || multi > 150 {
+		t.Errorf("%d/400 seeds drew multi-group; want roughly a quarter", multi)
+	}
+}
+
+// TestShrinkReducesGroups checks the fewer-groups step: a failure that
+// needs at least two groups keeps exactly two, and one that does not
+// care shrinks back to the classic single-group run.
+func TestShrinkReducesGroups(t *testing.T) {
+	cfg := pinnedMultiGroup
+	cfg.Groups = 4
+	needsGroups := func(c Config) bool { return c.Groups >= 2 && c.Messages >= 2 }
+	min, _ := ShrinkWith(cfg, needsGroups, 200)
+	if min.Groups != 2 {
+		t.Errorf("groups-dependent failure shrank to groups=%d, want 2", min.Groups)
+	}
+	anyFailure := func(c Config) bool { return c.Messages >= 2 }
+	min, _ = ShrinkWith(cfg, anyFailure, 200)
+	if min.Groups != 0 {
+		t.Errorf("groups-independent failure kept groups=%d, want 0", min.Groups)
+	}
+}
+
+// TestMultiGroupBadConfig pins the Groups validation bound.
+func TestMultiGroupBadConfig(t *testing.T) {
+	cfg := pinnedMultiGroup
+	cfg.Groups = 5
+	_, err := Run(cfg)
+	if !errors.Is(err, ErrBadConfig) || !strings.Contains(err.Error(), "groups") {
+		t.Fatalf("groups=5 not rejected: %v", err)
+	}
+}

@@ -68,6 +68,17 @@ var shrinkSteps = []struct {
 		c.Loss = 0
 		return c, true
 	}},
+	{"fewer-groups", func(c Config) (Config, bool) {
+		switch {
+		case c.Groups < 2:
+			return c, false
+		case c.Groups == 2:
+			c.Groups = 0 // back to the classic single-group run
+		default:
+			c.Groups--
+		}
+		return c, true
+	}},
 	{"shrink-cluster", func(c Config) (Config, bool) {
 		if c.N <= 2 {
 			return c, false

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cobcast"
+)
+
+// MultiGroupRow is one (cluster size, group count, submit rate) cell of
+// the multi-group sweep [E14]: msgs messages spread round-robin over
+// groups independent ordered groups on one real-time in-process cluster.
+type MultiGroupRow struct {
+	N      int
+	Groups int
+	// RateMsgs is the target aggregate submit rate in messages/second
+	// (0 = unthrottled).
+	RateMsgs float64
+	Messages int
+	// Wall is submit start to last delivery anywhere.
+	Wall time.Duration
+	// DeliveredKpps is delivered message copies (msgs × n) per second of
+	// wall time — the cluster-wide ordered-delivery throughput.
+	DeliveredKpps float64
+	// FlowBlocked sums the per-group engines' flow-control stalls; it
+	// shows when per-group windows, not the runtime, bound throughput.
+	FlowBlocked uint64
+}
+
+// MultiGroupSweep runs the groups × n × rate sweep of experiment E14 on
+// the real-time in-process cluster. groups=1 uses the default group —
+// exactly the single-group runtime of every earlier experiment — so the
+// first column of each block is the baseline the multi-group rows are
+// read against. groups>1 runs that many named groups through the
+// sharded group runtime over the same transport.
+func MultiGroupSweep(ns, groupCounts []int, rates []float64, msgs, size int) ([]MultiGroupRow, error) {
+	var rows []MultiGroupRow
+	for _, n := range ns {
+		for _, g := range groupCounts {
+			for _, rate := range rates {
+				row, err := multiGroupCell(n, g, rate, msgs, size)
+				if err != nil {
+					return nil, fmt.Errorf("e14 n=%d groups=%d rate=%.0f: %w", n, g, rate, err)
+				}
+				rows = append(rows, *row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// MultiGroupPorts opens the same groups ports on every node of a
+// cluster: the default group when groups == 1, distinctly named groups
+// otherwise. Shared by the E14 cell, coload and the throughput
+// benchmark so they all drive the identical runtime surface.
+func MultiGroupPorts(c *cobcast.Cluster, n, groups int) [][]*cobcast.GroupPort {
+	ports := make([][]*cobcast.GroupPort, n)
+	for i := 0; i < n; i++ {
+		ports[i] = make([]*cobcast.GroupPort, groups)
+		for g := 0; g < groups; g++ {
+			id := cobcast.DefaultGroup
+			if groups > 1 {
+				id = cobcast.Group(fmt.Sprintf("e14-group-%d", g))
+			}
+			ports[i][g] = c.Group(i, id)
+		}
+	}
+	return ports
+}
+
+func multiGroupCell(n, groups int, rate float64, msgs, size int) (*MultiGroupRow, error) {
+	c, err := cobcast.NewCluster(n,
+		cobcast.WithDeferredAckInterval(time.Millisecond),
+		cobcast.WithRetransmitTimeout(5*time.Millisecond),
+	)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	ports := MultiGroupPorts(c, n, groups)
+	perGroup := make([]int, groups)
+	for i := 0; i < msgs; i++ {
+		perGroup[i%groups]++
+	}
+
+	// One drain per (node, group): a group's deliveries arrive on its
+	// own port channel, so draining them all concurrently is the
+	// multi-consumer shape a broker would run.
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		lastAt time.Time
+	)
+	errs := make(chan error, n*groups)
+	for i := 0; i < n; i++ {
+		for g := 0; g < groups; g++ {
+			i, g := i, g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				seen := 0
+				timeout := time.After(60 * time.Second)
+				for seen < perGroup[g] {
+					select {
+					case _, ok := <-ports[i][g].Deliveries():
+						if !ok {
+							errs <- fmt.Errorf("node %d group %d: closed at %d/%d", i, g, seen, perGroup[g])
+							return
+						}
+						seen++
+					case <-timeout:
+						errs <- fmt.Errorf("node %d group %d: timeout at %d/%d", i, g, seen, perGroup[g])
+						return
+					}
+				}
+				now := time.Now()
+				mu.Lock()
+				if now.After(lastAt) {
+					lastAt = now
+				}
+				mu.Unlock()
+				errs <- nil
+			}()
+		}
+	}
+
+	payload := make([]byte, size)
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+	start := time.Now()
+	next := start
+	for i := 0; i < msgs; i++ {
+		if err := ports[i%n][i%groups].Broadcast(payload); err != nil {
+			return nil, err
+		}
+		if interval > 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	wall := lastAt.Sub(start)
+	var flowBlocked uint64
+	for i := 0; i < n; i++ {
+		for g := 0; g < groups; g++ {
+			if s, ok := ports[i][g].Stats(); ok {
+				flowBlocked += s.FlowBlocked
+			}
+		}
+	}
+	return &MultiGroupRow{
+		N:             n,
+		Groups:        groups,
+		RateMsgs:      rate,
+		Messages:      msgs,
+		Wall:          wall,
+		DeliveredKpps: float64(msgs*n) / wall.Seconds() / 1000,
+		FlowBlocked:   flowBlocked,
+	}, nil
+}

@@ -1,0 +1,315 @@
+package groups
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cobcast/internal/core"
+	"cobcast/internal/pdu"
+)
+
+// pipe joins two registries back to back: frames staged on one side are
+// handed (as cloned PDU pointers, the in-memory substrate) to the other
+// side's Inbound. It stands in for a transport in these tests.
+type pipe struct {
+	mu   sync.Mutex
+	peer [2]*Registry // peer[side] is the registry inbounds are routed TO
+}
+
+func (pp *pipe) to(side int) *Registry {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	return pp.peer[side]
+}
+
+// pipeFrames is one shard's Frames over the pipe: Append stages per
+// group, Flush clones and crosses the pipe. Only the owning shard
+// goroutine touches staged.
+type pipeFrames struct {
+	pp     *pipe
+	side   int
+	order  []uint32
+	staged map[uint32][]*pdu.PDU
+}
+
+func (f *pipeFrames) Append(g uint32, p *pdu.PDU) {
+	if f.staged[g] == nil {
+		f.order = append(f.order, g)
+	}
+	f.staged[g] = append(f.staged[g], p)
+}
+
+func (f *pipeFrames) Flush() {
+	for _, g := range f.order {
+		batch := f.staged[g]
+		clones := make([]*pdu.PDU, len(batch))
+		for i, p := range batch {
+			clones[i] = p.Clone()
+		}
+		delete(f.staged, g)
+		if peer := f.pp.to(f.side); peer != nil {
+			peer.Inbound(g, Inbound{PDUs: clones})
+		}
+	}
+	f.order = f.order[:0]
+}
+
+func (f *pipeFrames) Deliver(g uint32, in Inbound, fn func(p *pdu.PDU)) {
+	for _, p := range in.PDUs {
+		fn(p)
+	}
+}
+
+func (f *pipeFrames) Close() {}
+
+// collector gathers deliveries per group across shard goroutines.
+type collector struct {
+	mu   sync.Mutex
+	msgs map[uint32][]core.Delivery
+}
+
+func (c *collector) add(g uint32, d core.Delivery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.msgs == nil {
+		c.msgs = make(map[uint32][]core.Delivery)
+	}
+	c.msgs[g] = append(c.msgs[g], d)
+}
+
+func (c *collector) count(g uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs[g])
+}
+
+func (c *collector) get(g uint32) []core.Delivery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]core.Delivery(nil), c.msgs[g]...)
+}
+
+// newPair builds two joined registries forming a 2-entity cluster per
+// group; shards and maxGroups apply to both sides.
+func newPair(t *testing.T, shards, maxGroups int) (a, b *Registry, ca, cb *collector, cleanup func()) {
+	t.Helper()
+	pp := &pipe{}
+	start := time.Now()
+	now := func() time.Duration { return time.Since(start) }
+	mk := func(id, side int, col *collector) *Registry {
+		r, err := New(Config{
+			Shards:    shards,
+			MaxGroups: maxGroups,
+			NewEntity: func(g uint32) (*core.Entity, error) {
+				return core.New(core.Config{
+					ClusterID:   g,
+					ID:          pdu.EntityID(id),
+					N:           2,
+					Window:      core.DefaultWindow,
+					BufferUnits: core.DefaultBufferUnits,
+					UnitsPerPDU: core.DefaultUnitsPerPDU,
+				})
+			},
+			NewFrames: func(shard int) Frames {
+				return &pipeFrames{pp: pp, side: side, staged: make(map[uint32][]*pdu.PDU)}
+			},
+			Deliver: col.add,
+			Tick:    time.Millisecond,
+			Now:     now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ca, cb = &collector{}, &collector{}
+	a = mk(0, 0, ca)
+	b = mk(1, 1, cb)
+	pp.mu.Lock()
+	pp.peer[0], pp.peer[1] = b, a
+	pp.mu.Unlock()
+	return a, b, ca, cb, func() {
+		pp.mu.Lock()
+		pp.peer[0], pp.peer[1] = nil, nil
+		pp.mu.Unlock()
+		a.Close()
+		b.Close()
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMultiGroupConverges drives several groups across several shards
+// and checks every message is delivered on both sides of every group,
+// in per-source sequence order.
+func TestMultiGroupConverges(t *testing.T) {
+	a, b, ca, cb, cleanup := newPair(t, 4, 0)
+	defer cleanup()
+
+	groupIDs := []uint32{1, 2, 3, 4}
+	const perGroup = 20
+	for i := 0; i < perGroup; i++ {
+		for _, g := range groupIDs {
+			if err := a.Submit(g, []byte(fmt.Sprintf("g%d-m%d", g, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFor(t, "all deliveries", func() bool {
+		for _, g := range groupIDs {
+			if ca.count(g) != perGroup || cb.count(g) != perGroup {
+				return false
+			}
+		}
+		return a.Quiescent() && b.Quiescent()
+	})
+	for _, g := range groupIDs {
+		for _, col := range []*collector{ca, cb} {
+			ds := col.get(g)
+			for i, d := range ds {
+				if d.Src != 0 || d.SEQ != pdu.Seq(i+1) {
+					t.Fatalf("group %d delivery %d = src %d seq %d, want src 0 seq %d", g, i, d.Src, d.SEQ, i+1)
+				}
+				if want := fmt.Sprintf("g%d-m%d", g, i); string(d.Data) != want {
+					t.Fatalf("group %d delivery %d data = %q, want %q", g, i, d.Data, want)
+				}
+			}
+		}
+	}
+	if a.GroupCount() != len(groupIDs) {
+		t.Fatalf("GroupCount = %d, want %d", a.GroupCount(), len(groupIDs))
+	}
+	for _, g := range groupIDs {
+		st, ok := a.Stats(g)
+		if !ok || st.Delivered == 0 {
+			t.Fatalf("Stats(%d) = %+v,%v", g, st, ok)
+		}
+	}
+}
+
+// TestLazyInstantiationAndBound checks groups exist only once touched,
+// the MaxGroups bound rejects submits, and over-bound inbounds are
+// dropped and counted — never a crash.
+func TestLazyInstantiationAndBound(t *testing.T) {
+	var drops atomic.Int64
+	r, err := New(Config{
+		Shards:    2,
+		MaxGroups: 2,
+		NewEntity: func(g uint32) (*core.Entity, error) {
+			return core.New(core.Config{
+				ClusterID: g, ID: 0, N: 2,
+				Window: core.DefaultWindow, BufferUnits: core.DefaultBufferUnits, UnitsPerPDU: core.DefaultUnitsPerPDU,
+			})
+		},
+		NewFrames:      func(int) Frames { return &pipeFrames{pp: &pipe{}, staged: make(map[uint32][]*pdu.PDU)} },
+		Deliver:        func(uint32, core.Delivery) {},
+		DroppedUnknown: func() { drops.Add(1) },
+		Now:            func() time.Duration { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if n := r.GroupCount(); n != 0 {
+		t.Fatalf("GroupCount before any input = %d", n)
+	}
+	if _, ok := r.Stats(5); ok {
+		t.Fatal("Stats ok for never-touched group")
+	}
+	if err := r.Submit(5, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(6, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(7, []byte("z")); !errors.Is(err, ErrTooManyGroups) {
+		t.Fatalf("Submit over bound = %v, want ErrTooManyGroups", err)
+	}
+	r.Inbound(8, Inbound{PDUs: []*pdu.PDU{{Kind: pdu.KindAckOnly, Src: 1, ACK: []pdu.Seq{0, 0}, LSrc: pdu.NoEntity}}})
+	waitFor(t, "unknown-group drop", func() bool { return drops.Load() == 1 })
+	if n := r.GroupCount(); n != 2 {
+		t.Fatalf("GroupCount = %d, want 2", n)
+	}
+}
+
+// TestEngineFailureTombstoned checks a group whose engine cannot be
+// built drops its inputs as unknown-group loss without retry storms or
+// crashes.
+func TestEngineFailureTombstoned(t *testing.T) {
+	var drops, builds atomic.Int64
+	r, err := New(Config{
+		Shards: 1,
+		NewEntity: func(g uint32) (*core.Entity, error) {
+			builds.Add(1)
+			return nil, errors.New("boom")
+		},
+		NewFrames:      func(int) Frames { return &pipeFrames{pp: &pipe{}, staged: make(map[uint32][]*pdu.PDU)} },
+		Deliver:        func(uint32, core.Delivery) {},
+		DroppedUnknown: func() { drops.Add(1) },
+		Now:            func() time.Duration { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	in := func() Inbound {
+		return Inbound{PDUs: []*pdu.PDU{{Kind: pdu.KindAckOnly, Src: 1, ACK: []pdu.Seq{0, 0}, LSrc: pdu.NoEntity}}}
+	}
+	r.Inbound(3, in())
+	r.Inbound(3, in())
+	waitFor(t, "tombstoned drops", func() bool { return drops.Load() == 2 })
+	if builds.Load() != 1 {
+		t.Fatalf("engine built %d times, want 1 (tombstone)", builds.Load())
+	}
+	if !r.Quiescent() {
+		t.Fatal("registry with only tombstones should be quiescent")
+	}
+}
+
+// TestCloseDropsInbound checks close is idempotent and later inbounds
+// are counted drops, not panics.
+func TestCloseDropsInbound(t *testing.T) {
+	var drops atomic.Int64
+	r, err := New(Config{
+		Shards: 2,
+		NewEntity: func(g uint32) (*core.Entity, error) {
+			return core.New(core.Config{
+				ClusterID: g, ID: 0, N: 2,
+				Window: core.DefaultWindow, BufferUnits: core.DefaultBufferUnits, UnitsPerPDU: core.DefaultUnitsPerPDU,
+			})
+		},
+		NewFrames:      func(int) Frames { return &pipeFrames{pp: &pipe{}, staged: make(map[uint32][]*pdu.PDU)} },
+		Deliver:        func(uint32, core.Delivery) {},
+		DroppedUnknown: func() { drops.Add(1) },
+		Now:            func() time.Duration { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close()
+	if err := r.Submit(1, []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after close = %v, want ErrClosed", err)
+	}
+	r.Inbound(1, Inbound{PDUs: []*pdu.PDU{{Kind: pdu.KindAckOnly, Src: 1, ACK: []pdu.Seq{0, 0}, LSrc: pdu.NoEntity}}})
+	if drops.Load() != 1 {
+		t.Fatalf("drops after close = %d, want 1", drops.Load())
+	}
+}

@@ -35,7 +35,10 @@ import (
 // batches (the MC service contract).
 type Inbound struct {
 	From pdu.EntityID
-	PDUs []*pdu.PDU
+	// Group tags the datagram's ordered group (0 = the default group) —
+	// the in-memory analogue of the v3 frame header's group field.
+	Group uint32
+	PDUs  []*pdu.PDU
 }
 
 // Endpoint is the per-entity attachment point to a network. Broadcast
@@ -306,10 +309,10 @@ func (n *Net) Close() {
 	}
 }
 
-// transmit routes one point-to-point copy of a batch (one datagram),
-// applying partition, loss and drop-filter policy to the batch as a
-// unit. It never blocks.
-func (n *Net) transmit(from, to pdu.EntityID, batch []*pdu.PDU) error {
+// transmit routes one point-to-point copy of a batch (one datagram)
+// tagged with its group, applying partition, loss and drop-filter policy
+// to the batch as a unit. It never blocks.
+func (n *Net) transmit(from, to pdu.EntityID, group uint32, batch []*pdu.PDU) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -352,7 +355,7 @@ func (n *Net) transmit(from, to pdu.EntityID, batch []*pdu.PDU) error {
 		for i, p := range batch {
 			pdus[i] = p.Clone()
 		}
-		in := Inbound{From: from, PDUs: pdus}
+		in := Inbound{From: from, Group: group, PDUs: pdus}
 		select {
 		case n.ports[to].pipes[from] <- in:
 		default:
@@ -376,25 +379,34 @@ var _ Endpoint = (*Port)(nil)
 func (p *Port) Local() pdu.EntityID { return p.id }
 
 // Broadcast sends the batch to every other entity as one datagram per
-// destination.
+// destination, on the default group.
 func (p *Port) Broadcast(batch ...*pdu.PDU) error {
+	return p.BroadcastGroup(0, batch...)
+}
+
+// BroadcastGroup sends the batch to every other entity as one datagram
+// per destination, tagged with the given group. It is safe for
+// concurrent use (shard goroutines broadcast different groups through
+// one port).
+func (p *Port) BroadcastGroup(group uint32, batch ...*pdu.PDU) error {
 	for to := range p.net.ports {
 		if pdu.EntityID(to) == p.id {
 			continue
 		}
-		if err := p.net.transmit(p.id, pdu.EntityID(to), batch); err != nil {
+		if err := p.net.transmit(p.id, pdu.EntityID(to), group, batch); err != nil {
 			return fmt.Errorf("broadcast from %d: %w", p.id, err)
 		}
 	}
 	return nil
 }
 
-// Send sends the batch to one entity as one datagram.
+// Send sends the batch to one entity as one datagram on the default
+// group.
 func (p *Port) Send(to pdu.EntityID, batch ...*pdu.PDU) error {
 	if to == p.id {
 		return fmt.Errorf("network: entity %d sending to itself", p.id)
 	}
-	return p.net.transmit(p.id, to, batch)
+	return p.net.transmit(p.id, to, 0, batch)
 }
 
 // Recv returns the inbox channel.

@@ -81,6 +81,13 @@ type LinkMetrics struct {
 	// next full-stamp sync point, not a protocol error.
 	StampDesyncs Counter
 
+	// UnknownGroups counts inbound group-addressed (v3) frames dropped
+	// whole for an unknown or out-of-range group ID: the header's group
+	// exceeds pdu.MaxGroupID, the group table is at its MaxGroups
+	// bound, or the group's engine could not be built. Each is a lost
+	// datagram the protocol treats like transport loss, never a crash.
+	UnknownGroups Counter
+
 	// FlushBatch observes PDUs-per-flush.
 	FlushBatch *Histogram
 }
@@ -138,6 +145,15 @@ func (m *LinkMetrics) StampDesync() {
 		return
 	}
 	m.StampDesyncs.Inc()
+}
+
+// UnknownGroup records one inbound frame dropped whole for an unknown
+// or out-of-range group ID. Safe on a nil receiver.
+func (m *LinkMetrics) UnknownGroup() {
+	if m == nil {
+		return
+	}
+	m.UnknownGroups.Inc()
 }
 
 // TransportMetrics counts datagram-level UDP transport activity
@@ -203,6 +219,10 @@ type NetworkMetrics struct {
 // directly to JSON for /statez.
 type StateSnapshot struct {
 	Node string `json:"node"`
+	// Group is the ordered group this engine serves (0 = the default
+	// group); per-group sections appear in /statez under the owning
+	// node's label with bounded cardinality.
+	Group uint32 `json:"group,omitempty"`
 
 	// Seq is the entity's own send sequence number; REQ[k] the next
 	// expected sequence from source k; Committed[k] the highest

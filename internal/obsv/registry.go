@@ -253,6 +253,9 @@ var linkCounterFamilies = []struct {
 	{"cobcast_link_stamp_desyncs_total", "Inbound v2 delta entries dropped for a missing reference stamp (treated as loss).", []linkSample{
 		{"", func(m *LinkMetrics) *Counter { return &m.StampDesyncs }},
 	}},
+	{"cobcast_link_unknown_group_frames_total", "Inbound group-addressed frames dropped for an unknown or out-of-range group ID (treated as loss).", []linkSample{
+		{"", func(m *LinkMetrics) *Counter { return &m.UnknownGroups }},
+	}},
 }
 
 var transportCounterFamilies = []struct {

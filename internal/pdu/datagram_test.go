@@ -35,6 +35,9 @@ func TestDatagramRingTakeTransfersAndRefills(t *testing.T) {
 // PutDatagram of the previous one, so the ring cannot leak pool buffers
 // (a leaked buffer would force the pool to allocate replacements).
 func TestDatagramRingLeakProbe(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates, skewing AllocsPerRun")
+	}
 	r := NewDatagramRing(8)
 	defer r.Release()
 	allocs := testing.AllocsPerRun(5000, func() {

@@ -12,6 +12,11 @@
 //	  pdu   plen bytes (Marshal output, self-checksummed)
 //	}
 //
+// Version 2 keeps this layout with v2 PDU entries; version 3 widens the
+// header with an entry-codec byte and a uint32 group ID (see
+// FrameVersion3) so one transport can carry many independent ordered
+// groups.
+//
 // All integers are big-endian. Frames carry no checksum of their own:
 // each entry is integrity-protected by the PDU codec's CRC-32 trailer,
 // and the frame structure is validated field by field so a truncated or
@@ -43,14 +48,36 @@ const (
 	// inside a v1 frame (or vice versa) fails with the entry codec's
 	// typed ErrBadVersion.
 	FrameVersion2 uint8 = 2
+	// FrameVersion3 marks group-addressed frames. A v3 header widens to
+	//
+	//	magic   uint16  0xC0BF
+	//	version uint8   3
+	//	ecodec  uint8   entry codec: 1 (v1 PDUs) or 2 (v2 delta-stamp PDUs)
+	//	group   uint32  group ID, 1..MaxGroupID (0 = default group)
+	//	count   uint16  number of PDUs
+	//
+	// separating the frame layout version from the entry codec (v1/v2
+	// frames conflate them). Like v1/v2 the version is negotiated
+	// per-frame: every decoder accepts all three, so single-group v1/v2
+	// traffic — which is what the default group keeps emitting — decodes
+	// unchanged and maps to group 0.
+	FrameVersion3 uint8 = 3
 
-	// FrameHeaderSize is the fixed frame header length in bytes.
+	// FrameHeaderSize is the fixed v1/v2 frame header length in bytes.
 	FrameHeaderSize = 2 + 1 + 2
+	// FrameHeaderSizeV3 is the group-addressed frame header length.
+	FrameHeaderSizeV3 = 2 + 1 + 1 + 4 + 2
 	// FrameEntrySize is the per-PDU framing overhead (the length prefix).
 	FrameEntrySize = 4
 
 	// MaxFramePDUs is the most PDUs one frame can carry.
 	MaxFramePDUs = math.MaxUint16
+
+	// MaxGroupID bounds valid group IDs on the wire. The group field is
+	// a uint32 but IDs are confined to 28 bits so a corrupted header is
+	// overwhelmingly likely to land out of range and be counted as an
+	// unknown-group drop instead of feeding a bogus group to the runtime.
+	MaxGroupID uint32 = 1<<28 - 1
 )
 
 // Frame decoding errors.
@@ -60,15 +87,25 @@ var (
 	ErrBadFrameVersion = errors.New("pdu: unsupported frame version")
 	ErrFrameTrailing   = errors.New("pdu: trailing bytes after batch frame")
 	ErrFrameFull       = errors.New("pdu: batch frame full")
+	// ErrBadFrameGroup marks a v3 frame whose group ID exceeds
+	// MaxGroupID; receivers count it as an unknown-group drop.
+	ErrBadFrameGroup = errors.New("pdu: frame group ID out of range")
+	// ErrBadEntryCodec marks a v3 frame whose entry-codec byte names
+	// neither wire codec v1 nor v2.
+	ErrBadEntryCodec = errors.New("pdu: unsupported frame entry codec")
 )
 
 // FrameEncoder builds a batch frame by appending PDUs into a caller-owned
 // buffer. With a buffer of sufficient capacity the steady-state encode
 // path allocates nothing. The zero value is ready for Begin.
 type FrameEncoder struct {
-	buf     []byte
-	start   int
-	count   int
+	buf   []byte
+	start int
+	count int
+	// frame is the header layout version (1, 2 or 3); version is the
+	// entry codec (WireVersion or WireVersion2). For v1/v2 frames the
+	// two coincide; a v3 header carries the entry codec explicitly.
+	frame   uint8
 	version uint8
 	stamps  *StampEncoder
 }
@@ -89,11 +126,36 @@ func (e *FrameEncoder) BeginV2(buf []byte, st *StampEncoder) {
 	e.stamps = st
 }
 
+// BeginGroup starts a new v3 group-addressed frame carrying entries in
+// the given codec (WireVersion or WireVersion2; anything else is encoded
+// as WireVersion). group must be <= MaxGroupID — each group is its own
+// sequence space, so for codec v2 the stamp encoder st must be dedicated
+// to this group's stream (nil st: all entries full-stamped).
+func (e *FrameEncoder) BeginGroup(buf []byte, group uint32, ecodec uint8, st *StampEncoder) {
+	e.start = len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, FrameMagic)
+	if ecodec != WireVersion2 {
+		ecodec = WireVersion
+	}
+	buf = append(buf, FrameVersion3, ecodec)
+	buf = binary.BigEndian.AppendUint32(buf, group)
+	e.buf = append(buf, 0, 0) // count patched by Bytes
+	e.count = 0
+	e.frame = FrameVersion3
+	e.version = ecodec
+	if ecodec == WireVersion2 {
+		e.stamps = st
+	} else {
+		e.stamps = nil
+	}
+}
+
 func (e *FrameEncoder) beginVersion(buf []byte, v uint8) {
 	e.start = len(buf)
 	buf = binary.BigEndian.AppendUint16(buf, FrameMagic)
 	e.buf = append(buf, v, 0, 0) // count patched by Bytes
 	e.count = 0
+	e.frame = v
 	e.version = v
 }
 
@@ -131,7 +193,11 @@ func (e *FrameEncoder) Size() int { return len(e.buf) - e.start }
 // returns the buffer passed to Begin extended with the complete frame.
 // The encoder may be reused with Begin afterwards.
 func (e *FrameEncoder) Bytes() []byte {
-	binary.BigEndian.PutUint16(e.buf[e.start+3:], uint16(e.count))
+	countOff := e.start + 3
+	if e.frame == FrameVersion3 {
+		countOff = e.start + FrameHeaderSizeV3 - 2
+	}
+	binary.BigEndian.PutUint16(e.buf[countOff:], uint16(e.count))
 	return e.buf
 }
 
@@ -160,6 +226,42 @@ func EncodeFrameV2(batch []*PDU, st *StampEncoder) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
+// EncodeFrameGroup marshals a batch into one v3 group-addressed frame
+// with the given entry codec (st as in EncodeFrameV2, used only for
+// codec v2).
+func EncodeFrameGroup(batch []*PDU, group uint32, ecodec uint8, st *StampEncoder) ([]byte, error) {
+	var e FrameEncoder
+	e.BeginGroup(nil, group, ecodec, st)
+	for _, p := range batch {
+		if err := e.Append(p); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+// FrameGroup peeks the group ID out of an encoded frame without decoding
+// it: v1/v2 frames are the default group (0, true), v3 frames return
+// their header's group field unvalidated — callers treat IDs above
+// MaxGroupID as unknown-group drops. ok is false when b is too short or
+// not a frame at all; such datagrams belong on the default decode path,
+// whose terminal error accounts for them as loss.
+func FrameGroup(b []byte) (group uint32, ok bool) {
+	if len(b) < FrameHeaderSize || binary.BigEndian.Uint16(b) != FrameMagic {
+		return 0, false
+	}
+	switch b[2] {
+	case FrameVersion, FrameVersion2:
+		return 0, true
+	case FrameVersion3:
+		if len(b) < FrameHeaderSizeV3 {
+			return 0, false
+		}
+		return binary.BigEndian.Uint32(b[4:8]), true
+	}
+	return 0, false
+}
+
 // FrameDecoder iterates the PDUs of a batch frame in place. It performs
 // no allocation of its own; decoding into a reused scratch PDU keeps the
 // steady-state receive path allocation-free. Every error is terminal:
@@ -170,6 +272,7 @@ type FrameDecoder struct {
 	remaining int
 	err       error
 	version   uint8
+	group     uint32
 	stamps    *StampDecoder
 }
 
@@ -181,11 +284,11 @@ type FrameDecoder struct {
 func (d *FrameDecoder) SetStampDecoder(sd *StampDecoder) { d.stamps = sd }
 
 // Reset points the decoder at frame b, validating the header. Frame
-// versions 1 and 2 are both accepted; the version selects the entry
-// codec for Next. The decoder reads from b in place, so b must stay
-// alive and unmodified until the last Next.
+// versions 1, 2 and 3 are all accepted; the version (for v3, the entry
+// codec byte) selects the entry codec for Next. The decoder reads from b
+// in place, so b must stay alive and unmodified until the last Next.
 func (d *FrameDecoder) Reset(b []byte) error {
-	d.rest, d.remaining = nil, 0
+	d.rest, d.remaining, d.group = nil, 0, 0
 	if len(b) < FrameHeaderSize {
 		d.err = fmt.Errorf("%w: %d header bytes", ErrFrameTruncated, len(b))
 		return d.err
@@ -194,20 +297,44 @@ func (d *FrameDecoder) Reset(b []byte) error {
 		d.err = fmt.Errorf("%w: %04x", ErrBadFrameMagic, m)
 		return d.err
 	}
-	if v := b[2]; v != FrameVersion && v != FrameVersion2 {
+	switch v := b[2]; v {
+	case FrameVersion, FrameVersion2:
+		d.version = v
+		d.remaining = int(binary.BigEndian.Uint16(b[3:5]))
+		d.rest = b[FrameHeaderSize:]
+	case FrameVersion3:
+		if len(b) < FrameHeaderSizeV3 {
+			d.err = fmt.Errorf("%w: %d header bytes for v3", ErrFrameTruncated, len(b))
+			return d.err
+		}
+		if ec := b[3]; ec != WireVersion && ec != WireVersion2 {
+			d.err = fmt.Errorf("%w: %d", ErrBadEntryCodec, ec)
+			return d.err
+		}
+		if g := binary.BigEndian.Uint32(b[4:8]); g > MaxGroupID {
+			d.err = fmt.Errorf("%w: %d", ErrBadFrameGroup, g)
+			return d.err
+		}
+		d.version = b[3]
+		d.group = binary.BigEndian.Uint32(b[4:8])
+		d.remaining = int(binary.BigEndian.Uint16(b[8:10]))
+		d.rest = b[FrameHeaderSizeV3:]
+	default:
 		d.err = fmt.Errorf("%w: %d", ErrBadFrameVersion, v)
 		return d.err
 	}
-	d.version = b[2]
-	d.remaining = int(binary.BigEndian.Uint16(b[3:5]))
-	d.rest = b[FrameHeaderSize:]
 	d.err = nil
 	return nil
 }
 
-// Version reports the entry codec version of the frame last Reset, 0 if
-// none was accepted yet.
+// Version reports the entry codec version of the frame last Reset
+// (WireVersion or WireVersion2 — for v3 frames, the header's entry-codec
+// byte), 0 if none was accepted yet.
 func (d *FrameDecoder) Version() uint8 { return d.version }
+
+// Group reports the group ID of the frame last Reset: the v3 header
+// field, or 0 (the default group) for v1/v2 frames.
+func (d *FrameDecoder) Group() uint32 { return d.group }
 
 // Next decodes the frame's next PDU into p (overwriting every field and
 // reusing p's ACK/Data capacity). It returns false with a nil error when

@@ -216,3 +216,180 @@ func TestFrameCodecZeroAlloc(t *testing.T) {
 		t.Fatalf("frame codec hot path allocates %.1f times per frame, want 0", allocs)
 	}
 }
+
+// TestFrameGroupRoundTrip encodes a batch as v3 group-addressed frames
+// under both entry codecs and checks the decoder reports the group and
+// entry codec and hands back identical PDUs.
+func TestFrameGroupRoundTrip(t *testing.T) {
+	batch := frameBatch()
+	for _, ecodec := range []uint8{WireVersion, WireVersion2} {
+		b, err := EncodeFrameGroup(batch, 42, ecodec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d FrameDecoder
+		var sd StampDecoder
+		d.SetStampDecoder(&sd)
+		if err := d.Reset(b); err != nil {
+			t.Fatalf("Reset: %v", err)
+		}
+		if d.Group() != 42 {
+			t.Fatalf("Group = %d, want 42", d.Group())
+		}
+		if d.Version() != ecodec {
+			t.Fatalf("Version = %d, want entry codec %d", d.Version(), ecodec)
+		}
+		var got []*PDU
+		for {
+			var p PDU
+			ok, err := d.Next(&p)
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, &p)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("decoded %d PDUs, want %d", len(got), len(batch))
+		}
+		for i, p := range batch {
+			want, _ := p.Marshal()
+			have, _ := got[i].Marshal()
+			if !bytes.Equal(want, have) {
+				t.Errorf("ecodec %d PDU %d mismatch:\n want %v\n got  %v", ecodec, i, p, got[i])
+			}
+		}
+	}
+}
+
+// TestFrameGroupDefaultZero checks v1/v2 frames decode as the default
+// group and the FrameGroup peek agrees with the full decoder on every
+// layout.
+func TestFrameGroupDefaultZero(t *testing.T) {
+	batch := frameBatch()
+	v1, _ := EncodeFrame(batch)
+	v2, _ := EncodeFrameV2(batch, nil)
+	v3, _ := EncodeFrameGroup(batch, 7, WireVersion2, nil)
+	for _, tc := range []struct {
+		name  string
+		frame []byte
+		group uint32
+	}{
+		{"v1", v1, 0}, {"v2", v2, 0}, {"v3", v3, 7},
+	} {
+		var d FrameDecoder
+		if err := d.Reset(tc.frame); err != nil {
+			t.Fatalf("%s Reset: %v", tc.name, err)
+		}
+		if d.Group() != tc.group {
+			t.Fatalf("%s Group = %d, want %d", tc.name, d.Group(), tc.group)
+		}
+		g, ok := FrameGroup(tc.frame)
+		if !ok || g != tc.group {
+			t.Fatalf("%s FrameGroup = %d,%v, want %d,true", tc.name, g, ok, tc.group)
+		}
+	}
+	// Non-frames and truncated v3 headers are not routable.
+	for _, b := range [][]byte{nil, {0xC0}, {0xBE, 0xEF, 0x01, 0x00, 0x00}, v3[:FrameHeaderSizeV3-1], {0xC0, 0xBF, 0x99}} {
+		if g, ok := FrameGroup(b); ok {
+			t.Fatalf("FrameGroup(%x) = %d,true, want not-ok", b, g)
+		}
+	}
+	// FrameGroup peeks without range-checking: an overflowing group ID is
+	// routable (so the runtime can count it) but Reset rejects it.
+	big := append([]byte(nil), v3...)
+	binary.BigEndian.PutUint32(big[4:8], MaxGroupID+1)
+	if g, ok := FrameGroup(big); !ok || g != MaxGroupID+1 {
+		t.Fatalf("FrameGroup(out-of-range) = %d,%v", g, ok)
+	}
+	var d FrameDecoder
+	if err := d.Reset(big); !errors.Is(err, ErrBadFrameGroup) {
+		t.Fatalf("Reset(out-of-range group) = %v, want ErrBadFrameGroup", err)
+	}
+}
+
+// TestFrameGroupMalformed feeds the decoder malformed v3 headers: each
+// must surface its typed error terminally, never panic.
+func TestFrameGroupMalformed(t *testing.T) {
+	good, err := EncodeFrameGroup(frameBatch(), 9, WireVersion, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		return mutate(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"truncated group id", good[:6], ErrFrameTruncated},
+		{"truncated v3 header", good[:FrameHeaderSizeV3-1], ErrFrameTruncated},
+		{"bad entry codec", corrupt(func(b []byte) []byte { b[3] = 9; return b }), ErrBadEntryCodec},
+		{"group out of range", corrupt(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[4:8], 0xFFFFFFFF)
+			return b
+		}), ErrBadFrameGroup},
+		{"count larger than entries", corrupt(func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[8:10], 99)
+			return b
+		}), ErrFrameTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d FrameDecoder
+			var p PDU
+			err := d.Reset(tc.in)
+			for err == nil {
+				var ok bool
+				ok, err = d.Next(&p)
+				if !ok && err == nil {
+					t.Fatalf("frame decoded cleanly, want %v", tc.want)
+				}
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want %v", err, tc.want)
+			}
+			if _, again := d.Next(&p); !errors.Is(again, tc.want) {
+				t.Fatalf("error not terminal: second Next returned %v", again)
+			}
+		})
+	}
+}
+
+// TestFrameGroupZeroAlloc proves the v3 encode/decode path stays
+// allocation-free in steady state like v1/v2.
+func TestFrameGroupZeroAlloc(t *testing.T) {
+	batch := frameBatch()
+	var e FrameEncoder
+	buf := make([]byte, 0, 4096)
+	var d FrameDecoder
+	var scratch PDU
+	run := func() {
+		e.BeginGroup(buf, 3, WireVersion, nil)
+		for _, p := range batch {
+			if err := e.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b := e.Bytes()
+		if err := d.Reset(b); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			ok, err := d.Next(&scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	run() // warm scratch capacity
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("v3 frame codec hot path allocates %.1f times per frame, want 0", allocs)
+	}
+}

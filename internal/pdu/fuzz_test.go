@@ -2,6 +2,7 @@ package pdu
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"testing"
@@ -74,11 +75,29 @@ func FuzzFrameDecode(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(b2d)
+		// The same batches as v3 group-addressed frames: default group
+		// with v1 entries, a high-but-valid group with a live delta chain.
+		b3, err := EncodeFrameGroup(batch, 7, WireVersion, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b3)
+		b3d, err := EncodeFrameGroup(batch, MaxGroupID, WireVersion2, NewStampEncoder(64))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b3d)
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xC0, 0xBF})
 	f.Add(bytes.Repeat([]byte{0xC0, 0xBF, 0x01}, 20))
 	f.Add(bytes.Repeat([]byte{0xC0, 0xBF, 0x02}, 20))
+	// Malformed v3 headers: truncated mid-group-ID, overflowing group ID,
+	// unknown entry codec — all must fail terminally, never panic.
+	f.Add([]byte{0xC0, 0xBF, 0x03})
+	f.Add([]byte{0xC0, 0xBF, 0x03, 0x01, 0x00, 0x00})
+	f.Add([]byte{0xC0, 0xBF, 0x03, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x00})
+	f.Add([]byte{0xC0, 0xBF, 0x03, 0x07, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decodeAll := func() ([]*PDU, bool) {
@@ -110,7 +129,22 @@ func FuzzFrameDecode(f *testing.F) {
 		if !ok {
 			return
 		}
-		if len(data) >= 3 && data[2] == FrameVersion2 {
+		// Reset accepted the header, so the layout bytes below exist. The
+		// re-encoder mirrors the accepted frame's layout: v3 frames carry
+		// their entry codec and group explicitly, v1/v2 conflate them.
+		ecodec := data[2]
+		reencode := func(b []*PDU) ([]byte, error) { return EncodeFrame(b) }
+		switch data[2] {
+		case FrameVersion2:
+			reencode = func(b []*PDU) ([]byte, error) { return EncodeFrameV2(b, nil) }
+		case FrameVersion3:
+			ecodec = data[3]
+			group := binary.BigEndian.Uint32(data[4:8])
+			reencode = func(b []*PDU) ([]byte, error) {
+				return EncodeFrameGroup(b, group, ecodec, nil)
+			}
+		}
+		if ecodec == WireVersion2 {
 			sawDelta := false
 			for _, p := range batch {
 				if p.Delta != nil {
@@ -118,9 +152,10 @@ func FuzzFrameDecode(f *testing.F) {
 				}
 			}
 			if !sawDelta {
-				// Full-stamp-only v2 frames are canonical: re-encoding
-				// with a stampless encoder reproduces the input.
-				out, err := EncodeFrameV2(batch, nil)
+				// Full-stamp-only v2-entry frames are canonical:
+				// re-encoding with a stampless encoder reproduces the
+				// input.
+				out, err := reencode(batch)
 				if err != nil {
 					t.Fatalf("accepted v2 frame failed to re-encode: %v", err)
 				}
@@ -155,7 +190,7 @@ func FuzzFrameDecode(f *testing.F) {
 			}
 			return
 		}
-		out, err := EncodeFrame(batch)
+		out, err := reencode(batch)
 		if err != nil {
 			t.Fatalf("accepted frame failed to re-encode: %v", err)
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pdu
+
+const raceEnabled = false

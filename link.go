@@ -16,6 +16,10 @@ import (
 type inbound struct {
 	pdus []*pdu.PDU
 	raw  []byte
+	// group is the addressed group for substrates that tag at the
+	// transport boundary (the in-memory network); wire links carry the
+	// group inside the v3 frame header instead and peek it in route.
+	group uint32
 }
 
 // link is the node's single attachment point to whatever moves PDUs —
@@ -46,6 +50,12 @@ type link interface {
 	// deliver decodes one inbound datagram and hands each PDU to fn in
 	// batch order, then releases the datagram's resources.
 	deliver(in inbound, fn func(p *pdu.PDU))
+	// route classifies one inbound before decode: the group it is
+	// addressed to (0 = the default group, handled by the node loop's
+	// own deliver path) and whether the link already dropped it (an
+	// out-of-range group ID — counted as unknown-group loss, resources
+	// released). group > 0 hands ownership to the multi-group runtime.
+	route(in inbound) (group uint32, drop bool)
 	// close stops the link's pump goroutine and closes a transport the
 	// link owns. It is idempotent.
 	close() error
@@ -123,7 +133,7 @@ func (l *memLink) pump() {
 				return
 			}
 			select {
-			case l.in <- inbound{pdus: in.PDUs}:
+			case l.in <- inbound{pdus: in.PDUs, group: in.Group}:
 			case <-l.stop:
 				return
 			}
@@ -136,6 +146,10 @@ func (l *memLink) deliver(in inbound, fn func(p *pdu.PDU)) {
 		fn(p)
 	}
 }
+
+// route passes through the network boundary's group tag; the in-memory
+// network cannot produce out-of-range IDs, so nothing drops here.
+func (l *memLink) route(in inbound) (uint32, bool) { return in.group, false }
 
 func (l *memLink) close() error {
 	l.once.Do(func() {
@@ -352,6 +366,25 @@ func (l *wireLink) deliver(in inbound, fn func(p *pdu.PDU)) {
 		l.lm.StampDesync()
 	}
 	pdu.PutDatagram(in.raw)
+}
+
+// route peeks the frame header's group address without decoding the
+// body. v1/v2 frames and v3 frames addressed to group 0 stay on the
+// node loop's path; a v3 group ID past pdu.MaxGroupID (a corrupted or
+// hostile header) is dropped whole here and counted as unknown-group
+// loss. Headers too mangled to classify fall through to deliver, whose
+// decoder rejects them as generic loss.
+func (l *wireLink) route(in inbound) (uint32, bool) {
+	g, ok := pdu.FrameGroup(in.raw)
+	if !ok {
+		return 0, false
+	}
+	if g > pdu.MaxGroupID {
+		l.lm.UnknownGroup()
+		pdu.PutDatagram(in.raw)
+		return 0, true
+	}
+	return g, false
 }
 
 func (l *wireLink) close() error {

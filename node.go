@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cobcast/internal/core"
+	"cobcast/internal/groups"
 	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 )
@@ -64,6 +65,15 @@ type Node struct {
 	// coalesces into one datagram.
 	lk link
 
+	// Multi-group state (see group.go): the sharded runtime starts
+	// lazily on the first non-default Group() call or the first
+	// group-addressed inbound frame, so single-group nodes pay nothing.
+	groupsMu         sync.Mutex
+	groupRT          *groups.Registry
+	groupPorts       map[GroupID]*GroupPort
+	groupMetricsUsed int
+	gseed            groupSeed
+
 	submits  chan []byte
 	evicts   chan evictReq
 	statsReq chan chan core.Stats
@@ -99,7 +109,10 @@ func NewNode(id, n int, trans Transport, opts ...Option) (*Node, error) {
 	default:
 		return nil, fmt.Errorf("cobcast: unsupported wire codec version %d", o.wireVersion)
 	}
-	nd, err := newNode(id, n, o, newWireLink(trans, version, o.stampInterval))
+	nd, err := newNode(id, n, o, newWireLink(trans, version, o.stampInterval),
+		func(shard int, lm *obsv.LinkMetrics) groups.Frames {
+			return newWireGroupFrames(trans, version, o.stampInterval, lm)
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +131,11 @@ func NewNode(id, n int, trans Transport, opts ...Option) (*Node, error) {
 	return nd, nil
 }
 
-func newNode(id, n int, o options, lk link) (*Node, error) {
+// newNode assembles a node over its link. newFrames is the substrate's
+// multi-group wire factory, invoked once per shard if (and only if) the
+// node's group runtime starts; it receives the node's link metrics so
+// group traffic shares the node's flush counters.
+func newNode(id, n int, o options, lk link, newFrames func(shard int, lm *obsv.LinkMetrics) groups.Frames) (*Node, error) {
 	cfg := o.coreConfig(id, n)
 	var em *obsv.EntityMetrics
 	var lm *obsv.LinkMetrics
@@ -149,6 +166,13 @@ func newNode(id, n int, o options, lk link) (*Node, error) {
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		pumpDone: make(chan struct{}),
+	}
+	nd.gseed = groupSeed{
+		o:  o,
+		lm: lm,
+		newFrames: func(shard int) groups.Frames {
+			return newFrames(shard, lm)
+		},
 	}
 	go nd.loop()
 	go nd.pump()
@@ -221,7 +245,7 @@ func (nd *Node) WaitIdle(timeout time.Duration) error {
 		reply := make(chan bool, 1)
 		select {
 		case nd.idleReq <- reply:
-			if <-reply {
+			if <-reply && nd.groupsIdle() {
 				return nil
 			}
 		case <-nd.stop:
@@ -303,6 +327,9 @@ func (nd *Node) Close() error {
 	nd.closeOnce.Do(func() {
 		close(nd.stop)
 		<-nd.loopDone
+		// Group runtime first: stopping the shards ends group-port queue
+		// pushes before those queues close.
+		nd.closeGroups()
 		nd.queue.close()
 		<-nd.pumpDone
 		close(nd.deliver)
@@ -338,7 +365,7 @@ func (nd *Node) loop() {
 			if !ok {
 				return
 			}
-			nd.lk.deliver(b, nd.receive)
+			nd.routeInbound(b)
 		case <-ticker.C:
 			nd.dispatch(nd.ent.Tick(nd.now()))
 		case reply := <-nd.statsReq:
@@ -364,7 +391,7 @@ func (nd *Node) loop() {
 				if !ok {
 					return
 				}
-				nd.lk.deliver(b, nd.receive)
+				nd.routeInbound(b)
 			case <-ticker.C:
 				nd.dispatch(nd.ent.Tick(nd.now()))
 			case reply := <-nd.statsReq:
