@@ -1,0 +1,368 @@
+// Command cosoak is a saturation soak harness for the bounded-memory
+// runtime mode: it drives a cluster flat-out against a per-engine memory
+// budget, stalls one peer mid-run, scrapes its own /metrics endpoint
+// periodically, and fails when any retention series (ledger bytes, log
+// depths, process heap) trends upward after warm-up — the observable
+// signature of a leak that the budget should have made impossible. It
+// also fails unless the run produced positive evidence that the
+// machinery engaged: producers blocked or shed, and the stalled peer was
+// evicted on the pressure-shortened suspicion timer.
+//
+//	cosoak                      # CI-friendly 30s run, JSON report on stdout
+//	cosoak -long                # multi-minute soak (3m)
+//	cosoak -mode shed -n 6      # shed-mode saturation on a 6-node cluster
+//	cosoak -dur 45s -out report.json
+//
+// Exit status: 0 when every trend is flat and all evidence checks pass,
+// 1 on a soak failure, 2 on setup errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cobcast"
+	"cobcast/internal/experiments"
+	"cobcast/obsv"
+)
+
+// The metric families the soak follows; names match internal/obsv.
+const (
+	mLedgerBytes = "cobcast_ledger_bytes"
+	mBlocked     = "cobcast_backpressure_blocked_total"
+	mShed        = "cobcast_backpressure_shed_total"
+	mPressure    = "cobcast_pressure_evictions_total"
+)
+
+// depthFamilies together form the "log depth" series: every PDU-count
+// gauge that bounded memory is supposed to keep bounded.
+var depthFamilies = []string{
+	"cobcast_rrl_depth", "cobcast_prl_depth", "cobcast_arl_depth",
+	"cobcast_parked_pdus", "cobcast_data_resident",
+	"cobcast_sendlog_pdus", "cobcast_pending_submits",
+}
+
+type runConfig struct {
+	N           int           `json:"n"`
+	Duration    time.Duration `json:"duration_ns"`
+	BudgetBytes int64         `json:"budget_bytes"`
+	Mode        string        `json:"mode"`
+	PayloadSize int           `json:"payload_size"`
+	Suspect     time.Duration `json:"suspect_ns"`
+	StalledNode int           `json:"stalled_node"`
+	StallAt     time.Duration `json:"stall_at_ns"`
+	Tolerance   float64       `json:"tolerance"`
+}
+
+type finalCounters struct {
+	Blocked          float64 `json:"blocked_total"`
+	Shed             float64 `json:"shed_total"`
+	PressureEvicted  float64 `json:"pressure_evictions_total"`
+	Submitted        uint64  `json:"submitted"`
+	ShedByProducers  uint64  `json:"shed_by_producers"`
+	Delivered        uint64  `json:"delivered"`
+	LedgerBytesFinal float64 `json:"ledger_bytes_final"`
+}
+
+type report struct {
+	Config   runConfig                `json:"config"`
+	Samples  []experiments.SoakSample `json:"samples"`
+	Trends   []experiments.TrendRow   `json:"trends"`
+	Final    finalCounters            `json:"final"`
+	Failures []string                 `json:"failures,omitempty"`
+	Pass     bool                     `json:"pass"`
+}
+
+func main() {
+	var (
+		n         = flag.Int("n", 4, "cluster size (one node is stalled mid-run)")
+		dur       = flag.Duration("dur", 30*time.Second, "soak duration")
+		long      = flag.Bool("long", false, "multi-minute soak (3m unless -dur is set explicitly)")
+		budget    = flag.Int64("budget", 256<<10, "per-engine memory budget, bytes")
+		mode      = flag.String("mode", "block", "backpressure mode at budget: block or shed")
+		size      = flag.Int("size", 256, "payload bytes")
+		suspect   = flag.Duration("suspect", 2*time.Second, "suspicion timeout (pressure shortens it to a quarter)")
+		tolerance = flag.Float64("tolerance", 1.25, "max ratio of post-warm-up half-means before a series counts as upward")
+		out       = flag.String("out", "", "write the JSON report here instead of stdout")
+	)
+	flag.Parse()
+	durSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dur" {
+			durSet = true
+		}
+	})
+	if *long && !durSet {
+		*dur = 3 * time.Minute
+	}
+	if *n < 3 {
+		fmt.Fprintln(os.Stderr, "cosoak: -n must be >= 3 (two survivors plus the stalled peer)")
+		os.Exit(2)
+	}
+	var bp cobcast.BackpressureMode
+	switch *mode {
+	case "block":
+		bp = cobcast.BackpressureBlock
+	case "shed":
+		bp = cobcast.BackpressureShed
+	default:
+		fmt.Fprintln(os.Stderr, "cosoak: -mode must be block or shed")
+		os.Exit(2)
+	}
+	rep, err := soak(*n, *dur, *budget, bp, *mode, *size, *suspect, *tolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosoak:", err)
+		os.Exit(2)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosoak:", err)
+		os.Exit(2)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cosoak:", err)
+			os.Exit(2)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	summarize(os.Stderr, rep)
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+func soak(n int, dur time.Duration, budget int64, bp cobcast.BackpressureMode, modeName string, size int, suspect time.Duration, tolerance float64) (*report, error) {
+	cfg := runConfig{
+		N: n, Duration: dur, BudgetBytes: budget, Mode: modeName,
+		PayloadSize: size, Suspect: suspect, StalledNode: n - 1,
+		StallAt: dur / 6, Tolerance: tolerance,
+	}
+	reg := obsv.NewRegistry()
+	cluster, err := cobcast.NewCluster(n,
+		cobcast.WithMemoryBudget(budget),
+		cobcast.WithBackpressure(bp),
+		cobcast.WithSuspectTimeout(suspect),
+		cobcast.WithDeferredAckInterval(time.Millisecond),
+		cobcast.WithRetransmitTimeout(5*time.Millisecond),
+		cobcast.WithObservability(reg),
+	)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	srv, err := obsv.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("obsv endpoint: %w", err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr() + "/metrics"
+
+	// Drain every node's deliveries for the whole run, the stalled one
+	// included — stalling is the network isolating it, not a slow
+	// consumer on its channel.
+	var delivered atomic.Uint64
+	var drains sync.WaitGroup
+	for i := 0; i < n; i++ {
+		drains.Add(1)
+		go func(i int) {
+			defer drains.Done()
+			for range cluster.Node(i).Deliveries() {
+				delivered.Add(1)
+			}
+		}(i)
+	}
+
+	// Unthrottled producers on every survivor: saturation is the point,
+	// so the only pacing is the budget itself (block) or a short retry
+	// breather (shed).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var submitted, shedByProducers atomic.Uint64
+	payload := make([]byte, size)
+	var producers sync.WaitGroup
+	for i := 0; i < n-1; i++ {
+		producers.Add(1)
+		go func(i int) {
+			defer producers.Done()
+			node := cluster.Node(i)
+			for {
+				err := node.BroadcastContext(ctx, payload)
+				switch {
+				case err == nil:
+					submitted.Add(1)
+				case errors.Is(err, cobcast.ErrOverBudget):
+					shedByProducers.Add(1)
+					select {
+					case <-time.After(200 * time.Microsecond):
+					case <-ctx.Done():
+						return
+					}
+				default:
+					return // context cancelled or node closed
+				}
+			}
+		}(i)
+	}
+
+	stallTimer := time.AfterFunc(cfg.StallAt, func() { cluster.Isolate(cfg.StalledNode) })
+	defer stallTimer.Stop()
+
+	// Sample loop: scrape /metrics plus the process heap until the
+	// deadline. Sampling interval scales with the run so a -long soak
+	// doesn't produce thousands of report rows.
+	interval := dur / 60
+	if interval < 200*time.Millisecond {
+		interval = 200 * time.Millisecond
+	}
+	if interval > 2*time.Second {
+		interval = 2 * time.Second
+	}
+	families := append([]string{mLedgerBytes, mBlocked, mShed, mPressure}, depthFamilies...)
+	var samples []experiments.SoakSample
+	start := time.Now()
+	deadline := time.NewTimer(dur)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+sampling:
+	for {
+		select {
+		case <-deadline.C:
+			break sampling
+		case <-ticker.C:
+			got, err := experiments.SumMetrics(url, families...)
+			if err != nil {
+				return nil, err
+			}
+			// Force a collection so HeapInuse approximates live bytes;
+			// without it the series measures GC hysteresis (floating
+			// garbage from millions of submits), not retention.
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			s := experiments.SoakSample{
+				At:              time.Since(start),
+				LedgerBytes:     got[mLedgerBytes],
+				HeapInuse:       float64(ms.HeapInuse),
+				Blocked:         got[mBlocked],
+				Shed:            got[mShed],
+				PressureEvicted: got[mPressure],
+			}
+			for _, f := range depthFamilies {
+				s.LogDepth += got[f]
+			}
+			if n > 0 {
+				s.DeliveredPerNode = float64(delivered.Load()) / float64(n)
+			}
+			samples = append(samples, s)
+		}
+	}
+	cancel()
+	producers.Wait()
+
+	final, err := experiments.SumMetrics(url, families...)
+	if err != nil {
+		return nil, err
+	}
+	rep := &report{
+		Config:  cfg,
+		Samples: samples,
+		Final: finalCounters{
+			Blocked:          final[mBlocked],
+			Shed:             final[mShed],
+			PressureEvicted:  final[mPressure],
+			Submitted:        submitted.Load(),
+			ShedByProducers:  shedByProducers.Load(),
+			Delivered:        delivered.Load(),
+			LedgerBytesFinal: final[mLedgerBytes],
+		},
+	}
+	rep.Trends, rep.Failures = verdict(cfg, samples, rep.Final, budget, n)
+	rep.Pass = len(rep.Failures) == 0
+
+	cluster.Close() // closes Deliveries channels, letting the drains exit
+	drains.Wait()
+	return rep, nil
+}
+
+// verdict applies the soak's pass criteria: flat post-warm-up retention
+// series and positive evidence that backpressure and pressure eviction
+// actually engaged.
+func verdict(cfg runConfig, samples []experiments.SoakSample, final finalCounters, budget int64, n int) ([]experiments.TrendRow, []string) {
+	var fails []string
+	// Discard the warm-up: everything before a third of the run, which
+	// covers cluster spin-up, the stall itself, and the eviction step.
+	warm := cfg.Duration / 3
+	var ledger, depth, heap []float64
+	for _, s := range samples {
+		if s.At < warm {
+			continue
+		}
+		ledger = append(ledger, s.LedgerBytes)
+		depth = append(depth, s.LogDepth)
+		heap = append(heap, s.HeapInuse)
+	}
+	if len(ledger) < 4 {
+		fails = append(fails, fmt.Sprintf("only %d post-warm-up samples; run too short to judge", len(ledger)))
+	}
+	// Floors keep sampling noise around small means from flagging: a
+	// quarter-budget of ledger drift, a handful of PDUs, a couple MiB of
+	// heap jitter are not leaks.
+	trends := []experiments.TrendRow{
+		experiments.FlatTrend("ledger_bytes", ledger, cfg.Tolerance, float64(budget)/4),
+		experiments.FlatTrend("log_depth", depth, cfg.Tolerance, 64),
+		experiments.FlatTrend("heap_inuse", heap, cfg.Tolerance, float64(4<<20)),
+	}
+	for _, tr := range trends {
+		if tr.Upward {
+			fails = append(fails, fmt.Sprintf("%s trends upward post-warm-up: %.0f -> %.0f (ratio %.2f > %.2f)",
+				tr.Name, tr.FirstMean, tr.SecondMean, tr.Ratio, cfg.Tolerance))
+		}
+	}
+	if final.Blocked+final.Shed == 0 {
+		fails = append(fails, "budget never engaged: no producer blocked or shed")
+	}
+	if cfg.Mode == "block" && final.Blocked == 0 {
+		fails = append(fails, "block mode ran but the blocked counter stayed zero")
+	}
+	if cfg.Mode == "shed" && final.Shed == 0 {
+		fails = append(fails, "shed mode ran but the shed counter stayed zero")
+	}
+	if final.PressureEvicted == 0 {
+		fails = append(fails, "stalled peer was never evicted on the pressure-shortened timer")
+	}
+	if final.Delivered == 0 || final.Submitted == 0 {
+		fails = append(fails, "run was vacuous: nothing submitted or delivered")
+	}
+	return trends, fails
+}
+
+func summarize(w *os.File, rep *report) {
+	status := "PASS"
+	if !rep.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "cosoak %s: n=%d %s mode=%s budget=%d stalled=node%d\n",
+		status, rep.Config.N, rep.Config.Duration, rep.Config.Mode,
+		rep.Config.BudgetBytes, rep.Config.StalledNode)
+	fmt.Fprintf(w, "  submitted=%d delivered=%d blocked=%.0f shed=%.0f pressure-evictions=%.0f ledger-final=%.0fB\n",
+		rep.Final.Submitted, rep.Final.Delivered, rep.Final.Blocked,
+		rep.Final.Shed, rep.Final.PressureEvicted, rep.Final.LedgerBytesFinal)
+	for _, tr := range rep.Trends {
+		fmt.Fprintf(w, "  trend %-12s first-half=%.0f second-half=%.0f ratio=%.2f\n",
+			tr.Name, tr.FirstMean, tr.SecondMean, tr.Ratio)
+	}
+	for _, f := range rep.Failures {
+		fmt.Fprintf(w, "  FAIL: %s\n", f)
+	}
+}

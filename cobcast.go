@@ -109,9 +109,12 @@ type Stats struct {
 	// InvalidPDUs counts rejected datagrams.
 	InvalidPDUs uint64
 	// Evicted counts peers removed from this node's confirmation quorum;
-	// AutoSuspected counts those removed by the suspect timeout.
-	Evicted       uint64
-	AutoSuspected uint64
+	// AutoSuspected counts those removed by the suspect timeout, and
+	// PressureEvicted the subset evicted early because the memory ledger
+	// was under pressure (WithMemoryBudget + WithSuspectTimeout).
+	Evicted         uint64
+	AutoSuspected   uint64
+	PressureEvicted uint64
 }
 
 func fromCoreStats(s core.Stats) Stats {
@@ -142,6 +145,7 @@ func fromCoreStats(s core.Stats) Stats {
 		InvalidPDUs:      s.InvalidPDUs,
 		Evicted:          s.Evicted,
 		AutoSuspected:    s.AutoSuspected,
+		PressureEvicted:  s.PressureEvicted,
 	}
 }
 
@@ -161,6 +165,8 @@ type options struct {
 	stampInterval       int
 	groupShards         int
 	maxGroups           int
+	memBudgetBytes      int64
+	backpressure        BackpressureMode
 
 	// In-memory network knobs (NewCluster only).
 	netDelay    time.Duration
@@ -191,7 +197,21 @@ func (o options) coreConfig(id, n int) core.Config {
 		RetransmitTimeout:   o.retransmitTimeout,
 		TotalOrder:          o.totalOrder,
 		SuspectAfter:        o.suspectAfter,
+		// Under memory pressure a stalled peer is suspected on a quarter
+		// of the configured timeout (no-op without a ledger or with
+		// suspicion disabled).
+		PressureSuspectAfter: o.suspectAfter / 4,
 	}
+}
+
+// newLedger builds one engine's memory ledger, or nil when no budget is
+// configured. Each engine gets its own ledger (the engine is the single
+// writer), so per-group budgets compose with WithGroupShards.
+func (o options) newLedger() *core.Ledger {
+	if o.memBudgetBytes <= 0 {
+		return nil
+	}
+	return core.NewLedger(o.memBudgetBytes)
 }
 
 func (o options) tick() time.Duration {
@@ -325,6 +345,42 @@ func WithGroupShards(n int) Option {
 // unknown-group loss. n <= 0 selects the default (1024).
 func WithMaxGroups(n int) Option {
 	return optionFunc(func(o *options) { o.maxGroups = n })
+}
+
+// BackpressureMode selects what a producer experiences when the memory
+// budget (WithMemoryBudget) is exhausted.
+type BackpressureMode int
+
+const (
+	// BackpressureBlock (the default) blocks Broadcast until the logs
+	// drain below budget; BroadcastContext unblocks on context
+	// cancellation.
+	BackpressureBlock BackpressureMode = iota
+	// BackpressureShed fails Broadcast immediately with ErrOverBudget,
+	// leaving the caller to retry, drop, or divert. Shedding happens
+	// strictly before sequencing, so it never perturbs protocol state.
+	BackpressureShed
+)
+
+// WithMemoryBudget puts a hard per-engine byte budget on the node's
+// protocol logs (parked repairs, RRL/PRL/ARL, the send log, queued
+// submissions). Once retained bytes reach the budget, Broadcast blocks
+// or sheds per WithBackpressure until the logs drain; PDUs already
+// sequenced are never dropped, so ordering guarantees are unaffected.
+// Each group under WithGroupShards gets its own budget of this size.
+// Combined with WithSuspectTimeout, memory pressure (≥ half budget)
+// shortens the suspicion timer to a quarter, so a stalled peer is
+// evicted before it pins producers forever. bytes <= 0 disables the
+// budget (the default): accounting is then entirely off the hot path.
+func WithMemoryBudget(bytes int64) Option {
+	return optionFunc(func(o *options) { o.memBudgetBytes = bytes })
+}
+
+// WithBackpressure selects the producer-side behaviour at an exhausted
+// memory budget. The default is BackpressureBlock. Meaningless without
+// WithMemoryBudget.
+func WithBackpressure(mode BackpressureMode) Option {
+	return optionFunc(func(o *options) { o.backpressure = mode })
 }
 
 // WithNetworkDelay sets the in-memory network's uniform propagation delay

@@ -1,6 +1,7 @@
 package cobcast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -59,6 +60,12 @@ type GroupPort struct {
 	nd *Node
 	id GroupID
 
+	// ledger is this group's memory ledger (nil without
+	// WithMemoryBudget): every group engine gets its own budget, and the
+	// port gates its producers on it exactly as Node.Broadcast gates on
+	// the default engine's.
+	ledger *core.Ledger
+
 	// Non-default ports run their own unbounded queue + pump so a slow
 	// consumer of one group never stalls the shard that feeds it (or
 	// any other group). def ports delegate to the node's.
@@ -73,10 +80,21 @@ func (p *GroupPort) ID() GroupID { return p.id }
 
 // Broadcast submits data for ordered broadcast on this group. The data
 // is copied. The first send on a group lazily instantiates its engine
-// on every receiving node, up to the WithMaxGroups bound.
+// on every receiving node, up to the WithMaxGroups bound. With
+// WithMemoryBudget it blocks or sheds (per WithBackpressure) against
+// this group's own budget.
 func (p *GroupPort) Broadcast(data []byte) error {
+	return p.BroadcastContext(context.Background(), data)
+}
+
+// BroadcastContext is Broadcast bounded by a context; see
+// Node.BroadcastContext for the backpressure semantics.
+func (p *GroupPort) BroadcastContext(ctx context.Context, data []byte) error {
 	if p.def {
-		return p.nd.Broadcast(data)
+		return p.nd.BroadcastContext(ctx, data)
+	}
+	if err := p.nd.admit(ctx, p.ledger); err != nil {
+		return err
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
@@ -155,7 +173,7 @@ func (nd *Node) portLocked(g GroupID) *GroupPort {
 	if nd.groupPorts == nil {
 		nd.groupPorts = make(map[GroupID]*GroupPort)
 	}
-	p := &GroupPort{nd: nd, id: g}
+	p := &GroupPort{nd: nd, id: g, ledger: nd.groupLedgerLocked(g)}
 	if g == DefaultGroup {
 		p.def = true
 	} else {
@@ -209,12 +227,41 @@ func (nd *Node) groupRuntimeLocked() *groups.Registry {
 // many groups a workload mints.
 const statezGroupLimit = 16
 
+// groupLedger returns group g's memory ledger, creating it on first use
+// (nil without WithMemoryBudget). The default group shares the node's
+// ledger — its engine runs on the node loop, not a shard.
+func (nd *Node) groupLedger(g GroupID) *core.Ledger {
+	nd.groupsMu.Lock()
+	defer nd.groupsMu.Unlock()
+	return nd.groupLedgerLocked(g)
+}
+
+func (nd *Node) groupLedgerLocked(g GroupID) *core.Ledger {
+	if g == DefaultGroup {
+		return nd.ledger
+	}
+	if l, ok := nd.groupLedgers[g]; ok {
+		return l
+	}
+	l := nd.gseed.o.newLedger()
+	if l != nil {
+		if nd.groupLedgers == nil {
+			nd.groupLedgers = make(map[GroupID]*core.Ledger)
+		}
+		nd.groupLedgers[g] = l
+	}
+	return l
+}
+
 // newGroupEntity builds group g's engine — groups.Registry calls it on
 // the owning shard goroutine at the group's first input. The engine gets
 // the same protocol configuration as the node's default engine: group
-// isolation comes from frame routing, not from the cluster ID.
+// isolation comes from frame routing, not from the cluster ID. Each
+// group's engine writes its own ledger (shared with the group's port,
+// which gates producers on it).
 func (nd *Node) newGroupEntity(g uint32) (*core.Entity, error) {
 	cfg := nd.gseed.o.coreConfig(nd.id, nd.n)
+	cfg.Ledger = nd.groupLedger(GroupID(g))
 	reg := nd.gseed.o.registry
 	if reg != nil && nd.groupMetricsSlot() {
 		em := obsv.NewEntityMetrics()

@@ -66,6 +66,11 @@ type Result struct {
 	// trace digest per group, in group order; TraceDigest then binds
 	// them all. Nil for single-group runs.
 	GroupDigests []string
+	// Stalled lists the entities frozen mid-run (nil when none);
+	// ShedSubmits counts submissions dropped by producer-side ledger
+	// admission (Config.Shed).
+	Stalled     []int
+	ShedSubmits int
 }
 
 // schedule is the concrete fault plan derived from Config.Seed. It exists
@@ -80,6 +85,12 @@ type faultWindow struct {
 	start, end time.Duration
 	partition  []int // entity→group (0/1) when a partition; nil for a pause
 	paused     pdu.EntityID
+}
+
+// stall freezes one entity at a point in time, forever.
+type stall struct {
+	id pdu.EntityID
+	at time.Duration
 }
 
 // Run executes one chaos run. It returns a non-nil *Violation error when
@@ -135,6 +146,15 @@ func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 	faultEnd := submitEnd + 10*time.Millisecond
 
 	sched := deriveSchedule(cfg, rng, faultEnd)
+	stalls := deriveStalls(cfg, rng, faultEnd)
+
+	// Stalled runs are the one place suspicion is on (see the Core
+	// comment below): the timeout spans the whole fault horizon, so only
+	// a permanently frozen peer can ever accumulate that much silence.
+	var suspectAfter time.Duration
+	if len(stalls) > 0 {
+		suspectAfter = faultEnd
+	}
 
 	// The net options need the cluster's virtual clock before the cluster
 	// exists; capture through a pointer filled in below.
@@ -174,9 +194,14 @@ func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 		N: cfg.N,
 		Core: core.Config{
 			TotalOrder: cfg.TotalOrder,
-			// SuspectAfter stays zero: eviction would legitimately shed a
-			// paused entity, and information-preserved requires all N to
-			// deliver everything.
+			// SuspectAfter stays zero for classic runs: eviction would
+			// legitimately shed a paused entity, and information-preserved
+			// requires all N to deliver everything. Stalled runs are the
+			// exception — the fault never heals, so survivors must evict
+			// the frozen peer (predicates then quantify over survivors).
+			SuspectAfter:         suspectAfter,
+			PressureSuspectAfter: suspectAfter / 4,
+			Ledger:               nil, // per-entity ledgers: MemBudgetBytes below
 		},
 		Net: []sim.NetOption{
 			sim.NetSeed(cfg.Seed),
@@ -184,9 +209,11 @@ func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 			sim.NetDuplicateRate(cfg.Duplicate),
 			sim.NetDatagramFilter(dropDatagram),
 		},
-		Trace:       true,
-		Registry:    reg,
-		WireVersion: cfg.WireVersion,
+		Trace:          true,
+		Registry:       reg,
+		WireVersion:    cfg.WireVersion,
+		MemBudgetBytes: cfg.MemBudgetBytes,
+		Shed:           cfg.Shed,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: build cluster: %w", err)
@@ -206,8 +233,15 @@ func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 			c.Sim.At(w.end, func() { c.Net.Rejoin(w.paused) })
 		}
 	}
+	for _, st := range stalls {
+		st := st
+		c.Sim.At(st.at, func() { c.Freeze(st.id) })
+	}
 
 	res := &Result{Config: cfg, Submitted: c.Submitted(), FaultEnd: faultEnd}
+	for _, st := range stalls {
+		res.Stalled = append(res.Stalled, int(st.id))
+	}
 	finish := func() {
 		res.VirtualElapsed = c.Sim.Now()
 		res.Stats = c.TotalStats()
@@ -222,23 +256,76 @@ func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 		_ = c.Recorder.WriteJSON(&buf)
 		res.TraceJSON = buf.Bytes()
 		res.TraceDigest, _ = trace.DigestEvents(events)
+		res.ShedSubmits = c.ShedCount()
+	}
+
+	stalled := make(map[pdu.EntityID]bool, len(stalls))
+	for _, st := range stalls {
+		stalled[st.id] = true
+	}
+	alive := make([]pdu.EntityID, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		if !stalled[pdu.EntityID(i)] {
+			alive = append(alive, pdu.EntityID(i))
+		}
 	}
 
 	// Liveness: every broadcast delivered everywhere and the cluster
 	// quiescent within a generous recovery budget after faults cease.
+	// Stalled or shedding runs quantify over survivors and executed
+	// submissions instead: a frozen entity never drains, and a shed
+	// submission never became a broadcast.
 	deadline := faultEnd + 3*time.Second
-	if _, err := c.RunToQuiescence(deadline); err != nil {
-		finish()
-		return res, &Violation{Predicate: PredLivenessDelivered, Detail: err.Error()}
+	if len(stalls) == 0 && !cfg.Shed {
+		if _, err := c.RunToQuiescence(deadline); err != nil {
+			finish()
+			return res, &Violation{Predicate: PredLivenessDelivered, Detail: err.Error()}
+		}
+	} else {
+		done := func() bool {
+			for _, i := range alive {
+				if !c.Entities[i].Quiescent() {
+					return false
+				}
+			}
+			sub := c.SubmittedBy()
+			for _, i := range alive {
+				got := make([]int, cfg.N)
+				for _, d := range c.Delivered[i] {
+					got[d.Src]++
+				}
+				for _, s := range alive {
+					if got[s] != sub[s] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if _, err := c.RunUntil(done, deadline); err != nil {
+			finish()
+			return res, &Violation{
+				Predicate: PredLivenessDelivered,
+				Detail: fmt.Sprintf("%v (stalled %v, executed per sender %v, shed %d)",
+					err, res.Stalled, c.SubmittedBy(), c.ShedCount()),
+			}
+		}
 	}
 	finish()
 
 	// Safety: the trace checkers, each reported under its own name.
+	// Stalled runs use the survivor-restricted information and total-order
+	// forms; local and causal order are prefix-safe, so a frozen entity's
+	// truncated delivery sequence is checked like any other.
 	an, err := c.Analyze()
 	if err != nil {
 		return res, fmt.Errorf("chaos: analyze trace: %w", err)
 	}
-	if err := an.CheckInformationPreserved(); err != nil {
+	if len(stalls) == 0 {
+		if err := an.CheckInformationPreserved(); err != nil {
+			return res, &Violation{Predicate: PredInformation, Detail: err.Error()}
+		}
+	} else if err := an.CheckInformationPreservedAmong(alive); err != nil {
 		return res, &Violation{Predicate: PredInformation, Detail: err.Error()}
 	}
 	if err := an.CheckLocalOrderPreserved(); err != nil {
@@ -248,18 +335,28 @@ func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 		return res, &Violation{Predicate: PredCausalOrder, Detail: err.Error()}
 	}
 	if cfg.TotalOrder {
-		if err := an.CheckTotalOrderPreserved(); err != nil {
+		if len(stalls) == 0 {
+			if err := an.CheckTotalOrderPreserved(); err != nil {
+				return res, &Violation{Predicate: PredTotalOrder, Detail: err.Error()}
+			}
+		} else if err := an.CheckTotalOrderPreservedAmong(alive); err != nil {
 			return res, &Violation{Predicate: PredTotalOrder, Detail: err.Error()}
 		}
 	}
-	if err := an.CheckCOService(); err != nil {
-		return res, &Violation{Predicate: PredCOService, Detail: err.Error()}
+	if len(stalls) == 0 {
+		if err := an.CheckCOService(); err != nil {
+			return res, &Violation{Predicate: PredCOService, Detail: err.Error()}
+		}
 	}
 
 	// Liveness: no DATA PDU stuck anywhere. Trailing SYNCs legitimately
 	// remain in the logs (needsToSpeak tracks only data obligations), so
-	// only the data-specific drain fields must be zero.
+	// only the data-specific drain fields must be zero. A frozen entity
+	// legitimately quiesced with its pipeline full; it is skipped.
 	for i, d := range c.Drains() {
+		if stalled[pdu.EntityID(i)] {
+			continue
+		}
 		switch {
 		case d.DataResident != 0:
 			return res, drainViolation(i, "resident DATA PDUs", d.DataResident)
@@ -390,6 +487,32 @@ func deriveSchedule(cfg Config, rng *rand.Rand, faultEnd time.Duration) schedule
 		s.windows = append(s.windows, w)
 	}
 	return s
+}
+
+// deriveStalls picks which entities freeze and when: distinct victims,
+// each at a uniform point in the middle half of the fault horizon, so
+// traffic exists both before the stall (building up retention) and after
+// it (sustaining the overload the ledger must bound).
+func deriveStalls(cfg Config, rng *rand.Rand, faultEnd time.Duration) []stall {
+	if cfg.StalledPeers == 0 {
+		return nil
+	}
+	taken := make([]bool, cfg.N)
+	out := make([]stall, 0, cfg.StalledPeers)
+	for k := 0; k < cfg.StalledPeers; k++ {
+		for {
+			i := rng.Intn(cfg.N)
+			if !taken[i] {
+				taken[i] = true
+				out = append(out, stall{
+					id: pdu.EntityID(i),
+					at: faultEnd/4 + time.Duration(rng.Int63n(int64(faultEnd)/2+1)),
+				})
+				break
+			}
+		}
+	}
+	return out
 }
 
 // bipartition assigns each entity to group 0 or 1, both non-empty.

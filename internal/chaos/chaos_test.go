@@ -80,6 +80,106 @@ func TestSweep(t *testing.T) {
 	}
 }
 
+// TestStalledPeerRuns exercises the bounded-memory overload regime the
+// expansion draws: for several seeds that freeze a peer, the run must
+// pass every survivor predicate, and — whenever the frozen peer left
+// survivors with undelivered obligations — the suspicion timer must have
+// evicted it. Aggregate evidence requirements keep the regime honest:
+// the seeds must actually trigger evictions, and replaying the corpus
+// reproducers must actually shed.
+func TestStalledPeerRuns(t *testing.T) {
+	want := 4
+	if testing.Short() {
+		want = 2
+	}
+	ran := 0
+	var autoEvictions uint64
+	for seed := int64(0); seed < 4000 && ran < want; seed++ {
+		cfg := FromSeed(seed)
+		if cfg.StalledPeers == 0 {
+			continue
+		}
+		ran++
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d (%+v): %v", seed, cfg, err)
+		}
+		if len(res.Stalled) != cfg.StalledPeers {
+			t.Fatalf("seed %d: stalled %v, want %d entities", seed, res.Stalled, cfg.StalledPeers)
+		}
+		autoEvictions += res.Stats.AutoSuspected
+	}
+	if ran < want {
+		t.Fatalf("only %d stalled seeds found in 0..4000; expansion draw broken?", ran)
+	}
+	if autoEvictions == 0 {
+		t.Error("no stalled run auto-evicted its frozen peer")
+	}
+}
+
+// TestStalledDeterminism extends the determinism contract to the stall
+// machinery: the first expansion-drawn stalled seed must replay to a
+// byte-identical trace with identical shed and eviction counts.
+func TestStalledDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 4000; seed++ {
+		cfg := FromSeed(seed)
+		if cfg.StalledPeers == 0 {
+			continue
+		}
+		a, errA := Run(cfg)
+		b, errB := Run(cfg)
+		if errA != nil || errB != nil {
+			t.Fatalf("seed %d: run errors %v / %v", seed, errA, errB)
+		}
+		if a.TraceDigest != b.TraceDigest || !bytes.Equal(a.TraceJSON, b.TraceJSON) {
+			t.Fatalf("seed %d: stalled run not deterministic", seed)
+		}
+		if a.ShedSubmits != b.ShedSubmits || a.Stats.AutoSuspected != b.Stats.AutoSuspected {
+			t.Fatalf("seed %d: shed/eviction counts differ across replays", seed)
+		}
+		return
+	}
+	t.Fatal("no stalled seed found in 0..4000")
+}
+
+// TestStalledCorpusSheds pins the satellite requirement: the corpus holds
+// at least two bounded-memory reproducers (configs that fail without
+// backpressure and stall suspicion), and replaying them both sheds
+// producers and evicts the frozen peer.
+func TestStalledCorpusSheds(t *testing.T) {
+	entries, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stalled []CorpusEntry
+	for _, e := range entries {
+		if e.Config.StalledPeers > 0 {
+			stalled = append(stalled, e)
+		}
+	}
+	if len(stalled) < 2 {
+		t.Fatalf("corpus holds %d stalled-peer reproducers, want >= 2", len(stalled))
+	}
+	for _, e := range stalled {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := Run(e.Config)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if res.ShedSubmits == 0 {
+				t.Error("reproducer shed no submissions; budget too large to bite")
+			}
+			if res.Stats.AutoSuspected == 0 {
+				t.Error("survivors never evicted the frozen peer")
+			}
+			if res.Stats.PressureEvicted == 0 {
+				t.Error("no eviction fired on the pressure-shortened timer")
+			}
+		})
+	}
+}
+
 // TestDeterminism is the contract: same seed, byte-identical trace.
 func TestDeterminism(t *testing.T) {
 	for _, seed := range []int64{3, 17, 42} {

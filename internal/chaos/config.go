@@ -102,6 +102,23 @@ type Config struct {
 	// every safety and liveness predicate is checked per group (see
 	// multigroup.go). 0 or 1 is the classic single-group run.
 	Groups int `json:"groups,omitempty"`
+
+	// StalledPeers freezes that many entities at a random point mid-run:
+	// they stop reading, acking and submitting — permanently, while
+	// their links stay up (distinct from a partition or pause, which
+	// heal). Stalled runs derive a suspicion timeout spanning the fault
+	// horizon so survivors evict the frozen peers, and every predicate
+	// is checked over the survivors. Lossy faults are rejected alongside
+	// stalls: a frozen source can never serve retransmissions
+	// (source-only repair, see internal/core/evict.go), so any loss of
+	// its pre-freeze messages would be unrecoverable by design.
+	StalledPeers int `json:"stalled_peers,omitempty"`
+	// MemBudgetBytes gives every entity a memory ledger with this byte
+	// budget; Shed additionally sheds application submissions at an
+	// over-budget sender (the node runtime's BackpressureShed
+	// admission). Shed requires a budget.
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
+	Shed           bool  `json:"shed,omitempty"`
 }
 
 // ErrBadConfig reports an unusable chaos configuration.
@@ -144,6 +161,25 @@ func (c Config) Validate() error {
 	if c.Groups < 0 || c.Groups > 4 {
 		return fmt.Errorf("%w: groups=%d (want 0..4)", ErrBadConfig, c.Groups)
 	}
+	if c.StalledPeers < 0 || c.MemBudgetBytes < 0 {
+		return fmt.Errorf("%w: negative stalled_peers or mem_budget_bytes", ErrBadConfig)
+	}
+	if c.StalledPeers > 0 {
+		if c.N-c.StalledPeers < 2 {
+			return fmt.Errorf("%w: stalled_peers=%d with n=%d (need 2 survivors)",
+				ErrBadConfig, c.StalledPeers, c.N)
+		}
+		if c.Groups >= 2 {
+			return fmt.Errorf("%w: stalled_peers with groups", ErrBadConfig)
+		}
+		if c.Loss > 0 || c.BurstProb > 0 || c.Partitions > 0 || c.Pauses > 0 {
+			return fmt.Errorf("%w: stalled_peers with lossy faults (a frozen source cannot serve retransmissions)",
+				ErrBadConfig)
+		}
+	}
+	if c.Shed && c.MemBudgetBytes == 0 {
+		return fmt.Errorf("%w: shed without mem_budget_bytes", ErrBadConfig)
+	}
 	return nil
 }
 
@@ -182,6 +218,18 @@ func FromSeed(seed int64) Config {
 	// a quarter of the seeds run 2..4 groups over the one faulty network.
 	if rng.Intn(4) == 0 {
 		cfg.Groups = 2 + rng.Intn(3)
+	}
+	// Also drawn last: a sixth of the remaining single-group seeds run
+	// the bounded-memory overload regime — one peer freezes mid-run and
+	// every entity gets a small shedding ledger budget. Lossy faults are
+	// cleared (see the StalledPeers field comment: a frozen source can
+	// never repair a lost pre-freeze message), so the stall is the fault.
+	if cfg.Groups == 0 && cfg.N > 2 && rng.Intn(6) == 0 {
+		cfg.StalledPeers = 1
+		cfg.MemBudgetBytes = int64(32+rng.Intn(97)) << 10 // 32..128 KiB
+		cfg.Shed = true
+		cfg.Loss, cfg.BurstProb, cfg.BurstLen = 0, 0, 0
+		cfg.Partitions, cfg.Pauses = 0, 0
 	}
 	return cfg
 }

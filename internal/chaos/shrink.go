@@ -79,8 +79,25 @@ var shrinkSteps = []struct {
 		}
 		return c, true
 	}},
+	{"drop-stalled-peers", func(c Config) (Config, bool) {
+		if c.StalledPeers == 0 {
+			return c, false
+		}
+		c.StalledPeers = 0
+		return c, true
+	}},
+	{"drop-mem-budget", func(c Config) (Config, bool) {
+		if c.MemBudgetBytes == 0 {
+			return c, false
+		}
+		c.MemBudgetBytes, c.Shed = 0, false
+		return c, true
+	}},
 	{"shrink-cluster", func(c Config) (Config, bool) {
-		if c.N <= 2 {
+		// Keep at least two survivors alongside any stalled peers, so
+		// every candidate stays a valid config (an invalid one would
+		// "fail" under Run and trap the shrinker).
+		if c.N <= 2 || c.N-1-c.StalledPeers < 2 {
 			return c, false
 		}
 		c.N--

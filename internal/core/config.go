@@ -76,6 +76,20 @@ type Config struct {
 	// confirmations (see evict.go). Zero disables automatic suspicion;
 	// Evict remains available for manual membership decisions.
 	SuspectAfter time.Duration
+	// Ledger, if non-nil, meters the bytes retained by this entity's
+	// logs against a hard budget (see ledger.go). The entity is the
+	// ledger's single writer, so a ledger must never be shared between
+	// entities; producers read it for backpressure decisions. Nil keeps
+	// accounting entirely off the hot path (one untaken branch per
+	// transition).
+	Ledger *Ledger
+	// PressureSuspectAfter, when positive alongside SuspectAfter and a
+	// Ledger, shortens the suspicion timer while the ledger is under
+	// pressure (≥ half budget): a stalled peer is the one thing that can
+	// pin the logs indefinitely, so it is evicted before the budget pins
+	// producers forever. Ignored without a Ledger or with SuspectAfter
+	// zero — memory pressure alone never evicts anyone.
+	PressureSuspectAfter time.Duration
 	// Tracer, if non-nil, records send/accept/deliver/retransmit events
 	// for the trace checkers.
 	Tracer *trace.Recorder
@@ -224,7 +238,10 @@ type Stats struct {
 	// InvalidPDUs counts received PDUs rejected by validation.
 	InvalidPDUs uint64
 	// Evicted counts entities removed from the confirmation quorum here;
-	// AutoSuspected counts those removed by the suspicion timer.
-	Evicted       uint64
-	AutoSuspected uint64
+	// AutoSuspected counts those removed by the suspicion timer, and
+	// PressureEvicted the subset that only fired because memory pressure
+	// shortened the timer (see Config.PressureSuspectAfter).
+	Evicted         uint64
+	AutoSuspected   uint64
+	PressureEvicted uint64
 }

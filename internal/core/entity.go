@@ -210,6 +210,7 @@ func (e *Entity) Submit(data []byte, now time.Duration) Output {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	e.pendingSubmits = append(e.pendingSubmits, buf)
+	e.chargeSubmit(len(buf))
 	if !e.windowOpen() {
 		e.stats.FlowBlocked++
 	}
@@ -463,6 +464,7 @@ func (e *Entity) receiveSequenced(p *pdu.PDU, now time.Duration) {
 			if p.Kind == pdu.KindData {
 				e.parkedData++
 			}
+			e.chargePDU(p)
 			e.stats.Parked++
 			e.noteResident()
 		}
@@ -478,6 +480,7 @@ func (e *Entity) receiveSequenced(p *pdu.PDU, now time.Duration) {
 			if q.Kind == pdu.KindData {
 				e.parkedData--
 			}
+			e.releasePDU(q)
 			e.accept(q, now)
 		}
 	}
@@ -496,6 +499,7 @@ func (e *Entity) accept(p *pdu.PDU, now time.Duration) {
 	}
 	e.rrl[src].Enqueue(p)
 	e.rrlTotal++
+	e.chargePDU(p)
 	// The freshly enqueued PDU may already satisfy the PACK condition
 	// (minAL can sit past SEQ when the repair of an old gap arrives late).
 	e.markPackDirty(src)
@@ -616,6 +620,7 @@ func (e *Entity) commitReady(now time.Duration, out *Output) {
 				}
 				e.ackedQ[k].Dequeue()
 				e.ackedTotal--
+				e.releasePDU(p)
 				e.committed[k] = p.SEQ
 				e.stats.Committed++
 				if e.m != nil {
@@ -669,6 +674,7 @@ func (e *Entity) drainSubmits(now time.Duration, out *Output) {
 		data := e.pendingSubmits[0]
 		e.pendingSubmits[0] = nil
 		e.pendingSubmits = e.pendingSubmits[1:]
+		e.releaseSubmit(len(data))
 		e.broadcastSequenced(pdu.KindData, data, now, out)
 	}
 }
@@ -738,6 +744,7 @@ func (e *Entity) broadcastSequenced(kind pdu.Kind, data []byte, now time.Duratio
 	}
 	e.seq++
 	e.sendlog[p.SEQ] = p
+	e.chargePDU(p)
 	if kind == pdu.KindData {
 		e.stats.DataSent++
 		if e.m != nil {
@@ -849,6 +856,11 @@ func (e *Entity) handleRetForMe(r *pdu.PDU, now time.Duration, out *Output) {
 // trimSendLog drops own PDUs with SEQ ≤ upTo from the retransmission log.
 func (e *Entity) trimSendLog(upTo pdu.Seq) {
 	for s := e.sendLo; s <= upTo; s++ {
+		if e.cfg.Ledger != nil {
+			if p, ok := e.sendlog[s]; ok {
+				e.releasePDU(p)
+			}
+		}
 		delete(e.sendlog, s)
 		delete(e.lastRetx, s)
 	}

@@ -87,12 +87,27 @@ func (e *Entity) noteHeard(j pdu.EntityID, now time.Duration) {
 	e.heardOnce[j] = true
 }
 
+// suspectTimeout returns the effective silence threshold: SuspectAfter
+// normally, shortened to PressureSuspectAfter while the memory ledger is
+// under pressure (≥ half budget). A stalled peer is the one failure that
+// grows the logs without bound, so pressure justifies suspecting sooner;
+// pressure alone (SuspectAfter zero) never evicts anyone.
+func (e *Entity) suspectTimeout() time.Duration {
+	d := e.cfg.SuspectAfter
+	if p := e.cfg.PressureSuspectAfter; p > 0 && p < d &&
+		e.cfg.Ledger != nil && e.cfg.Ledger.UnderPressure() {
+		return p
+	}
+	return d
+}
+
 // maybeSuspect auto-evicts peers that stayed silent while we owed the
 // cluster confirmations. Runs from Tick.
 func (e *Entity) maybeSuspect(now time.Duration, out *Output) {
 	if e.cfg.SuspectAfter <= 0 || !e.owed {
 		return
 	}
+	timeout := e.suspectTimeout()
 	for j := 0; j < e.n; j++ {
 		id := pdu.EntityID(j)
 		if id == e.me || e.evicted[j] {
@@ -105,10 +120,15 @@ func (e *Entity) maybeSuspect(now time.Duration, out *Output) {
 			// before it.
 			last = e.owedSince
 		}
-		if now-last >= e.cfg.SuspectAfter {
+		if now-last >= timeout {
 			e.evicted[j] = true
 			e.stats.Evicted++
 			e.stats.AutoSuspected++
+			if now-last < e.cfg.SuspectAfter {
+				// Only the shortened timer could have fired: a
+				// pressure-driven eviction, not an ordinary suspicion.
+				e.stats.PressureEvicted++
+			}
 			e.refreshMinima()
 			_ = out // finish runs after maybeSuspect in Tick
 		}

@@ -27,8 +27,17 @@ func (q *timeQueue) pop() (time.Duration, bool) {
 	}
 	t := q.ts[q.head]
 	q.head++
-	if q.head == len(q.ts) {
+	switch {
+	case q.head == len(q.ts):
 		q.ts = q.ts[:0]
+		q.head = 0
+	case q.head >= 64 && q.head*2 >= len(q.ts):
+		// Compact once the consumed prefix dominates. Resetting only on
+		// empty is not enough: under sustained load the queue never
+		// fully drains, so without this the slice grows append-only for
+		// the life of the entity (cosoak's heap trend check catches it).
+		n := copy(q.ts, q.ts[q.head:])
+		q.ts = q.ts[:n]
 		q.head = 0
 	}
 	return t, true
@@ -161,6 +170,14 @@ func (e *Entity) SnapshotInto(s *obsv.StateSnapshot) {
 	}
 	if e.to != nil {
 		s.ReleasePending = e.to.pending.Len()
+	}
+	if l := e.cfg.Ledger; l != nil {
+		s.LedgerBytes = l.Bytes()
+		s.LedgerPDUs = l.PDUs()
+		s.LedgerBudget = l.Budget()
+		s.BackpressureBlocked = l.Blocked()
+		s.BackpressureShed = l.Shed()
+		s.PressureEvicted = e.stats.PressureEvicted
 	}
 	for k := 0; k < e.n; k++ {
 		s.REQ[k] = uint64(e.req[k])

@@ -120,6 +120,7 @@ func (e *Entity) onCommitTotal(p *pdu.PDU) {
 	s.hasKey[p.Src] = true
 	if p.Kind == pdu.KindData {
 		heap.Push(&s.pending, toItem{key: key, p: p})
+		e.chargePDU(p)
 	}
 	if len(s.ltimes[p.Src]) > ltimePruneThreshold {
 		e.pruneLTimes()
@@ -147,6 +148,7 @@ func (e *Entity) releaseTotal(now time.Duration, out *Output) {
 		}
 		heap.Pop(&s.pending)
 		p := head.p
+		e.releasePDU(p)
 		e.dataResident--
 		e.stats.Delivered++
 		e.observeDeliverLatency(p, now)

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Saturation-soak support (EXPERIMENTS.md E15): cmd/cosoak drives a
+// cluster at saturation with a memory budget and a stalled peer, scrapes
+// its own /metrics endpoint periodically, and fails when a post-warm-up
+// retention series trends upward. The scraping and trend arithmetic live
+// here so the harness stays a thin flag-and-wiring layer.
+
+// SumMetrics fetches a Prometheus text endpoint and sums every series of
+// each requested family across its label sets (e.g. all nodes' ledger
+// bytes). Families absent from the exposition sum to zero — gauges for
+// unconfigured features (a nil ledger) are simply not exported.
+func SumMetrics(url string, families ...string) (map[string]float64, error) {
+	want := make(map[string]bool, len(families))
+	for _, f := range families {
+		want[f] = true
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("soak scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("soak scrape: %s returned %s", url, resp.Status)
+	}
+	out := make(map[string]float64, len(families))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if !want[name] {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("soak scrape: bad sample %q: %w", line, err)
+		}
+		out[name] += v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("soak scrape: %w", err)
+	}
+	return out, nil
+}
+
+// SoakSample is one periodic observation of a saturated cluster: the
+// cluster-wide ledger and log retention, the process heap, and the
+// cumulative backpressure counters.
+type SoakSample struct {
+	At               time.Duration `json:"at_ns"`
+	LedgerBytes      float64       `json:"ledger_bytes"`
+	LogDepth         float64       `json:"log_depth"`
+	HeapInuse        float64       `json:"heap_inuse"`
+	Blocked          float64       `json:"blocked_total"`
+	Shed             float64       `json:"shed_total"`
+	PressureEvicted  float64       `json:"pressure_evictions_total"`
+	DeliveredPerNode float64       `json:"delivered_per_node,omitempty"`
+}
+
+// TrendRow is the verdict for one retention series: the post-warm-up
+// samples are split in half and the run fails when the later half's mean
+// exceeds the earlier half's by more than the tolerance factor — a flat
+// or draining series passes, monotone growth does not.
+type TrendRow struct {
+	Name       string  `json:"name"`
+	FirstMean  float64 `json:"first_half_mean"`
+	SecondMean float64 `json:"second_half_mean"`
+	Ratio      float64 `json:"ratio"`
+	Upward     bool    `json:"upward"`
+}
+
+// FlatTrend evaluates one series against a tolerance factor (e.g. 1.25
+// allows 25% drift between half-means). Short series (< 4 samples) and
+// all-zero series pass trivially; an absolute floor keeps noise around
+// tiny means from flagging (a few KiB of jitter is not a leak).
+func FlatTrend(name string, vals []float64, tolerance, floor float64) TrendRow {
+	r := TrendRow{Name: name, Ratio: 1}
+	if len(vals) < 4 {
+		return r
+	}
+	half := len(vals) / 2
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	r.FirstMean = mean(vals[:half])
+	r.SecondMean = mean(vals[half:])
+	if r.FirstMean > 0 {
+		r.Ratio = r.SecondMean / r.FirstMean
+	} else if r.SecondMean > 0 {
+		r.Ratio = tolerance + 1 // growth from zero
+	}
+	r.Upward = r.Ratio > tolerance && r.SecondMean-r.FirstMean > floor
+	return r
+}

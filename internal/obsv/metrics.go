@@ -258,6 +258,19 @@ type StateSnapshot struct {
 	BufFree  uint32 `json:"buf_free"`
 	BufUnits uint32 `json:"buf_units"`
 
+	// Memory-ledger state, present only when the engine runs with a
+	// byte budget (cobcast.WithMemoryBudget). LedgerBytes/LedgerPDUs
+	// gauge the bytes and PDUs currently retained by the logs against
+	// LedgerBudget; BackpressureBlocked/BackpressureShed count producer
+	// submissions blocked or shed at the budget; PressureEvicted counts
+	// peers evicted on the pressure-shortened suspicion timer.
+	LedgerBytes         int64  `json:"ledger_bytes,omitempty"`
+	LedgerPDUs          int64  `json:"ledger_pdus,omitempty"`
+	LedgerBudget        int64  `json:"ledger_budget,omitempty"`
+	BackpressureBlocked uint64 `json:"backpressure_blocked,omitempty"`
+	BackpressureShed    uint64 `json:"backpressure_shed,omitempty"`
+	PressureEvicted     uint64 `json:"pressure_evicted,omitempty"`
+
 	// Quiescent reports whether the entity has no unconfirmed local
 	// sends and no buffered remote PDUs.
 	Quiescent bool `json:"quiescent"`

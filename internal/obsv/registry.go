@@ -411,7 +411,35 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 		}
 		return 0
 	})
+
+	// Memory-ledger series, only for nodes running with a byte budget
+	// (LedgerBudget > 0 marks a ledgered engine).
+	var ledgered []snappedNode
+	for _, sn := range snaps {
+		if sn.s.LedgerBudget > 0 {
+			ledgered = append(ledgered, sn)
+		}
+	}
+	writeGauge(bw, "cobcast_ledger_bytes", "Bytes retained by the entity's logs, metered against the memory budget.", ledgered, func(s StateSnapshot) int64 { return s.LedgerBytes })
+	writeGauge(bw, "cobcast_ledger_pdus", "PDU references retained by the entity's logs.", ledgered, func(s StateSnapshot) int64 { return s.LedgerPDUs })
+	writeGauge(bw, "cobcast_ledger_budget_bytes", "Configured memory budget, bytes.", ledgered, func(s StateSnapshot) int64 { return s.LedgerBudget })
+	writeCounterFromSnaps(bw, "cobcast_backpressure_blocked_total", "Producer submissions blocked at the memory budget.", ledgered, func(s StateSnapshot) int64 { return int64(s.BackpressureBlocked) })
+	writeCounterFromSnaps(bw, "cobcast_backpressure_shed_total", "Producer submissions shed at the memory budget.", ledgered, func(s StateSnapshot) int64 { return int64(s.BackpressureShed) })
+	writeCounterFromSnaps(bw, "cobcast_pressure_evictions_total", "Peers evicted on the pressure-shortened suspicion timer.", ledgered, func(s StateSnapshot) int64 { return int64(s.PressureEvicted) })
 	return bw.err
+}
+
+// writeCounterFromSnaps renders a monotone counter whose value rides the
+// state snapshot instead of an atomic Counter (the ledger's producer-side
+// totals live on the ledger, sampled at snapshot time).
+func writeCounterFromSnaps(bw *errWriter, name, help string, snaps []snappedNode, get func(StateSnapshot) int64) {
+	if len(snaps) == 0 {
+		return
+	}
+	bw.printf("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for _, sn := range snaps {
+		bw.printf("%s{node=%q} %d\n", name, sn.label, get(sn.s))
+	}
 }
 
 type snappedNode struct {

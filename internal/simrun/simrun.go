@@ -61,6 +61,14 @@ type Options struct {
 	// codec default; 1 full-stamps every PDU). Ignored unless
 	// WireVersion is 2.
 	StampInterval int
+	// MemBudgetBytes, when > 0, gives every entity its own memory ledger
+	// with that byte budget (core.Config.Ledger), so log retention is
+	// accounted and pressure-shortened suspicion can fire. Shed
+	// additionally drops application submissions at an over-budget
+	// sender, mirroring the node runtime's BackpressureShed admission
+	// (the simulator cannot block a producer in virtual time).
+	MemBudgetBytes int64
+	Shed           bool
 }
 
 // Cluster is a simulated CO-protocol cluster.
@@ -69,6 +77,10 @@ type Cluster struct {
 	Net      *sim.Net
 	Entities []*core.Entity
 	Recorder *trace.Recorder
+
+	// Ledgers[i] is entity i's memory ledger; nil entries without
+	// Options.MemBudgetBytes.
+	Ledgers []*core.Ledger
 
 	// Delivered[i] is entity i's delivery sequence.
 	Delivered [][]core.Delivery
@@ -80,7 +92,17 @@ type Cluster struct {
 	n         int
 	tickEvery time.Duration
 	submitted int
-	sendTimes map[trace.MsgID]time.Duration
+	// frozen[i] marks entity i stalled: it stops reading, ticking and
+	// submitting, permanently, while its links stay up. submittedBy[i]
+	// counts submissions entity i actually executed (scheduled ones
+	// skipped by a freeze or shed by the ledger are counted in skipped
+	// and shedCount instead).
+	frozen      []bool
+	submittedBy []int
+	skipped     int
+	shedCount   int
+	shed        bool
+	sendTimes   map[trace.MsgID]time.Duration
 	// Tap[i] per-message application-to-application delay samples for
 	// deliveries at entity i (Figure 8's Tap).
 	tapSamples []time.Duration
@@ -102,12 +124,16 @@ func New(opts Options) (*Cluster, error) {
 	}
 	net := sim.NewNet(s, opts.N, netOpts...)
 	c := &Cluster{
-		Sim:       s,
-		Net:       net,
-		Entities:  make([]*core.Entity, opts.N),
-		Delivered: make([][]core.Delivery, opts.N),
-		n:         opts.N,
-		sendTimes: make(map[trace.MsgID]time.Duration),
+		Sim:         s,
+		Net:         net,
+		Entities:    make([]*core.Entity, opts.N),
+		Ledgers:     make([]*core.Ledger, opts.N),
+		Delivered:   make([][]core.Delivery, opts.N),
+		n:           opts.N,
+		frozen:      make([]bool, opts.N),
+		submittedBy: make([]int, opts.N),
+		shed:        opts.Shed,
+		sendTimes:   make(map[trace.MsgID]time.Duration),
 	}
 	if opts.Trace {
 		c.Recorder = &trace.Recorder{}
@@ -118,6 +144,14 @@ func New(opts Options) (*Cluster, error) {
 	for i := 0; i < opts.N; i++ {
 		cfg.ID = pdu.EntityID(i)
 		cfg.Metrics = nil
+		cfg.Ledger = nil
+		if opts.MemBudgetBytes > 0 {
+			// One ledger per entity: the single-writer accounting
+			// invariant holds trivially on the simulator's one goroutine,
+			// and per-entity budgets mirror the node runtime.
+			c.Ledgers[i] = core.NewLedger(opts.MemBudgetBytes)
+			cfg.Ledger = c.Ledgers[i]
+		}
 		if opts.Registry != nil {
 			cfg.Metrics = obsv.NewEntityMetrics()
 		}
@@ -145,6 +179,11 @@ func New(opts Options) (*Cluster, error) {
 	for i := 0; i < opts.N; i++ {
 		id := pdu.EntityID(i)
 		net.Attach(id, func(from pdu.EntityID, p *pdu.PDU) {
+			if c.frozen[id] {
+				// The stalled process never reads: the datagram reached
+				// its socket but is dropped unprocessed.
+				return
+			}
 			if opts.PDUTap != nil {
 				opts.PDUTap(id, from, p)
 			}
@@ -234,13 +273,26 @@ func wireCodec(n, version, stampK int) (sim.NetOption, error) {
 }
 
 // scheduleTick arms a self-rescheduling virtual timer for one entity.
+// The chain ends when the entity is frozen (freezes never heal).
 func (c *Cluster) scheduleTick(id pdu.EntityID) {
 	c.Sim.After(c.tickEvery, func() {
+		if c.frozen[id] {
+			return
+		}
 		out := c.Entities[id].Tick(c.Sim.Now())
 		c.dispatch(id, out)
 		c.scheduleTick(id)
 	})
 }
+
+// Freeze stalls entity id from the current virtual time on: it stops
+// reading, ticking and submitting, permanently, while its links stay up
+// (datagrams addressed to it are still transported and then dropped
+// unread). Distinct from Net.Isolate, which models the link going down.
+func (c *Cluster) Freeze(id pdu.EntityID) { c.frozen[id] = true }
+
+// Frozen reports whether entity id has been frozen.
+func (c *Cluster) Frozen(id pdu.EntityID) bool { return c.frozen[id] }
 
 // dispatch routes an entity's output: PDUs onto the network as one
 // batched datagram, deliveries into the per-entity record and the Tap
@@ -268,6 +320,20 @@ func (c *Cluster) dispatch(id pdu.EntityID, out core.Output) {
 func (c *Cluster) SubmitAt(sender pdu.EntityID, data []byte, at time.Duration) {
 	c.submitted++
 	c.Sim.At(at, func() {
+		if c.frozen[sender] {
+			c.skipped++
+			return
+		}
+		if c.shed && c.Ledgers[sender] != nil && c.Ledgers[sender].OverBudget() {
+			// Producer-side admission, as in Node.admit's shed mode: the
+			// submission never reaches the entity, so no protocol state
+			// records it.
+			c.Ledgers[sender].NoteShed()
+			c.skipped++
+			c.shedCount++
+			return
+		}
+		c.submittedBy[sender]++
 		out := c.Entities[sender].Submit(data, c.Sim.Now())
 		c.dispatch(sender, out)
 	})
@@ -289,6 +355,23 @@ func (c *Cluster) LoadWorkload(gen workload.Generator) {
 
 // Submitted returns the number of scheduled application broadcasts.
 func (c *Cluster) Submitted() int { return c.submitted }
+
+// SubmittedBy returns per-sender counts of submissions actually executed
+// (scheduled minus frozen-skipped minus shed).
+func (c *Cluster) SubmittedBy() []int {
+	out := make([]int, c.n)
+	copy(out, c.submittedBy)
+	return out
+}
+
+// ShedCount returns the number of submissions shed by producer-side
+// ledger admission; Skipped additionally includes submissions skipped
+// because their sender was frozen.
+func (c *Cluster) ShedCount() int { return c.shedCount }
+
+// Skipped returns the number of scheduled submissions that never reached
+// an entity (frozen sender or shed).
+func (c *Cluster) Skipped() int { return c.skipped }
 
 // AllDelivered reports whether every entity has delivered every submitted
 // message.
@@ -334,6 +417,23 @@ func (c *Cluster) RunToQuiescence(deadline time.Duration) (time.Duration, error)
 		}
 	}
 	return c.Sim.Now(), fmt.Errorf("simrun: deadline %v: delivered but not quiescent", deadline)
+}
+
+// RunUntil advances virtual time in tick-sized steps until done reports
+// true or deadline virtual time passes. It is RunToQuiescence with a
+// caller-supplied completion predicate, for runs where whole-cluster
+// quiescence is unreachable (a frozen entity never drains).
+func (c *Cluster) RunUntil(done func() bool, deadline time.Duration) (time.Duration, error) {
+	for c.Sim.Now() < deadline {
+		c.StepLock.Lock()
+		c.Sim.RunFor(c.tickEvery)
+		ok := done()
+		c.StepLock.Unlock()
+		if ok {
+			return c.Sim.Now(), nil
+		}
+	}
+	return c.Sim.Now(), fmt.Errorf("simrun: deadline %v: completion condition not met", deadline)
 }
 
 // TapSamples returns the application-to-application delivery delays
@@ -392,6 +492,9 @@ func (c *Cluster) TotalStats() core.Stats {
 		t.DeferredConfirms += s.DeferredConfirms
 		t.FlowBlocked += s.FlowBlocked
 		t.InvalidPDUs += s.InvalidPDUs
+		t.Evicted += s.Evicted
+		t.AutoSuspected += s.AutoSuspected
+		t.PressureEvicted += s.PressureEvicted
 		if s.MaxResident > t.MaxResident {
 			t.MaxResident = s.MaxResident
 		}

@@ -251,6 +251,85 @@ func (a *Analysis) CheckInformationPreserved() error {
 	return nil
 }
 
+// CheckInformationPreservedAmong is CheckInformationPreserved restricted
+// to a surviving subset: every alive entity must deliver every DATA
+// message an alive entity sent exactly once, and nothing twice. Messages
+// from non-alive sources are best-effort — a stalled source can never
+// serve retransmissions (source-only repair), so survivors may hold an
+// incomplete suffix of its stream.
+func (a *Analysis) CheckInformationPreservedAmong(alive []pdu.EntityID) error {
+	aliveSet := make(map[pdu.EntityID]bool, len(alive))
+	for _, e := range alive {
+		aliveSet[e] = true
+	}
+	var want []MsgID
+	for _, m := range a.DataSends() {
+		if aliveSet[m.Src] {
+			want = append(want, m)
+		}
+	}
+	for _, e := range alive {
+		seen := make(map[MsgID]int, len(a.deliveries[e]))
+		for _, m := range a.deliveries[e] {
+			seen[m]++
+			if seen[m] > 1 {
+				return fmt.Errorf("entity %d delivered %v %d times", e, m, seen[m])
+			}
+		}
+		for _, m := range want {
+			if seen[m] == 0 {
+				return fmt.Errorf("entity %d never delivered %v", e, m)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTotalOrderPreservedAmong is CheckTotalOrderPreserved restricted to
+// the alive entities: they must deliver identical sequences, while each
+// non-alive entity's sequence must be a prefix of that common order (it
+// ran the same stable-release rule until it stopped).
+func (a *Analysis) CheckTotalOrderPreservedAmong(alive []pdu.EntityID) error {
+	aliveSet := make(map[pdu.EntityID]bool, len(alive))
+	var ref []MsgID
+	var refEntity pdu.EntityID
+	for _, e := range alive {
+		aliveSet[e] = true
+		ms := a.deliveries[e]
+		if ref == nil {
+			ref, refEntity = ms, e
+			continue
+		}
+		if len(ms) != len(ref) {
+			return fmt.Errorf("entities %d and %d delivered %d vs %d messages",
+				refEntity, e, len(ref), len(ms))
+		}
+		for i := range ms {
+			if ms[i] != ref[i] {
+				return fmt.Errorf("position %d: entity %d delivered %v, entity %d delivered %v",
+					i, refEntity, ref[i], e, ms[i])
+			}
+		}
+	}
+	for e := pdu.EntityID(0); int(e) < a.n; e++ {
+		if aliveSet[e] {
+			continue
+		}
+		ms := a.deliveries[e]
+		if len(ms) > len(ref) {
+			return fmt.Errorf("stopped entity %d delivered %d messages, survivors %d",
+				e, len(ms), len(ref))
+		}
+		for i := range ms {
+			if ms[i] != ref[i] {
+				return fmt.Errorf("position %d: stopped entity %d delivered %v, survivors %v",
+					i, e, ms[i], ref[i])
+			}
+		}
+	}
+	return nil
+}
+
 // CheckLocalOrderPreserved verifies each entity delivers each source's
 // messages in sending (sequence) order.
 func (a *Analysis) CheckLocalOrderPreserved() error {

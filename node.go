@@ -1,6 +1,7 @@
 package cobcast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -49,6 +50,11 @@ type BatchTransport interface {
 // ErrClosed is returned by operations on a closed node or cluster.
 var ErrClosed = errors.New("cobcast: closed")
 
+// ErrOverBudget is returned by Broadcast in BackpressureShed mode when
+// the memory budget (WithMemoryBudget) is exhausted. The submission was
+// not sequenced; the caller may retry once the logs drain.
+var ErrOverBudget = errors.New("cobcast: memory budget exhausted")
+
 // Node is one cluster member. Create nodes with NewCluster (in-process)
 // or NewNode (custom transport); a node runs its protocol loop on a
 // dedicated goroutine until Close.
@@ -56,6 +62,13 @@ type Node struct {
 	id  int
 	n   int
 	ent *core.Entity
+
+	// ledger is the default engine's memory ledger (nil without
+	// WithMemoryBudget); producers consult it before submitting, the
+	// entity (on the loop goroutine) is its only writer. shed selects
+	// the producer behaviour at an exhausted budget.
+	ledger *core.Ledger
+	shed   bool
 
 	// lk is the node's sole attachment to the outside: a memLink for
 	// in-process clusters (PDUs move as pointers, no serialization) or a
@@ -71,6 +84,7 @@ type Node struct {
 	groupsMu         sync.Mutex
 	groupRT          *groups.Registry
 	groupPorts       map[GroupID]*GroupPort
+	groupLedgers     map[GroupID]*core.Ledger
 	groupMetricsUsed int
 	gseed            groupSeed
 
@@ -137,6 +151,7 @@ func NewNode(id, n int, trans Transport, opts ...Option) (*Node, error) {
 // group traffic shares the node's flush counters.
 func newNode(id, n int, o options, lk link, newFrames func(shard int, lm *obsv.LinkMetrics) groups.Frames) (*Node, error) {
 	cfg := o.coreConfig(id, n)
+	cfg.Ledger = o.newLedger()
 	var em *obsv.EntityMetrics
 	var lm *obsv.LinkMetrics
 	if o.registry != nil {
@@ -154,6 +169,8 @@ func newNode(id, n int, o options, lk link, newFrames func(shard int, lm *obsv.L
 		id:       id,
 		n:        n,
 		ent:      ent,
+		ledger:   cfg.Ledger,
+		shed:     o.backpressure == BackpressureShed,
 		lk:       lk,
 		submits:  make(chan []byte, 64),
 		evicts:   make(chan evictReq),
@@ -187,8 +204,23 @@ func (nd *Node) ID() int { return nd.id }
 
 // Broadcast submits data for causally ordered broadcast to the whole
 // cluster (including this node: the message comes back on Deliveries once
-// it is fully acknowledged). The data is copied.
+// it is fully acknowledged). The data is copied. With WithMemoryBudget in
+// BackpressureBlock mode it blocks while the budget is exhausted; use
+// BroadcastContext for a cancellable wait.
 func (nd *Node) Broadcast(data []byte) error {
+	return nd.BroadcastContext(context.Background(), data)
+}
+
+// BroadcastContext is Broadcast bounded by a context: cancellation
+// unblocks a producer waiting on the memory budget or on the submit
+// queue and returns ctx.Err(). In BackpressureShed mode an exhausted
+// budget instead fails immediately with ErrOverBudget. The admission
+// check happens before anything is sequenced, so a cancelled or shed
+// broadcast leaves no trace in protocol state.
+func (nd *Node) BroadcastContext(ctx context.Context, data []byte) error {
+	if err := nd.admit(ctx, nd.ledger); err != nil {
+		return err
+	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	// Check for shutdown first: with a buffered submit channel the
@@ -201,10 +233,44 @@ func (nd *Node) Broadcast(data []byte) error {
 	select {
 	case nd.submits <- buf:
 		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	case <-nd.stop:
 		return ErrClosed
 	case <-nd.loopDone:
 		return ErrClosed
+	}
+}
+
+// admit applies producer-side backpressure against a memory ledger: nil
+// or under-budget admits immediately; otherwise shed mode fails fast and
+// block mode waits on the ledger gate until the engine drains below
+// budget, the context cancels, or the node closes.
+func (nd *Node) admit(ctx context.Context, l *core.Ledger) error {
+	if l == nil || !l.OverBudget() {
+		return nil
+	}
+	if nd.shed {
+		l.NoteShed()
+		return ErrOverBudget
+	}
+	l.NoteBlock()
+	for {
+		g := l.Gate()
+		// Re-check after grabbing the gate: the engine may have drained
+		// (and swapped gates) between the check and the grab.
+		if !l.OverBudget() {
+			return nil
+		}
+		select {
+		case <-g:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-nd.stop:
+			return ErrClosed
+		case <-nd.loopDone:
+			return ErrClosed
+		}
 	}
 }
 
