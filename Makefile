@@ -33,4 +33,5 @@ benchdiff:
 	@tmp=$$(mktemp); trap "rm -f $$tmp" EXIT; \
 	$(GO) test . -run '^$$' -bench '$(BENCHDIFF_PATTERN)' -benchtime 0.5s -benchmem > $$tmp && \
 	$(GO) test ./internal/core -run '^$$' -bench 'SnapshotInto' -benchtime 0.5s -benchmem >> $$tmp && \
+	$(GO) test ./internal/flight -run '^$$' -bench 'Record' -benchtime 0.5s -benchmem >> $$tmp && \
 	$(GO) run ./scripts/benchdiff -input $$tmp

@@ -15,6 +15,7 @@ import (
 	"cobcast"
 	"cobcast/internal/core"
 	"cobcast/internal/experiments"
+	"cobcast/internal/flight"
 	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/sim"
@@ -69,6 +70,39 @@ func BenchmarkFig8Tco(b *testing.B) {
 			for processed < b.N {
 				b.StopTimer()
 				ent, err := core.New(core.Config{ID: 0, N: n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				now := time.Duration(0)
+				b.StartTimer()
+				for _, p := range stream {
+					now += 10 * time.Microsecond
+					_, _ = ent.Receive(p, now)
+					if processed++; processed >= b.N {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8TcoRecorded is BenchmarkFig8Tco with the flight recorder
+// enabled (experiment E16): the same replayed PDU stream with every
+// lifecycle transition recorded into a live ring. The delta against
+// Fig8Tco is the tracing overhead the always-on recorder charges the
+// hot path; allocs/op must stay identical (the ring never allocates).
+func BenchmarkFig8TcoRecorded(b *testing.B) {
+	for _, n := range hotSizes {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			stream := captureStream(b, n, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			processed := 0
+			for processed < b.N {
+				b.StopTimer()
+				ent, err := core.New(core.Config{ID: 0, N: n, Flight: flight.NewRing(flight.DefaultEvents)})
 				if err != nil {
 					b.Fatal(err)
 				}

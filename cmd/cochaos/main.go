@@ -114,6 +114,8 @@ type failure struct {
 	Shrunk    chaos.Config `json:"shrunk_config,omitempty"`
 	trace     []byte
 	perEntity []core.Stats
+	flight    []obsv.NodeFlight
+	stalls    []obsv.Stall
 }
 
 // perEntityTable renders each entity's protocol counters as an aligned
@@ -178,6 +180,8 @@ func sweep(o options, stdout, stderr io.Writer) int {
 				if res != nil {
 					f.trace = res.TraceJSON
 					f.perEntity = res.PerEntity
+					f.flight = res.Flight
+					f.stalls = res.Stalls
 				}
 				if o.shrink && f.Predicate != "" {
 					if min, ok, _ := chaos.Shrink(cfg, 64); ok {
@@ -282,8 +286,14 @@ func replay(o options, stdout, stderr io.Writer) int {
 	f.Predicate = v.Predicate
 	if res != nil {
 		f.trace = res.TraceJSON
+		f.flight = res.Flight
+		f.stalls = res.Stalls
 	}
 	fmt.Fprintf(stderr, "FAIL seed %d: [%s] %s\n", f.Seed, f.Predicate, f.Detail)
+	for _, st := range f.stalls {
+		fmt.Fprintf(stderr, "  stall: node %s %s [%s] %s: %s (waiting on %v)\n",
+			st.Node, st.Msg, st.Kind, st.Stage, st.Reason, st.WaitingOn)
+	}
 	if o.shrink {
 		if min, ok, runs := chaos.Shrink(cfg, 64); ok {
 			f.Shrunk = min
@@ -316,6 +326,22 @@ func persistFailure(o options, f failure, stderr io.Writer) error {
 		if f.trace != nil {
 			tracePath := filepath.Join(o.faildir, fmt.Sprintf("seed-%d.trace.jsonl", f.Seed))
 			if err := os.WriteFile(tracePath, f.trace, 0o644); err != nil {
+				return err
+			}
+		}
+		if f.flight != nil || f.stalls != nil {
+			// The flight dump and stall verdicts land next to the trace: the
+			// per-entity event rings say what each entity last did, and the
+			// analyzer says which unmet condition holds what where.
+			dump, err := json.MarshalIndent(struct {
+				Stalls []obsv.Stall      `json:"stalls,omitempty"`
+				Nodes  []obsv.NodeFlight `json:"nodes"`
+			}{Stalls: f.stalls, Nodes: f.flight}, "", "  ")
+			if err != nil {
+				return err
+			}
+			flightPath := filepath.Join(o.faildir, fmt.Sprintf("seed-%d.flight.json", f.Seed))
+			if err := os.WriteFile(flightPath, append(dump, '\n'), 0o644); err != nil {
 				return err
 			}
 		}

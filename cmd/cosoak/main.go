@@ -24,9 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cobcast"
@@ -79,6 +80,11 @@ type report struct {
 	Final    finalCounters            `json:"final"`
 	Failures []string                 `json:"failures,omitempty"`
 	Pass     bool                     `json:"pass"`
+	// On failure the report carries the evidence a postmortem needs:
+	// every node's flight-recorder events and the stall analyzer's
+	// verdicts on whatever was stuck when the run ended.
+	Flight []obsv.NodeFlight `json:"flight,omitempty"`
+	Stalls []obsv.Stall      `json:"stalls,omitempty"`
 }
 
 func main() {
@@ -168,6 +174,23 @@ func soak(n int, dur time.Duration, budget int64, bp cobcast.BackpressureMode, m
 	defer srv.Close()
 	url := "http://" + srv.Addr() + "/metrics"
 
+	// SIGQUIT dumps the live flight rings and stall verdicts to stderr
+	// without killing the run — kill -QUIT a wedged soak to see exactly
+	// which message is stuck where and on whom.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			fmt.Fprintln(os.Stderr, "cosoak: SIGQUIT flight dump:")
+			_ = reg.WriteTracez(os.Stderr)
+			for _, st := range reg.StallReport() {
+				fmt.Fprintf(os.Stderr, "  stall: node %s %s [%s] %s: %s (waiting on %v)\n",
+					st.Node, st.Msg, st.Kind, st.Stage, st.Reason, st.WaitingOn)
+			}
+		}
+	}()
+
 	// Drain every node's deliveries for the whole run, the stalled one
 	// included — stalling is the network isolating it, not a slow
 	// consumer on its channel.
@@ -244,16 +267,14 @@ sampling:
 			if err != nil {
 				return nil, err
 			}
-			// Force a collection so HeapInuse approximates live bytes;
-			// without it the series measures GC hysteresis (floating
-			// garbage from millions of submits), not retention.
-			runtime.GC()
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
+			// obsv.LiveHeap forces a collection so the sample approximates
+			// live bytes; without it the series measures GC hysteresis
+			// (floating garbage from millions of submits), not retention.
+			// Same measure the /metrics heap gauges complement un-forced.
 			s := experiments.SoakSample{
 				At:              time.Since(start),
 				LedgerBytes:     got[mLedgerBytes],
-				HeapInuse:       float64(ms.HeapInuse),
+				HeapInuse:       float64(obsv.LiveHeap()),
 				Blocked:         got[mBlocked],
 				Shed:            got[mShed],
 				PressureEvicted: got[mPressure],
@@ -289,6 +310,12 @@ sampling:
 	}
 	rep.Trends, rep.Failures = verdict(cfg, samples, rep.Final, budget, n)
 	rep.Pass = len(rep.Failures) == 0
+	if !rep.Pass {
+		// Taken before Close so the stall providers still reach live
+		// protocol loops.
+		rep.Flight = reg.Tracez().Nodes
+		rep.Stalls = reg.StallReport()
+	}
 
 	cluster.Close() // closes Deliveries channels, letting the drains exit
 	drains.Wait()
@@ -364,5 +391,9 @@ func summarize(w *os.File, rep *report) {
 	}
 	for _, f := range rep.Failures {
 		fmt.Fprintf(w, "  FAIL: %s\n", f)
+	}
+	for _, st := range rep.Stalls {
+		fmt.Fprintf(w, "  stall: node %s %s [%s] %s: %s (waiting on %v)\n",
+			st.Node, st.Msg, st.Kind, st.Stage, st.Reason, st.WaitingOn)
 	}
 }

@@ -10,15 +10,29 @@
 // cluster, writes it to the given file (or stdout), and verifies it:
 //
 //	cotrace -gen -n 4 -loss 0.1 -msgs 20 trace.jsonl
+//
+// The live subcommand scrapes the /tracez flight-recorder endpoint of
+// one or more running nodes' observability servers and assembles the
+// rings into a Chrome trace-event file — open it at ui.perfetto.dev to
+// see each message's lifecycle span on every node, linked by causal
+// flow arrows from its sequencing node to each acceptor:
+//
+//	cotrace live -out spans.json http://node0:9090 http://node1:9091 ...
+//	cotrace live http://127.0.0.1:9090 > spans.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"cobcast/internal/cospan"
+	"cobcast/internal/obsv"
 	"cobcast/internal/sim"
 	"cobcast/internal/simrun"
 	"cobcast/internal/trace"
@@ -26,6 +40,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "live" {
+		if err := live(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "cotrace live:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		n     = flag.Int("n", 0, "cluster size (required)")
 		total = flag.Bool("total", false, "also check total order")
@@ -45,6 +66,83 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cotrace:", err)
 		os.Exit(1)
 	}
+}
+
+// live scrapes /tracez from each endpoint and writes the assembled
+// Chrome trace. Endpoints are observability-server base URLs; a node
+// label that collides across endpoints is prefixed by its endpoint
+// index so multi-process clusters keep distinct process tracks.
+func live(args []string) error {
+	fs := flag.NewFlagSet("cotrace live", flag.ExitOnError)
+	out := fs.String("out", "", "write the Chrome trace here (default stdout)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-endpoint scrape timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	urls := fs.Args()
+	if len(urls) == 0 {
+		return fmt.Errorf("no endpoints; usage: cotrace live [-out spans.json] http://host:port ...")
+	}
+	client := &http.Client{Timeout: *timeout}
+	var nodes []obsv.NodeFlight
+	seen := make(map[string]bool)
+	for i, u := range urls {
+		doc, err := fetchTracez(client, u)
+		if err != nil {
+			return fmt.Errorf("%s: %w", u, err)
+		}
+		for _, nf := range doc.Nodes {
+			if seen[nf.Node] {
+				nf.Node = fmt.Sprintf("ep%d/%s", i, nf.Node)
+			}
+			seen[nf.Node] = true
+			nodes = append(nodes, nf)
+		}
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("endpoints served no flight rings (is WithObservability + flight recording enabled?)")
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := cospan.WriteJSON(w, nodes); err != nil {
+		return err
+	}
+	if *out != "" {
+		total := 0
+		for _, nf := range nodes {
+			total += len(nf.Events)
+		}
+		fmt.Printf("wrote %s: %d flight events from %d rings across %d endpoints (open at ui.perfetto.dev)\n",
+			*out, total, len(nodes), len(urls))
+	}
+	return nil
+}
+
+func fetchTracez(client *http.Client, base string) (*obsv.Tracez, error) {
+	u := strings.TrimSuffix(base, "/") + "/tracez"
+	if !strings.Contains(base, "://") {
+		u = "http://" + u
+	}
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	var doc obsv.Tracez
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", u, err)
+	}
+	return &doc, nil
 }
 
 func generate(n int, loss float64, msgs int, seed int64, total bool, args []string) error {

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"cobcast/internal/core"
+	"cobcast/internal/flight"
 	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 )
@@ -167,6 +168,7 @@ type options struct {
 	maxGroups           int
 	memBudgetBytes      int64
 	backpressure        BackpressureMode
+	flightEvents        int
 
 	// In-memory network knobs (NewCluster only).
 	netDelay    time.Duration
@@ -212,6 +214,17 @@ func (o options) newLedger() *core.Ledger {
 		return nil
 	}
 	return core.NewLedger(o.memBudgetBytes)
+}
+
+// newFlightRing builds one engine's flight recorder, or nil when
+// recording is off. The recorder rides on observability: it exists
+// whenever a registry is attached (WithFlightRecorder resizes or
+// disables it), because /tracez is how the ring leaves the process.
+func (o options) newFlightRing() *flight.Ring {
+	if o.registry == nil || o.flightEvents < 0 {
+		return nil
+	}
+	return flight.NewRing(o.flightEvents)
 }
 
 func (o options) tick() time.Duration {
@@ -328,6 +341,24 @@ func WithStampInterval(k int) Option {
 // option the engine runs instrumentation-free.
 func WithObservability(reg *obsv.Registry) Option {
 	return optionFunc(func(o *options) { o.registry = reg })
+}
+
+// WithFlightRecorder sizes the per-engine flight recorder: a bounded,
+// lock-free ring of protocol lifecycle events (submit, sequence, wire
+// in/out, accept, commit, deliver, retransmission, park, backpressure,
+// eviction) served as JSON on the observability endpoint's /tracez and
+// assembled into cross-node span traces by `cotrace live`. The ring
+// exists whenever WithObservability is attached; events sets its
+// capacity (rounded up to a power of two; 0 selects the default 4096),
+// and events < 0 disables recording entirely, reducing every record
+// site to one untaken branch.
+func WithFlightRecorder(events int) Option {
+	return optionFunc(func(o *options) {
+		if events == 0 {
+			events = flight.DefaultEvents
+		}
+		o.flightEvents = events
+	})
 }
 
 // WithGroupShards sets how many shard goroutines the multi-group

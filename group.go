@@ -266,14 +266,25 @@ func (nd *Node) newGroupEntity(g uint32) (*core.Entity, error) {
 	if reg != nil && nd.groupMetricsSlot() {
 		em := obsv.NewEntityMetrics()
 		cfg.Metrics = em
+		cfg.Flight = nd.gseed.o.newFlightRing()
 		label := fmt.Sprintf("%d/g%d", nd.id, g)
-		reg.RegisterNode(label, em, nil, func() (obsv.StateSnapshot, bool) {
+		got := reg.RegisterNode(label, em, nil, func() (obsv.StateSnapshot, bool) {
 			var s obsv.StateSnapshot
 			if !nd.groupRuntime().SnapshotInto(g, &s) {
 				return obsv.StateSnapshot{}, false
 			}
 			s.Group = g
 			return s, true
+		})
+		// Group engines share the node's monotonic clock (gseed wires
+		// nd.now into the runtime), so the node's start is their epoch.
+		reg.RegisterFlight(got, cfg.Flight, nd.start.UnixNano())
+		reg.RegisterStalls(got, func() ([]obsv.Stall, bool) {
+			var sts []obsv.Stall
+			if !nd.groupRuntime().Stalls(g, &sts) {
+				return nil, false
+			}
+			return sts, true
 		})
 	}
 	ent, err := core.New(cfg)

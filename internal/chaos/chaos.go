@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cobcast/internal/core"
+	"cobcast/internal/flight"
 	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/sim"
@@ -71,6 +72,13 @@ type Result struct {
 	// admission (Config.Shed).
 	Stalled     []int
 	ShedSubmits int
+	// Flight holds each entity's flight-recorder dump (virtual-time
+	// timestamps) and Stalls the stall-analyzer verdicts at the end of
+	// the run — the evidence cochaos persists next to a failing seed's
+	// trace. Recording is off the protocol path and does not perturb
+	// TraceDigest. Single-group runs only.
+	Flight []obsv.NodeFlight
+	Stalls []obsv.Stall
 }
 
 // schedule is the concrete fault plan derived from Config.Seed. It exists
@@ -214,6 +222,7 @@ func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 		WireVersion:    cfg.WireVersion,
 		MemBudgetBytes: cfg.MemBudgetBytes,
 		Shed:           cfg.Shed,
+		FlightEvents:   flight.DefaultEvents,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: build cluster: %w", err)
@@ -257,6 +266,8 @@ func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 		res.TraceJSON = buf.Bytes()
 		res.TraceDigest, _ = trace.DigestEvents(events)
 		res.ShedSubmits = c.ShedCount()
+		res.Flight = c.FlightDumps()
+		res.Stalls = c.StallReport()
 	}
 
 	stalled := make(map[pdu.EntityID]bool, len(stalls))

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"cobcast/internal/flight"
 	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/trace"
@@ -93,6 +94,13 @@ type Config struct {
 	// Tracer, if non-nil, records send/accept/deliver/retransmit events
 	// for the trace checkers.
 	Tracer *trace.Recorder
+	// Flight, if non-nil, receives a bounded flight-recorder event at
+	// every lifecycle transition (sequence, accept, park/unpark,
+	// commit, deliver, retransmit request/serve, eviction…), stamped
+	// with the pipeline clock. The entity never reads it back; scrapers
+	// snapshot it concurrently via /tracez. Nil costs one untaken
+	// branch per transition, the same contract as Ledger and Metrics.
+	Flight *flight.Ring
 	// Metrics, if non-nil, receives live instrumentation: the entity
 	// mirrors its Stats counters into the atomic EntityMetrics after
 	// every input (so scrapers on other goroutines read them without

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"cobcast/internal/flight"
 	"cobcast/internal/msglog"
 	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
@@ -211,8 +212,10 @@ func (e *Entity) Submit(data []byte, now time.Duration) Output {
 	copy(buf, data)
 	e.pendingSubmits = append(e.pendingSubmits, buf)
 	e.chargeSubmit(len(buf))
+	e.fl(flight.EvSubmit, e.me, 0, pdu.KindData, pdu.NoEntity, now)
 	if !e.windowOpen() {
 		e.stats.FlowBlocked++
+		e.fl(flight.EvFlowBlock, e.me, e.seq, pdu.KindData, pdu.NoEntity, now)
 	}
 	var out Output
 	e.finish(now, &out)
@@ -466,6 +469,7 @@ func (e *Entity) receiveSequenced(p *pdu.PDU, now time.Duration) {
 			}
 			e.chargePDU(p)
 			e.stats.Parked++
+			e.fl(flight.EvPark, src, p.SEQ, p.Kind, pdu.NoEntity, now)
 			e.noteResident()
 		}
 	default:
@@ -481,6 +485,7 @@ func (e *Entity) receiveSequenced(p *pdu.PDU, now time.Duration) {
 				e.parkedData--
 			}
 			e.releasePDU(q)
+			e.fl(flight.EvUnpark, src, q.SEQ, q.Kind, pdu.NoEntity, now)
 			e.accept(q, now)
 		}
 	}
@@ -517,6 +522,7 @@ func (e *Entity) accept(p *pdu.PDU, now time.Duration) {
 		e.acceptAt[src].push(now)
 	}
 	e.noteResident()
+	e.fl(flight.EvAccept, src, p.SEQ, p.Kind, pdu.NoEntity, now)
 	e.trace(trace.Accept, src, p.SEQ, p.Kind, now)
 }
 
@@ -623,6 +629,7 @@ func (e *Entity) commitReady(now time.Duration, out *Output) {
 				e.releasePDU(p)
 				e.committed[k] = p.SEQ
 				e.stats.Committed++
+				e.fl(flight.EvCommit, p.Src, p.SEQ, p.Kind, pdu.NoEntity, now)
 				if e.m != nil {
 					if t, ok := e.acceptAt[k].pop(); ok {
 						e.m.AckWaitUS.Observe(micros(now - t))
@@ -640,6 +647,7 @@ func (e *Entity) commitReady(now time.Duration, out *Output) {
 					e.stats.Delivered++
 					e.observeDeliverLatency(p, now)
 					out.Deliveries = append(out.Deliveries, Delivery{Src: p.Src, SEQ: p.SEQ, Data: p.Data})
+					e.fl(flight.EvDeliver, p.Src, p.SEQ, p.Kind, pdu.NoEntity, now)
 					e.trace(trace.Deliver, p.Src, p.SEQ, p.Kind, now)
 				}
 			}
@@ -753,6 +761,7 @@ func (e *Entity) broadcastSequenced(kind pdu.Kind, data []byte, now time.Duratio
 	} else {
 		e.stats.SyncSent++
 	}
+	e.fl(flight.EvSequence, e.me, p.SEQ, kind, pdu.NoEntity, now)
 	e.trace(trace.Send, e.me, p.SEQ, kind, now)
 	e.accept(p, now)
 	for j := range e.recvSince {
@@ -827,6 +836,8 @@ func (e *Entity) maybeRequestRetx(now time.Duration, out *Output) {
 			LSeq: lseq,
 		})
 		e.stats.RetSent++
+		// Src/Seq name the first missing PDU in the gap being chased.
+		e.fl(flight.EvRetRequest, src, e.req[j], pdu.KindRet, src, now)
 	}
 }
 
@@ -848,6 +859,7 @@ func (e *Entity) handleRetForMe(r *pdu.PDU, now time.Duration, out *Output) {
 		}
 		e.lastRetx[s] = now
 		e.stats.Retransmitted++
+		e.fl(flight.EvRetServe, e.me, s, p.Kind, r.Src, now)
 		e.trace(trace.Retransmit, e.me, s, p.Kind, now)
 		out.PDUs = append(out.PDUs, p)
 	}
@@ -907,6 +919,13 @@ func (e *Entity) noteResident() {
 	if r := e.Resident(); r > e.stats.MaxResident {
 		e.stats.MaxResident = r
 	}
+}
+
+// fl records one flight-recorder event. With no ring attached the call
+// compiles to a single untaken branch (Record is nil-receiver-safe and
+// inlined), matching the Tracer/Metrics/Ledger contract.
+func (e *Entity) fl(t flight.EventType, src pdu.EntityID, seq pdu.Seq, kind pdu.Kind, peer pdu.EntityID, now time.Duration) {
+	e.cfg.Flight.Record(t, uint8(kind), int32(src), uint64(seq), int32(peer), int64(now))
 }
 
 func (e *Entity) trace(t trace.EventType, src pdu.EntityID, seq pdu.Seq, kind pdu.Kind, now time.Duration) {

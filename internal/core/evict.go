@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"time"
 
+	"cobcast/internal/flight"
 	"cobcast/internal/pdu"
 )
 
@@ -49,6 +50,7 @@ func (e *Entity) Evict(k pdu.EntityID, now time.Duration) (Output, error) {
 	if !e.evicted[k] {
 		e.evicted[k] = true
 		e.stats.Evicted++
+		e.fl(flight.EvEvict, e.me, 0, 0, k, now)
 		// The quorum shrank: the one write that can move every cached
 		// minimum at once, and the only full-recompute site.
 		e.refreshMinima()
@@ -124,6 +126,7 @@ func (e *Entity) maybeSuspect(now time.Duration, out *Output) {
 			e.evicted[j] = true
 			e.stats.Evicted++
 			e.stats.AutoSuspected++
+			e.fl(flight.EvEvict, e.me, 0, 0, id, now)
 			if now-last < e.cfg.SuspectAfter {
 				// Only the shortened timer could have fired: a
 				// pressure-driven eviction, not an ordinary suspicion.

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"cobcast/internal/flight"
 	"cobcast/internal/pdu"
 	"cobcast/internal/trace"
 )
@@ -155,6 +156,7 @@ func (e *Entity) releaseTotal(now time.Duration, out *Output) {
 		out.Deliveries = append(out.Deliveries, Delivery{
 			Src: p.Src, SEQ: p.SEQ, Data: p.Data, LTime: head.key.lt,
 		})
+		e.fl(flight.EvDeliver, p.Src, p.SEQ, p.Kind, pdu.NoEntity, now)
 		e.trace(trace.Deliver, p.Src, p.SEQ, p.Kind, now)
 	}
 }

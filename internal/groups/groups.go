@@ -269,6 +269,17 @@ func (r *Registry) SnapshotInto(g uint32, dst *obsv.StateSnapshot) bool {
 	return <-reply
 }
 
+// Stalls fills dst with group g's stall-analyzer verdicts, taken
+// between inputs on the owning shard. ok=false as for Stats; on false
+// dst is untouched.
+func (r *Registry) Stalls(g uint32, dst *[]obsv.Stall) bool {
+	reply := make(chan bool, 1)
+	if !r.shardOf(g).request(shardMsg{kind: msgStalls, group: g, stalls: dst, okC: reply}) {
+		return false
+	}
+	return <-reply
+}
+
 // Quiescent reports whether every instantiated engine on every shard
 // owes the cluster nothing. It blocks until each shard answers between
 // inputs (or returns false if the registry is closing).
@@ -319,6 +330,7 @@ const (
 	msgInbound
 	msgStats
 	msgSnap
+	msgStalls
 	msgQuiescent
 )
 
@@ -334,6 +346,7 @@ type shardMsg struct {
 	in     Inbound
 	statsC chan statsReply
 	snap   *obsv.StateSnapshot
+	stalls *[]obsv.Stall
 	okC    chan bool
 }
 
@@ -480,6 +493,14 @@ func (s *shard) handle(m shardMsg) {
 			return
 		}
 		eng.SnapshotInto(m.snap)
+		m.okC <- true
+	case msgStalls:
+		eng, ok := s.groups[m.group]
+		if !ok || eng == nil {
+			m.okC <- false
+			return
+		}
+		*m.stalls = eng.Stalls(s.reg.cfg.Now(), 0)
 		m.okC <- true
 	case msgQuiescent:
 		for _, eng := range s.groups {

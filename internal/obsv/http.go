@@ -22,6 +22,10 @@ func Handler(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = reg.WriteStatez(w)
 	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteTracez(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -33,7 +37,7 @@ func Handler(reg *Registry) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("cobcast observability endpoint\n/metrics  Prometheus text exposition\n/statez   JSON entity state snapshots\n/debug/pprof/  stdlib profiler\n"))
+		_, _ = w.Write([]byte("cobcast observability endpoint\n/metrics  Prometheus text exposition\n/statez   JSON entity state snapshots (with stall-analyzer verdicts)\n/tracez   JSON flight-recorder dumps (per-node protocol event rings)\n/debug/pprof/  stdlib profiler\n"))
 	})
 	return mux
 }

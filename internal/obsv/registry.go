@@ -6,6 +6,9 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
+
+	"cobcast/internal/flight"
 )
 
 // SnapshotFunc produces a point-in-time state snapshot of one entity.
@@ -23,6 +26,12 @@ type Registry struct {
 	nodes      []nodeEntry
 	transports []labeledTransport
 	networks   []labeledNetwork
+	// start anchors the process-uptime gauge (registry creation time).
+	start time.Time
+	// rt accumulates GC pause observations across scrapes (runtime.go).
+	rt runtimeTracker
+	// buildLabels are extra cobcast_build_info labels (SetBuildLabel).
+	buildLabels map[string]string
 }
 
 type nodeEntry struct {
@@ -30,6 +39,12 @@ type nodeEntry struct {
 	em    *EntityMetrics
 	lm    *LinkMetrics
 	snap  SnapshotFunc
+	// fr and epoch publish the node's flight recorder on /tracez
+	// (RegisterFlight); stalls its stall-analyzer provider
+	// (RegisterStalls).
+	fr     *flight.Ring
+	epoch  int64
+	stalls StallsFunc
 }
 
 type labeledTransport struct {
@@ -46,7 +61,7 @@ type labeledNetwork struct {
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{} }
+func NewRegistry() *Registry { return &Registry{start: time.Now()} }
 
 // uniqueLabel disambiguates duplicate labels (two clusters in one
 // process, say) by suffixing #2, #3, ... so Prometheus series stay
@@ -426,6 +441,24 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 	writeCounterFromSnaps(bw, "cobcast_backpressure_blocked_total", "Producer submissions blocked at the memory budget.", ledgered, func(s StateSnapshot) int64 { return int64(s.BackpressureBlocked) })
 	writeCounterFromSnaps(bw, "cobcast_backpressure_shed_total", "Producer submissions shed at the memory budget.", ledgered, func(s StateSnapshot) int64 { return int64(s.BackpressureShed) })
 	writeCounterFromSnaps(bw, "cobcast_pressure_evictions_total", "Peers evicted on the pressure-shortened suspicion timer.", ledgered, func(s StateSnapshot) int64 { return int64(s.PressureEvicted) })
+
+	// Flight-recorder depth: total events ever recorded per ring, so a
+	// dashboard can tell a dead recorder from a quiet one.
+	{
+		wroteHeader := false
+		for _, n := range nodes {
+			if n.fr == nil {
+				continue
+			}
+			if !wroteHeader {
+				bw.printf("# HELP cobcast_flight_events_total Protocol events recorded by the flight recorder (ring retains the most recent).\n# TYPE cobcast_flight_events_total counter\n")
+				wroteHeader = true
+			}
+			bw.printf("cobcast_flight_events_total{node=%q} %d\n", n.label, n.fr.Recorded())
+		}
+	}
+
+	r.writeRuntimeMetrics(bw)
 	return bw.err
 }
 
@@ -519,6 +552,11 @@ func (e *errWriter) printf(format string, args ...any) {
 type Statez struct {
 	Nodes      []StateSnapshot  `json:"nodes"`
 	Transports []TransportState `json:"transports,omitempty"`
+	// Stalls are the stall-analyzer verdicts of every node with a
+	// registered provider: each undelivered message, the pipeline
+	// stage holding it, and the peers whose confirmations it awaits.
+	// Empty when nothing is stuck.
+	Stalls []Stall `json:"stalls,omitempty"`
 }
 
 // Statez collects the current state snapshots.
@@ -536,6 +574,7 @@ func (r *Registry) Statez() Statez {
 			out.Nodes = append(out.Nodes, s)
 		}
 	}
+	out.Stalls = r.StallReport()
 	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Node < out.Nodes[j].Node })
 	for _, t := range transports {
 		if t.state != nil {

@@ -1,0 +1,26 @@
+package obsv
+
+// Stall is one stall-analyzer verdict: a message (or pending submit)
+// an entity is holding undelivered, the pipeline stage it is stuck in,
+// the exact protocol condition that is unmet, and the peers whose
+// confirmations are missing. Produced by the core entity (which alone
+// can read the AL/PAL matrices), attributed to a node by the registry,
+// and served on /statez and in failure dumps.
+type Stall struct {
+	// Node is the registry label of the entity reporting the stall
+	// (filled by the collector; empty when the entity is read direct).
+	Node string `json:"node,omitempty"`
+	// Msg identifies the stuck message as "s<src>#<seq>".
+	Msg string `json:"msg"`
+	// Kind is the PDU kind ("data", "sync"), empty for pending submits.
+	Kind string `json:"kind,omitempty"`
+	// Stage names the pipeline stage holding the message:
+	// parked | pack-wait | ack-wait | commit-wait | total-order-hold |
+	// flow-blocked.
+	Stage string `json:"stage"`
+	// Reason states the unmet protocol condition in plain words.
+	Reason string `json:"reason"`
+	// WaitingOn lists the entity IDs whose confirmation (or
+	// retransmission) must arrive before the message can advance.
+	WaitingOn []int `json:"waiting_on,omitempty"`
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cobcast/internal/core"
+	"cobcast/internal/flight"
 	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/sim"
@@ -69,6 +70,12 @@ type Options struct {
 	// (the simulator cannot block a producer in virtual time).
 	MemBudgetBytes int64
 	Shed           bool
+	// FlightEvents, when > 0, gives every entity its own flight-recorder
+	// ring of that many events (rounded up to a power of two), exposed on
+	// Cluster.Flights. Timestamps are virtual time (epoch 0). The chaos
+	// harness dumps these rings — with each entity's stall verdicts —
+	// when a failing seed is persisted.
+	FlightEvents int
 }
 
 // Cluster is a simulated CO-protocol cluster.
@@ -81,6 +88,10 @@ type Cluster struct {
 	// Ledgers[i] is entity i's memory ledger; nil entries without
 	// Options.MemBudgetBytes.
 	Ledgers []*core.Ledger
+
+	// Flights[i] is entity i's flight recorder; nil entries without
+	// Options.FlightEvents.
+	Flights []*flight.Ring
 
 	// Delivered[i] is entity i's delivery sequence.
 	Delivered [][]core.Delivery
@@ -128,6 +139,7 @@ func New(opts Options) (*Cluster, error) {
 		Net:         net,
 		Entities:    make([]*core.Entity, opts.N),
 		Ledgers:     make([]*core.Ledger, opts.N),
+		Flights:     make([]*flight.Ring, opts.N),
 		Delivered:   make([][]core.Delivery, opts.N),
 		n:           opts.N,
 		frozen:      make([]bool, opts.N),
@@ -145,6 +157,11 @@ func New(opts Options) (*Cluster, error) {
 		cfg.ID = pdu.EntityID(i)
 		cfg.Metrics = nil
 		cfg.Ledger = nil
+		cfg.Flight = nil
+		if opts.FlightEvents > 0 {
+			c.Flights[i] = flight.NewRing(opts.FlightEvents)
+			cfg.Flight = c.Flights[i]
+		}
 		if opts.MemBudgetBytes > 0 {
 			// One ledger per entity: the single-writer accounting
 			// invariant holds trivially on the simulator's one goroutine,
@@ -451,6 +468,39 @@ func (c *Cluster) Drains() []core.DrainState {
 	out := make([]core.DrainState, c.n)
 	for i, e := range c.Entities {
 		out[i] = e.Drain()
+	}
+	return out
+}
+
+// FlightDumps returns each recorded entity's flight events as /tracez-
+// style dumps. EpochUnixNano stays 0: timestamps are virtual time.
+// Entities without rings (Options.FlightEvents unset) are omitted.
+func (c *Cluster) FlightDumps() []obsv.NodeFlight {
+	var out []obsv.NodeFlight
+	for i, fr := range c.Flights {
+		if fr == nil {
+			continue
+		}
+		out = append(out, obsv.NodeFlight{
+			Node:     strconv.Itoa(i),
+			Recorded: fr.Recorded(),
+			Capacity: fr.Cap(),
+			Events:   fr.Snapshot(nil),
+		})
+	}
+	return out
+}
+
+// StallReport returns every entity's stall-analyzer verdicts at the
+// current virtual time, attributed by entity index. Empty when no data
+// is stuck anywhere.
+func (c *Cluster) StallReport() []obsv.Stall {
+	var out []obsv.Stall
+	for i, e := range c.Entities {
+		for _, st := range e.Stalls(c.Sim.Now(), 0) {
+			st.Node = strconv.Itoa(i)
+			out = append(out, st)
+		}
 	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cobcast/internal/core"
+	"cobcast/internal/flight"
 	"cobcast/internal/groups"
 	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
@@ -88,6 +89,12 @@ type Node struct {
 	groupMetricsUsed int
 	gseed            groupSeed
 
+	// flight is the node's flight recorder (nil when disabled): the
+	// core entity records lifecycle events into it, the loop adds
+	// wire-in/out, producers add backpressure block/shed, and /tracez
+	// scrapes it concurrently.
+	flight *flight.Ring
+
 	submits  chan []byte
 	evicts   chan evictReq
 	statsReq chan chan core.Stats
@@ -131,6 +138,9 @@ func NewNode(id, n int, trans Transport, opts ...Option) (*Node, error) {
 		return nil, err
 	}
 	if o.registry != nil {
+		// Stamp the send-side wire codec on cobcast_build_info so scrapes
+		// from mixed-codec clusters stay attributable.
+		o.registry.SetBuildLabel("codec", fmt.Sprintf("v%d", version))
 		// A transport that exposes live counters (UDPTransport does)
 		// publishes them alongside the node's metrics; one that also
 		// reports its wire-path configuration (batched syscalls, socket
@@ -160,6 +170,8 @@ func newNode(id, n int, o options, lk link, newFrames func(shard int, lm *obsv.L
 		cfg.Metrics = em
 		lk.instrument(lm)
 	}
+	fr := o.newFlightRing()
+	cfg.Flight = fr
 	ent, err := core.New(cfg)
 	if err != nil {
 		_ = lk.close()
@@ -169,6 +181,7 @@ func newNode(id, n int, o options, lk link, newFrames func(shard int, lm *obsv.L
 		id:       id,
 		n:        n,
 		ent:      ent,
+		flight:   fr,
 		ledger:   cfg.Ledger,
 		shed:     o.backpressure == BackpressureShed,
 		lk:       lk,
@@ -194,7 +207,9 @@ func newNode(id, n int, o options, lk link, newFrames func(shard int, lm *obsv.L
 	go nd.loop()
 	go nd.pump()
 	if o.registry != nil {
-		o.registry.RegisterNode(strconv.Itoa(id), em, lm, nd.StateSnapshot)
+		label := o.registry.RegisterNode(strconv.Itoa(id), em, lm, nd.StateSnapshot)
+		o.registry.RegisterFlight(label, fr, nd.start.UnixNano())
+		o.registry.RegisterStalls(label, nd.Stalls)
 	}
 	return nd, nil
 }
@@ -252,9 +267,11 @@ func (nd *Node) admit(ctx context.Context, l *core.Ledger) error {
 	}
 	if nd.shed {
 		l.NoteShed()
+		nd.flight.Record(flight.EvShed, 0, int32(nd.id), 0, int32(pdu.NoEntity), int64(nd.now()))
 		return ErrOverBudget
 	}
 	l.NoteBlock()
+	nd.flight.Record(flight.EvBlock, 0, int32(nd.id), 0, int32(pdu.NoEntity), int64(nd.now()))
 	for {
 		g := l.Gate()
 		// Re-check after grabbing the gate: the engine may have drained
@@ -344,10 +361,45 @@ func (nd *Node) Stats() Stats {
 const snapshotTimeout = 100 * time.Millisecond
 
 // snapRequest asks the protocol loop to fill dst with the entity's
-// state between inputs; done (buffered) is signaled once dst is valid.
+// state (and/or stalls with its stall-analyzer report) between inputs;
+// done (buffered) is signaled once the requested fields are valid.
 type snapRequest struct {
-	dst  *obsv.StateSnapshot
-	done chan struct{}
+	dst    *obsv.StateSnapshot
+	stalls *[]obsv.Stall
+	done   chan struct{}
+}
+
+// handleSnap services one snapshot/stall request on the loop goroutine.
+func (nd *Node) handleSnap(req snapRequest) {
+	if req.dst != nil {
+		nd.ent.SnapshotInto(req.dst)
+	}
+	if req.stalls != nil {
+		*req.stalls = nd.ent.Stalls(nd.now(), 0)
+	}
+	req.done <- struct{}{}
+}
+
+// Stalls returns the stall-analyzer verdicts for every undelivered
+// message this node is holding: the pipeline stage, the unmet flow-
+// condition term, and the peers whose confirmations are missing. Empty
+// when nothing is stuck. ok is false if the loop stayed busy past the
+// snapshot timeout. It is the node's obsv.StallsFunc; /statez includes
+// the report on every scrape.
+func (nd *Node) Stalls() ([]obsv.Stall, bool) {
+	var sts []obsv.Stall
+	req := snapRequest{stalls: &sts, done: make(chan struct{}, 1)}
+	timer := time.NewTimer(snapshotTimeout)
+	defer timer.Stop()
+	select {
+	case nd.snapReq <- req:
+		<-req.done
+		return sts, true
+	case <-nd.loopDone:
+		return nd.ent.Stalls(nd.now(), 0), true
+	case <-timer.C:
+		return nil, false
+	}
 }
 
 // StateSnapshot returns a consistent copy of the node's live protocol
@@ -439,8 +491,7 @@ func (nd *Node) loop() {
 		case reply := <-nd.idleReq:
 			reply <- nd.ent.Quiescent()
 		case req := <-nd.snapReq:
-			nd.ent.SnapshotInto(req.dst)
-			req.done <- struct{}{}
+			nd.handleSnap(req)
 		}
 		// …then drain everything already pending without blocking, so
 		// the PDUs all of it produces share one flush.
@@ -465,8 +516,7 @@ func (nd *Node) loop() {
 			case reply := <-nd.idleReq:
 				reply <- nd.ent.Quiescent()
 			case req := <-nd.snapReq:
-				nd.ent.SnapshotInto(req.dst)
-				req.done <- struct{}{}
+				nd.handleSnap(req)
 			default:
 				drained = true
 			}
@@ -482,16 +532,39 @@ func (nd *Node) handleEvict(req evictReq) {
 }
 
 func (nd *Node) receive(p *pdu.PDU) {
-	out, err := nd.ent.Receive(p, nd.now())
+	now := nd.now()
+	nd.recordWire(flight.EvWireIn, p, now)
+	out, err := nd.ent.Receive(p, now)
 	// Receive errors mark malformed or foreign PDUs; the entity counts
 	// them in InvalidPDUs and the protocol carries on.
 	_ = err
 	nd.dispatch(out)
 }
 
+// recordWire notes one PDU crossing the node/network boundary. A RET
+// identifies itself by the PDU it chases (LSrc#LSeq), so that is what
+// the span assembler needs in the Src/Seq slots; Peer then carries the
+// requester-visible source for cross-referencing.
+func (nd *Node) recordWire(t flight.EventType, p *pdu.PDU, now time.Duration) {
+	if nd.flight == nil {
+		return
+	}
+	src, seq, peer := p.Src, p.SEQ, pdu.NoEntity
+	if p.Kind == pdu.KindRet {
+		src, seq, peer = p.LSrc, p.LSeq, p.Src
+	}
+	nd.flight.Record(t, uint8(p.Kind), int32(src), uint64(seq), int32(peer), int64(now))
+}
+
 // dispatch stages an entity's output PDUs on the link (sent at the next
 // flush) and queues its deliveries.
 func (nd *Node) dispatch(out core.Output) {
+	if nd.flight != nil && len(out.PDUs) > 0 {
+		now := nd.now()
+		for _, p := range out.PDUs {
+			nd.recordWire(flight.EvWireOut, p, now)
+		}
+	}
 	for _, p := range out.PDUs {
 		nd.lk.append(p)
 	}

@@ -10,10 +10,12 @@
 //	defer srv.Close()
 //
 // The served endpoint exposes Prometheus text exposition at /metrics,
-// JSON per-node protocol state at /statez, and net/http/pprof under
-// /debug/pprof/. Applications with their own HTTP server can mount
-// Handler(reg) instead, or render directly with Registry.WriteMetrics
-// and Registry.WriteStatez.
+// JSON per-node protocol state at /statez (including the stall
+// analyzer's verdicts on stuck messages), JSON flight-recorder dumps at
+// /tracez (assembled into cross-node span traces by cotrace live), and
+// net/http/pprof under /debug/pprof/. Applications with their own HTTP
+// server can mount Handler(reg) instead, or render directly with
+// Registry.WriteMetrics, WriteStatez and WriteTracez.
 package obsv
 
 import (
@@ -38,6 +40,20 @@ type (
 	// protocol state (SEQ/REQ/minAL/minPAL/committed vectors, log
 	// depths, buffer occupancy, quiescence).
 	StateSnapshot = obsv.StateSnapshot
+
+	// Tracez is the /tracez document: every registered flight-recorder
+	// ring, scraped live.
+	Tracez = obsv.Tracez
+
+	// NodeFlight is one node's flight-recorder dump: its retained
+	// protocol lifecycle events plus the wall-clock epoch converting
+	// their relative timestamps (epoch 0 means virtual time).
+	NodeFlight = obsv.NodeFlight
+
+	// Stall is one stall-analyzer verdict: an undelivered message, the
+	// pipeline stage holding it, the unmet condition, and the peers
+	// whose confirmations are missing.
+	Stall = obsv.Stall
 )
 
 // NewRegistry returns an empty Registry ready to be passed to
@@ -51,3 +67,8 @@ func Serve(reg *Registry, addr string) (*Server, error) { return obsv.Serve(reg,
 // Handler returns an http.Handler serving the registry on a private
 // mux, for embedding into an application's own HTTP server.
 func Handler(reg *Registry) http.Handler { return obsv.Handler(reg) }
+
+// LiveHeap forces a garbage collection and returns the post-GC heap
+// bytes in use — the retention measure long-running harnesses sample
+// for leak trends. Deliberately expensive (a full GC).
+func LiveHeap() uint64 { return obsv.LiveHeap() }
