@@ -29,8 +29,10 @@ var benchSizes = []int{2, 4, 8, 16}
 
 // hotSizes extends the hot-path sweeps (Fig8Tco, HotPathPipeline) to the
 // cluster scales the delta-stamp codec targets: the O(n) ACK vector only
-// dominates the wire and fold cost from n≈64 up (experiment E12).
-var hotSizes = []int{2, 4, 8, 16, 64, 128}
+// dominates the wire and fold cost from n≈64 up (experiment E12). The
+// n=256 point is where the sparse fold engine's amortized-O(changed)
+// claim is measured against the dense baseline (experiment E17).
+var hotSizes = []int{2, 4, 8, 16, 64, 128, 256}
 
 // captureStream records the PDUs arriving at entity 0 during a realistic
 // n-entity run, for replay microbenchmarks.
@@ -70,6 +72,39 @@ func BenchmarkFig8Tco(b *testing.B) {
 			for processed < b.N {
 				b.StopTimer()
 				ent, err := core.New(core.Config{ID: 0, N: n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				now := time.Duration(0)
+				b.StartTimer()
+				for _, p := range stream {
+					now += 10 * time.Microsecond
+					_, _ = ent.Receive(p, now)
+					if processed++; processed >= b.N {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8TcoDense is BenchmarkFig8Tco with the sparse ACK-fold
+// fast paths disabled (core.Config.DenseFold): the dense reference
+// arithmetic every stamp operation falls back to. The Fig8Tco/Fig8TcoDense
+// ratio at each n is experiment E17's fold-cost curve — the dense engine
+// pays O(n) per PDU while the sparse engine amortizes to O(changed).
+func BenchmarkFig8TcoDense(b *testing.B) {
+	for _, n := range hotSizes {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			stream := captureStream(b, n, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			processed := 0
+			for processed < b.N {
+				b.StopTimer()
+				ent, err := core.New(core.Config{ID: 0, N: n, DenseFold: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -920,7 +955,10 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 // underlying frame path is pinned by TestGroupFramesSteadyStateAllocs.
 // On a multi-core host delivered_kpps should grow with shards; a
 // single-core host (GOMAXPROCS=1) serializes the shard goroutines and
-// shows flat-to-declining numbers instead.
+// shows flat-to-declining numbers instead — shard parallelism cannot
+// exceed schedulable CPUs, which is why the registry's shard-count
+// heuristic caps at runtime.GOMAXPROCS(0). Read shard sweeps from a
+// constrained CI runner accordingly.
 func BenchmarkMultiGroupThroughput(b *testing.B) {
 	const n, groups = 2, 8
 	for _, shards := range []int{1, 2, 4} {

@@ -538,8 +538,10 @@ func (f *wireGroupFrames) Deliver(g uint32, in groups.Inbound, fn func(p *pdu.PD
 		if !more {
 			break
 		}
+		// Clone shares Delta, which aliases this channel's stamp
+		// decoder scratch; the retained copy takes ownership.
 		if f.scratch.Kind.Sequenced() {
-			fn(f.scratch.Clone())
+			fn(f.scratch.Clone().OwnDelta())
 		} else {
 			fn(&f.scratch)
 		}

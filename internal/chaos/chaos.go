@@ -76,7 +76,8 @@ type Result struct {
 	// timestamps) and Stalls the stall-analyzer verdicts at the end of
 	// the run — the evidence cochaos persists next to a failing seed's
 	// trace. Recording is off the protocol path and does not perturb
-	// TraceDigest. Single-group runs only.
+	// TraceDigest. Multi-group runs record one dump per engine,
+	// attributed "i/gG" (entity i of group g).
 	Flight []obsv.NodeFlight
 	Stalls []obsv.Stall
 }
@@ -202,6 +203,7 @@ func RunWithRegistry(cfg Config, reg *obsv.Registry) (*Result, error) {
 		N: cfg.N,
 		Core: core.Config{
 			TotalOrder: cfg.TotalOrder,
+			DenseFold:  cfg.DenseFold,
 			// SuspectAfter stays zero for classic runs: eviction would
 			// legitimately shed a paused entity, and information-preserved
 			// requires all N to deliver everything. Stalled runs are the

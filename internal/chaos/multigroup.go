@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cobcast/internal/core"
+	"cobcast/internal/flight"
 	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/sim"
@@ -169,7 +170,9 @@ func runMultiGroup(cfg Config, reg *obsv.Registry) (*Result, error) {
 			if !ok {
 				return out
 			}
-			out = append(out, p.Clone())
+			// Delta aliases the stamp decoder's scratch; the clone owns
+			// a copy because the PDU outlives the next decode.
+			out = append(out, p.Clone().OwnDelta())
 		}
 	}
 
@@ -187,19 +190,24 @@ func runMultiGroup(cfg Config, reg *obsv.Registry) (*Result, error) {
 	// serializes virtual-time stepping against registry snapshot scrapes
 	// (instrumentation never affects the run's determinism).
 	var stepMu sync.Mutex
-	ents := make([][]*core.Entity, groups) // ents[g][i]
+	ents := make([][]*core.Entity, groups)  // ents[g][i]
+	rings := make([][]*flight.Ring, groups) // rings[g][i]
 	recs := make([]*trace.Recorder, groups)
 	delivered := make([][]int, groups) // delivered[g][i] = delivery count
 	for g := 0; g < groups; g++ {
 		recs[g] = &trace.Recorder{}
 		ents[g] = make([]*core.Entity, cfg.N)
+		rings[g] = make([]*flight.Ring, cfg.N)
 		delivered[g] = make([]int, cfg.N)
 		for i := 0; i < cfg.N; i++ {
+			rings[g][i] = flight.NewRing(flight.DefaultEvents)
 			ecfg := core.Config{
 				ID:         pdu.EntityID(i),
 				N:          cfg.N,
 				TotalOrder: cfg.TotalOrder,
+				DenseFold:  cfg.DenseFold,
 				Tracer:     recs[g],
+				Flight:     rings[g][i],
 			}
 			if reg != nil {
 				ecfg.Metrics = obsv.NewEntityMetrics()
@@ -322,6 +330,24 @@ func runMultiGroup(cfg Config, reg *obsv.Registry) (*Result, error) {
 		}
 		res.TraceJSON = buf.Bytes()
 		res.TraceDigest = hex.EncodeToString(sum.Sum(nil))
+		// Flight dumps and stall verdicts for every engine, attributed
+		// "i/gG" like the registry node names, so a failing seed's
+		// artifact pinpoints the stuck (entity, group) pair.
+		for g := 0; g < groups; g++ {
+			for i, fr := range rings[g] {
+				node := strconv.Itoa(i) + "/g" + strconv.Itoa(g)
+				res.Flight = append(res.Flight, obsv.NodeFlight{
+					Node:     node,
+					Recorded: fr.Recorded(),
+					Capacity: fr.Cap(),
+					Events:   fr.Snapshot(nil),
+				})
+				for _, st := range ents[g][i].Stalls(s.Now(), 0) {
+					st.Node = node
+					res.Stalls = append(res.Stalls, st)
+				}
+			}
+		}
 		return nil
 	}
 

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -62,6 +63,28 @@ func TestMultiGroupConverges(t *testing.T) {
 		}
 		if res.Net.Dropped == 0 {
 			t.Errorf("groups=%d: no datagram loss injected", groups)
+		}
+		// Every engine contributes a flight dump, attributed "i/gG".
+		if want := groups * cfg.N; len(res.Flight) != want {
+			t.Fatalf("groups=%d: %d flight dumps, want %d", groups, len(res.Flight), want)
+		}
+		names := map[string]bool{}
+		for _, nf := range res.Flight {
+			if nf.Recorded == 0 || len(nf.Events) == 0 {
+				t.Fatalf("groups=%d: node %s recorded no flight events", groups, nf.Node)
+			}
+			names[nf.Node] = true
+		}
+		for g := 0; g < groups; g++ {
+			for i := 0; i < cfg.N; i++ {
+				if node := fmt.Sprintf("%d/g%d", i, g); !names[node] {
+					t.Fatalf("groups=%d: missing flight dump for %s", groups, node)
+				}
+			}
+		}
+		// A clean converged run leaves nothing stuck.
+		if len(res.Stalls) != 0 {
+			t.Fatalf("groups=%d: unexpected stall verdicts: %+v", groups, res.Stalls)
 		}
 	}
 }

@@ -35,10 +35,10 @@ func (r *deltaRef) hint(p *pdu.PDU) {
 		return
 	}
 	if r.valid && len(r.ack) == len(p.ACK) && p.SEQ == r.seq+1 {
-		d := make([]pdu.EntityID, 0, len(p.ACK))
+		d := make([]pdu.Seq, 0, len(p.ACK))
 		for i := range p.ACK {
 			if p.ACK[i] != r.ack[i] {
-				d = append(d, pdu.EntityID(i))
+				d = append(d, pdu.Seq(i))
 			}
 		}
 		p.Delta = d
@@ -55,7 +55,7 @@ func TestDeltaFoldEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= 30; seed++ {
 		rng := rand.New(rand.NewSource(seed * 104729))
 		n := 2 + rng.Intn(5)
-		mk := func() []*Entity {
+		mk := func(dense bool) []*Entity {
 			ents := make([]*Entity, n)
 			for i := range ents {
 				e, err := New(Config{
@@ -63,6 +63,7 @@ func TestDeltaFoldEquivalence(t *testing.T) {
 					Window:              pdu.Seq(1 + int(seed)%4),
 					DeferredAckInterval: time.Millisecond,
 					RetransmitTimeout:   2 * time.Millisecond,
+					DenseFold:           dense,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -71,7 +72,10 @@ func TestDeltaFoldEquivalence(t *testing.T) {
 			}
 			return ents
 		}
-		full, fast := mk(), mk()
+		// The reference cluster runs with DenseFold so every fold scans
+		// all n entries regardless of annotations; the fast cluster
+		// additionally receives the decoder-style Delta hints.
+		full, fast := mk(true), mk(false)
 		refs := make([]deltaRef, n*n) // fast cluster's decode caches
 
 		// Mirrored per-channel queues; indexes [from*n+to].

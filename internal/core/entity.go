@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 
 	"cobcast/internal/flight"
@@ -11,6 +12,7 @@ import (
 	"cobcast/internal/obsv"
 	"cobcast/internal/pdu"
 	"cobcast/internal/trace"
+	"cobcast/internal/vclock"
 )
 
 // never is the "has not happened" timestamp for rate-limit bookkeeping.
@@ -38,6 +40,16 @@ type Entity struct {
 	pal [][]pdu.Seq // like al, but folded from pre-acknowledged PDUs only
 	buf []uint32    // buf[j]: advertised free buffer units at j
 
+	// reqStamp mirrors req with dirty-column tracking (DESIGN.md §2l).
+	// accept is the only site that advances req, and it raises reqStamp
+	// in lockstep; ClearDirty runs in broadcastSequenced between the ACK
+	// snapshot and the self-accept, so the dirty set at the next
+	// sequenced send is exactly the set of ACK entries that changed
+	// since the previous one — the Delta annotation. sendAckOnly does
+	// not clear it: the annotation's reference is the previous
+	// *sequenced* PDU.
+	reqStamp vclock.Stamp
+
 	// Receipt logs (§4.2, §4.4, §4.5).
 	rrl    []msglog.Log           // accepted, awaiting pre-acknowledgment
 	prl    msglog.Log             // pre-acknowledged, causality-ordered
@@ -51,10 +63,21 @@ type Entity struct {
 	known      []pdu.Seq                 // strongest next-expected evidence per source
 	lastRetReq []time.Duration           // last RET issued per source
 	lastRetx   map[pdu.Seq]time.Duration // last rebroadcast per own SEQ
+	// gapBits marks the sources j (j != me, non-evicted) with
+	// known[j] > req[j] — exactly the RET candidates — so
+	// maybeRequestRetx iterates set words instead of scanning 0..n-1
+	// per input. Bits are raised where known is raised (detectGaps) and
+	// cleared when req catches known (accept) or the source is evicted.
+	gapBits vclock.Bits
 
 	// Deferred confirmation state (§5 and DESIGN.md liveness amendment).
-	recvSince   []bool // sequenced PDU accepted from j since our last sequenced send
-	needRespond bool   // accepted a NeedAck PDU since our last send
+	// unheard holds the non-evicted peers from which no sequenced PDU
+	// has been accepted since our last confirmation send; the §5
+	// "heard from every peer" test is unheard.Empty(). Refilled from
+	// alive at every sequenced/ACKONLY send, cleared per source in
+	// accept and on eviction.
+	unheard     vclock.Bits
+	needRespond bool // accepted a NeedAck PDU since our last send
 	// owed/speakDeadline implement the "or some predefined time units"
 	// half of the deferred confirmation rule: the deadline arms when an
 	// obligation appears and is pushed back by every send.
@@ -78,6 +101,10 @@ type Entity struct {
 	ackedQ     []msglog.Log
 	ackedTotal int
 	committed  []pdu.Seq
+	// ackedBits marks the sources with a non-empty ackedQ so the
+	// commit loop visits only them (set in runAck, cleared when a
+	// queue drains).
+	ackedBits vclock.Bits
 
 	// Incremental quorum minima (performance engineering, DESIGN.md §2c).
 	// minAL[k] caches quorumMin(al[k]) and minALCnt[k] counts the
@@ -102,8 +129,11 @@ type Entity struct {
 	// to is the total-order release stage; nil unless Config.TotalOrder.
 	to *toState
 
-	// Failure handling (evict.go).
+	// Failure handling (evict.go). alive is the bitmap complement of
+	// evicted: quorum scans (rowMin) iterate its set words
+	// popcount-style instead of testing evicted[j] per column.
 	evicted   []bool
+	alive     vclock.Bits
 	lastHeard []time.Duration
 	heardOnce []bool
 
@@ -155,7 +185,11 @@ func New(cfg Config) (*Entity, error) {
 		known:      make([]pdu.Seq, n),
 		lastRetReq: make([]time.Duration, n),
 		lastRetx:   make(map[pdu.Seq]time.Duration),
-		recvSince:  make([]bool, n),
+		reqStamp:   vclock.NewStamp(n),
+		gapBits:    vclock.NewBits(n),
+		unheard:    vclock.NewBits(n),
+		ackedBits:  vclock.NewBits(n),
+		alive:      vclock.NewBits(n),
 		ackedQ:     make([]msglog.Log, n),
 		committed:  make([]pdu.Seq, n),
 		minAL:      make([]pdu.Seq, n),
@@ -186,6 +220,13 @@ func New(cfg Config) (*Entity, error) {
 		e.rrl[j].Reserve(n, 8)
 		e.ackedQ[j].Reserve(n, 8)
 	}
+	for j := 0; j < n; j++ {
+		e.reqStamp.Raise(j, 1)
+	}
+	e.reqStamp.ClearDirty() // the initial all-ones vector is the epoch
+	e.alive.Fill(n)
+	e.unheard.CopyFrom(e.alive)
+	e.unheard.Clear(int(e.me))
 	e.prl.Reserve(n, 4*n)
 	if cfg.TotalOrder {
 		e.to = newTOState(n)
@@ -256,8 +297,16 @@ func (e *Entity) Receive(p *pdu.PDU, now time.Duration) (Output, error) {
 	}
 
 	e.noteHeard(p.Src, now)
-	e.foldInfo(p)
-	e.detectGaps(p)
+	// A Delta annotation is usable for sparse folding only when the
+	// reference PDU (same source, SEQ-1) was itself folded here — either
+	// accepted (SEQ-1 < req) or parked. Sender-side annotations arrive on
+	// any path, including ones where the predecessor was lost, so the
+	// chain argument the fast paths rest on must be established per
+	// arrival rather than assumed from the wire codec.
+	sparseOK := p.Delta != nil && !e.cfg.DenseFold && p.SEQ >= 2 &&
+		(p.SEQ-1 < e.req[p.Src] || e.parked[p.Src][p.SEQ-1] != nil)
+	e.foldInfo(p, sparseOK)
+	e.detectGaps(p, sparseOK)
 	// Any PDU flagged NeedAck solicits a confirmation round — including
 	// control PDUs from window-blocked entities, which cannot emit
 	// sequenced PDUs to ask for help.
@@ -307,18 +356,18 @@ func (e *Entity) finish(now time.Duration, out *Output) {
 // every PDU kind (including control PDUs and parked out-of-order PDUs)
 // only strengthens knowledge; delivery safety rests on PAL, which folds
 // strictly from pre-acknowledged sequenced PDUs as in the paper.
-func (e *Entity) foldInfo(p *pdu.PDU) {
+func (e *Entity) foldInfo(p *pdu.PDU, sparseOK bool) {
 	if p.Src == e.me {
 		return
 	}
-	if d := p.Delta; d != nil {
-		// Delta fast path (wire codec v2): entries outside d are
-		// bit-identical to the same source's previous sequenced PDU,
-		// which the decoder chained through — and that PDU was folded
-		// here when it arrived (foldInfo runs on arrival for every
-		// kind, parked or not), so al[k][p.Src] already holds those
-		// values. Folding only the changed entries is exact, O(|d|).
-		for _, k := range d {
+	if sparseOK {
+		// Delta fast path: entries outside p.Delta are bit-identical to
+		// the same source's previous sequenced PDU, which sparseOK
+		// proves was folded here when it arrived (foldInfo runs on
+		// arrival for every kind, parked or not), so al[k][p.Src]
+		// already holds those values. Folding only the changed entries
+		// is exact, O(|Delta|) amortized per PDU.
+		for _, k := range p.Delta {
 			if p.ACK[k] > e.al[k][p.Src] {
 				e.raiseAL(int(k), p.Src, p.ACK[k])
 			}
@@ -366,17 +415,20 @@ func (e *Entity) raisePAL(k int, j pdu.EntityID, v pdu.Seq) {
 }
 
 // rowMin recomputes a quorum minimum and the number of non-evicted cells
-// holding it. The local entity is never evicted, so cnt >= 1.
+// holding it, iterating the set words of the alive bitmap so a shrunken
+// quorum (the eviction re-scan path) only touches surviving columns.
+// The local entity is never evicted, so cnt >= 1.
 func (e *Entity) rowMin(row []pdu.Seq) (m pdu.Seq, cnt int) {
-	for j := 0; j < e.n; j++ {
-		if e.evicted[j] {
-			continue
-		}
-		switch v := row[j]; {
-		case cnt == 0 || v < m:
-			m, cnt = v, 1
-		case v == m:
-			cnt++
+	for wi, w := range e.alive {
+		for w != 0 {
+			j := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			switch v := row[j]; {
+			case cnt == 0 || v < m:
+				m, cnt = v, 1
+			case v == m:
+				cnt++
+			}
 		}
 	}
 	return m, cnt
@@ -404,20 +456,21 @@ func (e *Entity) markPackDirty(k pdu.EntityID) {
 // beyond REQ reveals a gap at its own source) and F2 (an ACK entry beyond
 // REQ reveals a gap at another source). Evidence is recorded in known;
 // maybeRequestRetx turns it into RET PDUs.
-func (e *Entity) detectGaps(p *pdu.PDU) {
-	if d := p.Delta; d != nil {
+func (e *Entity) detectGaps(p *pdu.PDU, sparseOK bool) {
+	if sparseOK {
 		// Delta fast path: an unchanged ACK entry already served as F2
 		// evidence when the reference PDU arrived (same chain argument
 		// as foldInfo), so only the changed entries can strengthen
 		// known. The F1 rules below stay unconditional — they read SEQ
 		// and the sender's own entry, not the vector.
-		for _, j := range d {
-			if j == p.Src || j == e.me {
+		for _, j := range p.Delta {
+			if pdu.EntityID(j) == p.Src || pdu.EntityID(j) == e.me {
 				continue
 			}
 			if p.ACK[j] > e.known[j] {
 				e.known[j] = p.ACK[j] // F2
 				e.stats.F2Detections++
+				e.noteGap(int(j))
 			}
 		}
 	} else {
@@ -431,11 +484,13 @@ func (e *Entity) detectGaps(p *pdu.PDU) {
 				// detection, not a confirmation.
 				e.known[j] = p.ACK[j] // F2
 				e.stats.F2Detections++
+				e.noteGap(j)
 			}
 		}
 	}
 	if p.Kind.Sequenced() && p.Src != e.me && p.SEQ+1 > e.known[p.Src] {
 		e.known[p.Src] = p.SEQ + 1 // F1
+		e.noteGap(int(p.Src))
 		if p.SEQ > e.req[p.Src] {
 			// In-order arrivals raise evidence too but reveal no gap;
 			// only a PDU ahead of REQ is a detection.
@@ -450,12 +505,30 @@ func (e *Entity) detectGaps(p *pdu.PDU) {
 	if p.Src != e.me && p.ACK[p.Src] > e.known[p.Src] {
 		e.known[p.Src] = p.ACK[p.Src]
 		e.stats.F1Detections++
+		e.noteGap(int(p.Src))
+	}
+}
+
+// noteGap records that known[j] was strengthened. known never trails
+// req, so a strict raise leaves known[j] > req[j] — a gap — except for
+// the in-order F1 case (SEQ == req), whose bit accept clears within the
+// same Receive. Evicted sources are not RET candidates.
+func (e *Entity) noteGap(j int) {
+	if !e.evicted[j] && e.known[j] > e.req[j] {
+		e.gapBits.Set(j)
 	}
 }
 
 // receiveSequenced applies the acceptance condition p.SEQ == REQ (§4.2),
 // parking out-of-order PDUs and draining repairs in order.
 func (e *Entity) receiveSequenced(p *pdu.PDU, now time.Duration) {
+	if e.cfg.DenseFold {
+		// The entity owns sequenced PDUs: dropping the annotation here
+		// keeps every later stage (PAL fold, commit closure, TO stamp,
+		// log bounds) on the dense scans. Clone shares Delta by field,
+		// so siblings of a fanned-out PDU are unaffected.
+		p.Delta = nil
+	}
 	src := p.Src
 	switch {
 	case p.SEQ < e.req[src]:
@@ -497,10 +570,15 @@ func (e *Entity) receiveSequenced(p *pdu.PDU, now time.Duration) {
 func (e *Entity) accept(p *pdu.PDU, now time.Duration) {
 	src := p.Src
 	e.req[src] = p.SEQ + 1
+	e.reqStamp.Raise(int(src), uint64(p.SEQ+1))
 	// Own column of AL is direct knowledge: we just accepted through SEQ.
 	e.raiseAL(int(src), e.me, e.req[src])
 	if e.req[src] > e.known[src] {
 		e.known[src] = e.req[src]
+	}
+	if e.known[src] == e.req[src] {
+		// REQ caught the strongest evidence: the gap (if any) closed.
+		e.gapBits.Clear(int(src))
 	}
 	e.rrl[src].Enqueue(p)
 	e.rrlTotal++
@@ -515,7 +593,7 @@ func (e *Entity) accept(p *pdu.PDU, now time.Duration) {
 		e.dataResident++
 	}
 	if src != e.me {
-		e.recvSince[src] = true
+		e.unheard.Clear(int(src))
 	}
 	e.stats.Accepted++
 	if e.m != nil {
@@ -594,6 +672,7 @@ func (e *Entity) runAck(now time.Duration, out *Output) {
 		}
 		p := e.prl.Dequeue()
 		e.ackedQ[p.Src].InsertBySeq(p)
+		e.ackedBits.Set(int(p.Src))
 		e.ackedTotal++
 		e.stats.Acked++
 	}
@@ -616,39 +695,51 @@ func (e *Entity) runAck(now time.Duration, out *Output) {
 // head (ordered drain, no mid-slice deletion), and a pass over the n
 // heads repeats only while some commit advanced the frontier.
 func (e *Entity) commitReady(now time.Duration, out *Output) {
+	// Only sources with a non-empty ackedQ can commit, so each pass
+	// iterates the set words of ackedBits (ascending, matching the old
+	// 0..n-1 scan order) instead of probing all n queues. The word is
+	// copied before iterating: clearing a drained source's bit must not
+	// disturb the in-flight word, and commits never refill ackedQ.
 	for progress := e.ackedTotal > 0; progress; {
 		progress = false
-		for k := 0; k < e.n; k++ {
-			for {
-				p := e.ackedQ[k].Top()
-				if p == nil || !e.depsCommitted(p) {
-					break
-				}
-				e.ackedQ[k].Dequeue()
-				e.ackedTotal--
-				e.releasePDU(p)
-				e.committed[k] = p.SEQ
-				e.stats.Committed++
-				e.fl(flight.EvCommit, p.Src, p.SEQ, p.Kind, pdu.NoEntity, now)
-				if e.m != nil {
-					if t, ok := e.acceptAt[k].pop(); ok {
-						e.m.AckWaitUS.Observe(micros(now - t))
+		for wi, w := range e.ackedBits {
+			for w != 0 {
+				k := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				for {
+					p := e.ackedQ[k].Top()
+					if p == nil || !e.depsCommitted(p) {
+						break
+					}
+					e.ackedQ[k].Dequeue()
+					e.ackedTotal--
+					e.releasePDU(p)
+					e.committed[k] = p.SEQ
+					e.stats.Committed++
+					e.fl(flight.EvCommit, p.Src, p.SEQ, p.Kind, pdu.NoEntity, now)
+					if e.m != nil {
+						if t, ok := e.acceptAt[k].pop(); ok {
+							e.m.AckWaitUS.Observe(micros(now - t))
+						}
+					}
+					progress = true
+					if e.to != nil {
+						// TO mode: stamp the logical time and hand DATA to the
+						// stable-release stage instead of delivering directly.
+						e.onCommitTotal(p)
+						continue
+					}
+					if p.Kind == pdu.KindData {
+						e.dataResident--
+						e.stats.Delivered++
+						e.observeDeliverLatency(p, now)
+						out.Deliveries = append(out.Deliveries, Delivery{Src: p.Src, SEQ: p.SEQ, Data: p.Data})
+						e.fl(flight.EvDeliver, p.Src, p.SEQ, p.Kind, pdu.NoEntity, now)
+						e.trace(trace.Deliver, p.Src, p.SEQ, p.Kind, now)
 					}
 				}
-				progress = true
-				if e.to != nil {
-					// TO mode: stamp the logical time and hand DATA to the
-					// stable-release stage instead of delivering directly.
-					e.onCommitTotal(p)
-					continue
-				}
-				if p.Kind == pdu.KindData {
-					e.dataResident--
-					e.stats.Delivered++
-					e.observeDeliverLatency(p, now)
-					out.Deliveries = append(out.Deliveries, Delivery{Src: p.Src, SEQ: p.SEQ, Data: p.Data})
-					e.fl(flight.EvDeliver, p.Src, p.SEQ, p.Kind, pdu.NoEntity, now)
-					e.trace(trace.Deliver, p.Src, p.SEQ, p.Kind, now)
+				if e.ackedQ[k].Len() == 0 {
+					e.ackedBits.Clear(k)
 				}
 			}
 		}
@@ -663,6 +754,23 @@ func (e *Entity) commitReady(now time.Duration, out *Output) {
 func (e *Entity) depsCommitted(p *pdu.PDU) bool {
 	if e.committed[p.Src] != p.SEQ-1 {
 		return false
+	}
+	if d := p.Delta; d != nil && p.SEQ >= 2 {
+		// Delta fast path: the first test just proved p's same-source
+		// predecessor committed here, so the predecessor's dependencies
+		// were checked against the committed frontier at that commit —
+		// and committed[] only advances. Entries outside d equal the
+		// predecessor's, hence are already satisfied; only the changed
+		// entries need checking, O(|d|).
+		for _, k := range d {
+			if pdu.EntityID(k) == p.Src {
+				continue
+			}
+			if e.committed[k]+1 < p.ACK[k] {
+				return false
+			}
+		}
+		return true
 	}
 	for k := 0; k < e.n; k++ {
 		if pdu.EntityID(k) == p.Src {
@@ -706,14 +814,7 @@ func (e *Entity) maybeConfirm(now time.Duration, out *Output) {
 		e.owedSince = now
 		e.speakDeadline = now + e.cfg.DeferredAckInterval
 	}
-	allHeard := true
-	for j := 0; j < e.n; j++ {
-		if pdu.EntityID(j) != e.me && !e.evicted[j] && !e.recvSince[j] {
-			allHeard = false
-			break
-		}
-	}
-	if !allHeard && now < e.speakDeadline {
+	if !e.unheard.Empty() && now < e.speakDeadline {
 		return
 	}
 	e.stats.DeferredConfirms++
@@ -736,9 +837,34 @@ func (e *Entity) needsToSpeak() bool {
 // and the ACK vector, retain for retransmission, self-accept, broadcast.
 // The ACK vector is captured before self-acceptance, so the own entry
 // equals SEQ — matching Table 1 of the paper.
+//
+// The PDU is annotated with the sparse Delta when the dirty-column set
+// is below the density threshold: reqStamp's dirty set is exactly the
+// ACK entries that changed since the previous sequenced send (SEQ-1),
+// which is the annotation's contract. ACK and Delta are carved from a
+// single slab so the annotation adds no allocation; the epoch resets
+// (ClearDirty) before the self-accept so the own column — which changes
+// on every send — lands in the next PDU's dirty set.
 func (e *Entity) broadcastSequenced(kind pdu.Kind, data []byte, now time.Duration, out *Output) {
-	ack := make([]pdu.Seq, e.n)
+	c := 0
+	annotate := e.seq > 1 && !e.cfg.DenseFold && !e.reqStamp.Dense()
+	if annotate {
+		c = e.reqStamp.NDirty()
+	}
+	slab := make([]pdu.Seq, e.n+c)
+	ack := slab[:e.n:e.n]
 	copy(ack, e.req)
+	var delta []pdu.Seq
+	if annotate {
+		delta = slab[e.n:e.n]
+		for wi, w := range e.reqStamp.Dirty() {
+			for w != 0 {
+				delta = append(delta, pdu.Seq(wi<<6+bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
+		}
+	}
+	e.reqStamp.ClearDirty()
 	p := &pdu.PDU{
 		Kind:    kind,
 		CID:     e.cfg.ClusterID,
@@ -749,6 +875,7 @@ func (e *Entity) broadcastSequenced(kind pdu.Kind, data []byte, now time.Duratio
 		NeedAck: kind == pdu.KindData || e.dataResident > 0 || e.parkedData > 0 || len(e.pendingSubmits) > 0,
 		LSrc:    pdu.NoEntity,
 		Data:    data,
+		Delta:   delta,
 	}
 	e.seq++
 	e.sendlog[p.SEQ] = p
@@ -764,9 +891,8 @@ func (e *Entity) broadcastSequenced(kind pdu.Kind, data []byte, now time.Duratio
 	e.fl(flight.EvSequence, e.me, p.SEQ, kind, pdu.NoEntity, now)
 	e.trace(trace.Send, e.me, p.SEQ, kind, now)
 	e.accept(p, now)
-	for j := range e.recvSince {
-		e.recvSince[j] = false
-	}
+	e.unheard.CopyFrom(e.alive)
+	e.unheard.Clear(int(e.me))
 	e.needRespond = false
 	e.speakDeadline = now + e.cfg.DeferredAckInterval
 	out.PDUs = append(out.PDUs, p)
@@ -789,11 +915,12 @@ func (e *Entity) sendAckOnly(now time.Duration, out *Output) {
 	e.stats.AckOnlySent++
 	// The ACKONLY's ACK vector discharges the confirmation obligation of
 	// everything received so far, exactly like a sequenced send — without
-	// clearing recvSince here, a window-blocked entity with allHeard true
-	// would emit one ACKONLY per incoming PDU.
-	for j := range e.recvSince {
-		e.recvSince[j] = false
-	}
+	// refilling unheard here, a window-blocked entity that had heard from
+	// everyone would emit one ACKONLY per incoming PDU. reqStamp's dirty
+	// epoch is NOT reset: the Delta annotation's reference is the
+	// previous *sequenced* PDU, and this send is unsequenced.
+	e.unheard.CopyFrom(e.alive)
+	e.unheard.Clear(int(e.me))
 	e.needRespond = false
 	e.speakDeadline = now + e.cfg.DeferredAckInterval
 	out.PDUs = append(out.PDUs, p)
@@ -801,43 +928,47 @@ func (e *Entity) sendAckOnly(now time.Duration, out *Output) {
 
 // maybeRequestRetx issues RET PDUs (retransmission action (1), §4.3) for
 // every source with outstanding gap evidence, rate-limited per source by
-// RetransmitTimeout.
+// RetransmitTimeout. gapBits is maintained to hold exactly the sources
+// with known[j] > req[j] (j != me, non-evicted), so the common no-gap
+// case costs one word test per input instead of an O(n) scan; ascending
+// word iteration preserves the RET emission order of the old loop.
 func (e *Entity) maybeRequestRetx(now time.Duration, out *Output) {
-	for j := 0; j < e.n; j++ {
-		src := pdu.EntityID(j)
-		if src == e.me || e.evicted[j] || e.known[j] <= e.req[j] {
-			continue
-		}
-		if now-e.lastRetReq[j] < e.cfg.RetransmitTimeout {
-			continue
-		}
-		// Request only up to the first PDU we already hold parked: the
-		// paper's F1 sets LSEQ to the SEQ of the revealing PDU, never
-		// asking for PDUs the requester has.
-		lseq := e.known[j]
-		for s := range e.parked[j] {
-			if s >= e.req[j] && s < lseq {
-				lseq = s
+	for wi, w := range e.gapBits {
+		for w != 0 {
+			j := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			src := pdu.EntityID(j)
+			if now-e.lastRetReq[j] < e.cfg.RetransmitTimeout {
+				continue
 			}
+			// Request only up to the first PDU we already hold parked: the
+			// paper's F1 sets LSEQ to the SEQ of the revealing PDU, never
+			// asking for PDUs the requester has.
+			lseq := e.known[j]
+			for s := range e.parked[j] {
+				if s >= e.req[j] && s < lseq {
+					lseq = s
+				}
+			}
+			if lseq <= e.req[j] {
+				continue
+			}
+			e.lastRetReq[j] = now
+			ack := make([]pdu.Seq, e.n)
+			copy(ack, e.req)
+			out.PDUs = append(out.PDUs, &pdu.PDU{
+				Kind: pdu.KindRet,
+				CID:  e.cfg.ClusterID,
+				Src:  e.me,
+				ACK:  ack,
+				BUF:  e.availBuf(),
+				LSrc: src,
+				LSeq: lseq,
+			})
+			e.stats.RetSent++
+			// Src/Seq name the first missing PDU in the gap being chased.
+			e.fl(flight.EvRetRequest, src, e.req[j], pdu.KindRet, src, now)
 		}
-		if lseq <= e.req[j] {
-			continue
-		}
-		e.lastRetReq[j] = now
-		ack := make([]pdu.Seq, e.n)
-		copy(ack, e.req)
-		out.PDUs = append(out.PDUs, &pdu.PDU{
-			Kind: pdu.KindRet,
-			CID:  e.cfg.ClusterID,
-			Src:  e.me,
-			ACK:  ack,
-			BUF:  e.availBuf(),
-			LSrc: src,
-			LSeq: lseq,
-		})
-		e.stats.RetSent++
-		// Src/Seq name the first missing PDU in the gap being chased.
-		e.fl(flight.EvRetRequest, src, e.req[j], pdu.KindRet, src, now)
 	}
 }
 

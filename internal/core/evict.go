@@ -51,6 +51,7 @@ func (e *Entity) Evict(k pdu.EntityID, now time.Duration) (Output, error) {
 		e.evicted[k] = true
 		e.stats.Evicted++
 		e.fl(flight.EvEvict, e.me, 0, 0, k, now)
+		e.dropFromQuorum(int(k))
 		// The quorum shrank: the one write that can move every cached
 		// minimum at once, and the only full-recompute site.
 		e.refreshMinima()
@@ -62,6 +63,20 @@ func (e *Entity) Evict(k pdu.EntityID, now time.Duration) (Output, error) {
 
 // Evicted reports whether entity k has been evicted here.
 func (e *Entity) Evicted(k pdu.EntityID) bool { return e.evicted[k] }
+
+// dropFromQuorum maintains the bitmap caches across an eviction: k
+// leaves the alive set (quorum scans), stops counting toward the
+// deferred-confirmation rule, is no longer a RET candidate, and the
+// total-order stability cache — whose membership just changed — is
+// recomputed at the next release probe.
+func (e *Entity) dropFromQuorum(k int) {
+	e.alive.Clear(k)
+	e.unheard.Clear(k)
+	e.gapBits.Clear(k)
+	if e.to != nil {
+		e.to.unsatValid = false
+	}
+}
 
 // aliveColumns iterates the entities that still count toward quorums.
 func (e *Entity) quorumMin(row []pdu.Seq) pdu.Seq {
@@ -132,6 +147,7 @@ func (e *Entity) maybeSuspect(now time.Duration, out *Output) {
 				// pressure-driven eviction, not an ordinary suspicion.
 				e.stats.PressureEvicted++
 			}
+			e.dropFromQuorum(j)
 			e.refreshMinima()
 			_ = out // finish runs after maybeSuspect in Tick
 		}

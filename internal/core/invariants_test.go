@@ -170,6 +170,39 @@ func checkInvariants(t *testing.T, e *Entity, step int) {
 	if e.Resident() != parkedTotal+rrlTotal+e.prl.Len()+ackedTotal+toPending {
 		fail("Resident() inconsistent")
 	}
+	// The sparse-engine bitmaps always mirror the dense state they cache.
+	for k := 0; k < e.n; k++ {
+		if got := e.reqStamp.Get(k); got != uint64(e.req[k]) {
+			fail("reqStamp[%d]=%d != req=%d", k, got, e.req[k])
+		}
+		if got, want := e.alive.Test(k), !e.evicted[k]; got != want {
+			fail("alive[%d]=%v, evicted=%v", k, got, e.evicted[k])
+		}
+		gap := k != int(e.me) && !e.evicted[k] && e.known[k] > e.req[k]
+		if got := e.gapBits.Test(k); got != gap {
+			fail("gapBits[%d]=%v, known=%d req=%d evicted=%v",
+				k, got, e.known[k], e.req[k], e.evicted[k])
+		}
+		if got, want := e.ackedBits.Test(k), e.ackedQ[k].Len() > 0; got != want {
+			fail("ackedBits[%d]=%v, ackedQ len %d", k, got, e.ackedQ[k].Len())
+		}
+		// unheard only ever marks live peers (never self, never evicted).
+		if e.unheard.Test(k) && (k == int(e.me) || e.evicted[k]) {
+			fail("unheard[%d] set for self/evicted", k)
+		}
+	}
+	// When the total-order head cache is armed it matches a fresh
+	// recomputation of the unsatisfied-source set for its key.
+	if e.to != nil && e.to.unsatValid {
+		s := e.to
+		for k := 0; k < e.n; k++ {
+			want := pdu.EntityID(k) != s.unsatFor.src && !e.evicted[k] &&
+				(!s.hasKey[k] || !s.unsatFor.less(s.lastKey[k]))
+			if got := s.unsat.Test(k); got != want {
+				fail("to.unsat[%d]=%v, want %v (head key %v)", k, got, want, s.unsatFor)
+			}
+		}
+	}
 }
 
 // TestInvariantsRandomWalk drives random schedules and checks invariants

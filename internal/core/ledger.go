@@ -109,11 +109,11 @@ func (l *Ledger) NoteBlock() { l.blocked.Add(1) }
 func (l *Ledger) NoteShed()  { l.shed.Add(1) }
 
 // Gauge accessors, safe from any goroutine.
-func (l *Ledger) Bytes() int64     { return l.bytes.Load() }
-func (l *Ledger) PDUs() int64      { return l.pdus.Load() }
-func (l *Ledger) Budget() int64    { return l.maxBytes }
-func (l *Ledger) Blocked() uint64  { return l.blocked.Load() }
-func (l *Ledger) Shed() uint64     { return l.shed.Load() }
+func (l *Ledger) Bytes() int64    { return l.bytes.Load() }
+func (l *Ledger) PDUs() int64     { return l.pdus.Load() }
+func (l *Ledger) Budget() int64   { return l.maxBytes }
+func (l *Ledger) Blocked() uint64 { return l.blocked.Load() }
+func (l *Ledger) Shed() uint64    { return l.shed.Load() }
 
 // --- Entity-side accounting (owner goroutine only) ---
 //

@@ -30,6 +30,7 @@ import (
 	"cobcast/internal/flight"
 	"cobcast/internal/pdu"
 	"cobcast/internal/trace"
+	"cobcast/internal/vclock"
 )
 
 // toKey is the total-order sort key. Keys are unique ((src,seq) is) and
@@ -66,6 +67,16 @@ type toState struct {
 	// lastAcc[j] is the ACK vector of the newest accepted sequenced PDU
 	// from j, used as the pruning floor for ltimes.
 	lastAcc [][]pdu.Seq
+	// Stability cache for releaseTotal: while the pending head stays the
+	// same, unsat holds the sources still blocking its release
+	// (unsatValid marks the cache live, unsatFor the head it describes).
+	// onCommitTotal clears a source's bit as soon as its frontier passes
+	// the head, so the steady-state "head still blocked" probe is one
+	// word test instead of an O(n) scan; the cache recomputes when the
+	// head changes and invalidates on eviction (quorum shrink).
+	unsat      vclock.Bits
+	unsatFor   toKey
+	unsatValid bool
 }
 
 // ltimePruneThreshold bounds the per-source logical-time history before a
@@ -80,6 +91,7 @@ func newTOState(n int) *toState {
 		lastKey: make([]toKey, n),
 		hasKey:  make([]bool, n),
 		lastAcc: make([][]pdu.Seq, n),
+		unsat:   vclock.NewBits(n),
 	}
 	for k := range s.base {
 		s.base[k] = 1
@@ -103,10 +115,27 @@ func (s *toState) ltimeOf(k pdu.EntityID, seq pdu.Seq) uint64 {
 func (e *Entity) onCommitTotal(p *pdu.PDU) {
 	s := e.to
 	var lt uint64
-	for k := 0; k < e.n; k++ {
-		if p.ACK[k] >= 2 {
-			if v := s.ltimeOf(pdu.EntityID(k), p.ACK[k]-1); v > lt {
-				lt = v
+	if d := p.Delta; d != nil && p.SEQ >= 2 {
+		// Delta fast path: the own column changes on every PDU
+		// (ACK[src] = SEQ), so src ∈ Delta and the max includes
+		// ltime(pred) = ltime(src, SEQ-1). Every unchanged reference
+		// equals one of pred's references, whose ltime is < ltime(pred)
+		// by construction, so restricting the max to the changed
+		// entries is exact (induction down the chain to the dense base
+		// case SEQ = 1).
+		for _, k := range d {
+			if p.ACK[k] >= 2 {
+				if v := s.ltimeOf(pdu.EntityID(k), p.ACK[k]-1); v > lt {
+					lt = v
+				}
+			}
+		}
+	} else {
+		for k := 0; k < e.n; k++ {
+			if p.ACK[k] >= 2 {
+				if v := s.ltimeOf(pdu.EntityID(k), p.ACK[k]-1); v > lt {
+					lt = v
+				}
 			}
 		}
 	}
@@ -119,6 +148,11 @@ func (e *Entity) onCommitTotal(p *pdu.PDU) {
 	key := toKey{lt: lt, src: p.Src, seq: p.SEQ}
 	s.lastKey[p.Src] = key
 	s.hasKey[p.Src] = true
+	// The committed frontier of p.Src just advanced: if it passed the
+	// cached pending head's key, this source no longer blocks release.
+	if s.unsatValid && s.unsat.Test(int(p.Src)) && s.unsatFor.less(key) {
+		s.unsat.Clear(int(p.Src))
+	}
 	if p.Kind == pdu.KindData {
 		heap.Push(&s.pending, toItem{key: key, p: p})
 		e.chargePDU(p)
@@ -129,24 +163,31 @@ func (e *Entity) onCommitTotal(p *pdu.PDU) {
 }
 
 // releaseTotal delivers every stable pending PDU in key order. A key is
-// stable once every other source has committed beyond it.
+// stable once every other source has committed beyond it. The per-head
+// scan is cached in s.unsat: it recomputes only when the head changes
+// (pop, or a smaller key pushed) and onCommitTotal retires blockers
+// incrementally, so a head probed repeatedly while waiting costs one
+// word test per probe instead of O(n).
 func (e *Entity) releaseTotal(now time.Duration, out *Output) {
 	s := e.to
 	for s.pending.Len() > 0 {
 		head := s.pending[0]
-		stable := true
-		for j := 0; j < e.n; j++ {
-			if pdu.EntityID(j) == head.key.src || e.evicted[j] {
-				continue
+		if !s.unsatValid || s.unsatFor != head.key {
+			s.unsat.Reset()
+			for j := 0; j < e.n; j++ {
+				if pdu.EntityID(j) == head.key.src || e.evicted[j] {
+					continue
+				}
+				if !s.hasKey[j] || !head.key.less(s.lastKey[j]) {
+					s.unsat.Set(j)
+				}
 			}
-			if !s.hasKey[j] || !head.key.less(s.lastKey[j]) {
-				stable = false
-				break
-			}
+			s.unsatFor, s.unsatValid = head.key, true
 		}
-		if !stable {
+		if !s.unsat.Empty() {
 			return
 		}
+		s.unsatValid = false // the head is about to change
 		heap.Pop(&s.pending)
 		p := head.p
 		e.releasePDU(p)

@@ -125,10 +125,13 @@ func New(cfg Config) (*Registry, error) {
 		return nil, errors.New("groups: incomplete config")
 	}
 	if cfg.Shards <= 0 {
+		// One shard goroutine per schedulable CPU. The heuristic is
+		// capped at GOMAXPROCS(0), not a fixed constant: shards run
+		// mailbox loops that park when idle, so extra shards on a big
+		// machine cost nothing while letting group traffic spread across
+		// every core the scheduler can actually use. An explicit
+		// cfg.Shards always wins.
 		cfg.Shards = runtime.GOMAXPROCS(0)
-		if cfg.Shards > 8 {
-			cfg.Shards = 8
-		}
 	}
 	if cfg.MaxGroups <= 0 {
 		cfg.MaxGroups = DefaultMaxGroups

@@ -35,6 +35,17 @@ type Log struct {
 	// placement) and resets them when the log drains empty.
 	maxAck []pdu.Seq
 	maxSeq []pdu.Seq
+
+	// lastPos[j] is the index (into pdus) of the most recently inserted
+	// source-j PDU, or -1 if unknown. Because per-source insertions arrive
+	// in ascending SEQ and the log stays causality-preserved, no causal
+	// successor of a source-j PDU can sit at or before an earlier
+	// source-j PDU — so InsertCPI's successor scan may start just past
+	// the hint instead of at the head. Hints are best-effort: each is
+	// validated against the resident PDU before use, and an invalid hint
+	// only widens the scan back to the head. Allocated by Reserve; logs
+	// that skip Reserve run without hints.
+	lastPos []int
 }
 
 // Reserve pre-sizes the log for a cluster of n entities and an expected
@@ -53,6 +64,48 @@ func (l *Log) Reserve(n, c int) {
 		copy(grown, l.pdus)
 		l.pdus = grown
 	}
+	if n > len(l.lastPos) {
+		old := len(l.lastPos)
+		l.lastPos = append(l.lastPos, make([]int, n-old)...)
+		for i := old; i < len(l.lastPos); i++ {
+			l.lastPos[i] = -1
+		}
+	}
+}
+
+// notePos records that p now resides at index at, shifting hints that the
+// insertion displaced. shifted is true when entries at or past at moved
+// one slot right (a middle insert), false for a tail append.
+func (l *Log) notePos(p *pdu.PDU, at int, shifted bool) {
+	if len(l.lastPos) == 0 {
+		return
+	}
+	if shifted {
+		for j, h := range l.lastPos {
+			if h >= at {
+				l.lastPos[j] = h + 1
+			}
+		}
+	}
+	if int(p.Src) < len(l.lastPos) {
+		l.lastPos[p.Src] = at
+	}
+}
+
+// posHint returns the index after the latest resident same-source
+// predecessor of p, or l.head when no valid hint exists. The first causal
+// successor of p cannot sit at or before that predecessor (pred ≺ p, so
+// p ≺ q would make q a successor of pred placed before pred, breaking the
+// causality-preserved invariant), so scanning may begin there.
+func (l *Log) posHint(p *pdu.PDU) int {
+	if int(p.Src) < len(l.lastPos) {
+		if h := l.lastPos[p.Src]; h >= l.head && h < len(l.pdus) {
+			if q := l.pdus[h]; q != nil && q.Src == p.Src && q.SEQ < p.SEQ {
+				return h + 1
+			}
+		}
+	}
+	return l.head
 }
 
 // Len returns the number of PDUs in the log.
@@ -84,6 +137,7 @@ func (l *Log) At(i int) *pdu.PDU { return l.pdus[l.head+i] }
 func (l *Log) Enqueue(p *pdu.PDU) {
 	l.pdus = append(l.pdus, p)
 	l.noteInsert(p)
+	l.notePos(p, len(l.pdus)-1, false)
 }
 
 // Dequeue removes and returns the top PDU (the paper's dequeue(L)), or nil
@@ -116,9 +170,26 @@ func (l *Log) noteInsert(p *pdu.PDU) {
 	if s := int(p.Src) + 1; s > len(l.maxSeq) {
 		l.maxSeq = append(l.maxSeq, make([]pdu.Seq, s-len(l.maxSeq))...)
 	}
-	for j, a := range p.ACK {
-		if a > l.maxAck[j] {
-			l.maxAck[j] = a
+	if p.Delta != nil && p.SEQ >= 2 && l.maxSeq[p.Src] >= p.SEQ-1 {
+		// Delta fast path: some PDU q from p.Src with q.SEQ >= p.SEQ-1
+		// was folded since the last reset (the maxSeq witness). ACK
+		// vectors are monotone per source, so for every index outside
+		// Delta, p.ACK[j] = pred.ACK[j] <= q.ACK[j] <= maxAck[j] —
+		// the bound already covers it (inductively, even if q itself
+		// was folded sparsely). An under-fold here would misplace CPI
+		// insertions, hence the conservative witness. The bounds only
+		// ever overestimate after dequeues, which is safe in the same
+		// direction.
+		for _, k := range p.Delta {
+			if p.ACK[k] > l.maxAck[k] {
+				l.maxAck[k] = p.ACK[k]
+			}
+		}
+	} else {
+		for j, a := range p.ACK {
+			if a > l.maxAck[j] {
+				l.maxAck[j] = a
+			}
 		}
 	}
 	if p.SEQ > l.maxSeq[p.Src] {
@@ -133,6 +204,9 @@ func (l *Log) resetBounds() {
 	}
 	for i := range l.maxSeq {
 		l.maxSeq[i] = 0
+	}
+	for i := range l.lastPos {
+		l.lastPos[i] = -1
 	}
 }
 
@@ -153,6 +227,13 @@ func (l *Log) compact() {
 	n := copy(l.pdus, l.pdus[l.head:])
 	for i := n; i < len(l.pdus); i++ {
 		l.pdus[i] = nil
+	}
+	for j, h := range l.lastPos {
+		if h >= l.head {
+			l.lastPos[j] = h - l.head
+		} else if h >= 0 {
+			l.lastPos[j] = -1
+		}
 	}
 	l.pdus = l.pdus[:n]
 	l.head = 0
@@ -194,14 +275,18 @@ func (l *Log) InsertCPI(p *pdu.PDU) int {
 	if l.noSuccessorIn(p) {
 		l.pdus = append(l.pdus, p)
 		l.noteInsert(p)
+		l.notePos(p, len(l.pdus)-1, false)
 		return 0
 	}
 	// The scan applies pdu.CausallyPrecedes(p, q) unrolled to the
 	// one-directional Theorem 4.1 test: this loop runs once per resident
-	// PDU and the full Compare would redundantly evaluate q ≺ p too.
+	// PDU and the full Compare would redundantly evaluate q ≺ p too. It
+	// starts at the same-source position hint: entries at or before p's
+	// latest resident predecessor cannot causally follow p.
 	at := len(l.pdus)
 	src, seq := p.Src, p.SEQ
-	for i := l.head; i < len(l.pdus); i++ {
+	start := l.posHint(p)
+	for i := start; i < len(l.pdus); i++ {
 		q := l.pdus[i]
 		if q.Src == src {
 			if seq < q.SEQ {
@@ -218,6 +303,7 @@ func (l *Log) InsertCPI(p *pdu.PDU) int {
 	copy(l.pdus[at+1:], l.pdus[at:])
 	l.pdus[at] = p
 	l.noteInsert(p)
+	l.notePos(p, at, displaced != 0)
 	return displaced
 }
 
@@ -234,6 +320,7 @@ func (l *Log) InsertBySeq(p *pdu.PDU) {
 	copy(l.pdus[at+1:], l.pdus[at:])
 	l.pdus[at] = p
 	l.noteInsert(p)
+	l.notePos(p, at, at != len(l.pdus)-1)
 }
 
 // IsCausalityPreserved reports whether the sequence satisfies the

@@ -342,7 +342,7 @@ func FuzzV2Unmarshal(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var dec StampDecoder
-		scratch := &PDU{ACK: []Seq{9, 9, 9}, Delta: []EntityID{2}, Data: []byte("dirty")}
+		scratch := &PDU{ACK: []Seq{9, 9, 9}, Delta: []Seq{2}, Data: []byte("dirty")}
 		fresh, err := UnmarshalV2(data, &dec)
 		if err == nil {
 			if fresh.Delta == nil {

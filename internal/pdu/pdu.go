@@ -108,13 +108,20 @@ type PDU struct {
 	LSeq Seq
 	// Data is the application payload (KindData only).
 	Data []byte
-	// Delta, when non-nil, lists the ACK indices that changed relative
-	// to the same source's previous sequenced PDU. It is a decode-side
-	// hint populated by the v2 wire codec (delta-encoded stamps), not
-	// part of the PDU's identity: nil means "unknown — consider every
-	// entry changed". The engine uses it to fold only the changed ACK
-	// entries into AL/PAL instead of scanning all n.
-	Delta []EntityID
+	// Delta, when non-nil, lists in ascending order the ACK indices that
+	// changed relative to the same source's previous sequenced PDU
+	// (SEQ-1). It is a sparse-fold hint, not part of the PDU's identity:
+	// nil means "unknown — consider every entry changed". Senders
+	// annotate it from their dirty-column stamp (vclock.Stamp) and the
+	// v2 wire codec both consumes it on encode and reconstructs it on
+	// decode, so the engine can fold only the changed ACK entries into
+	// AL/PAL instead of scanning all n.
+	//
+	// Delta is immutable once attached: Clone shares it rather than
+	// copying, so the same annotation flows through fan-out for free.
+	// Holders that need a copy outliving the producer's buffers (e.g.
+	// decode scratch) call OwnDelta after Clone.
+	Delta []Seq
 }
 
 // Relation is the outcome of comparing two PDUs under the
@@ -193,7 +200,9 @@ func Compare(p, q *PDU) Relation {
 func CausallyPrecedes(p, q *PDU) bool { return Compare(p, q) == Precedes }
 
 // Clone returns a deep copy of the PDU. Networks clone PDUs at the
-// boundary so that entities never share backing arrays.
+// boundary so that entities never share backing arrays. Delta is shared,
+// not copied — it is immutable once attached; call OwnDelta on the clone
+// when the source's Delta storage will be reused (decoder scratch).
 func (p *PDU) Clone() *PDU {
 	q := *p
 	if p.ACK != nil {
@@ -204,11 +213,19 @@ func (p *PDU) Clone() *PDU {
 		q.Data = make([]byte, len(p.Data))
 		copy(q.Data, p.Data)
 	}
-	if p.Delta != nil {
-		q.Delta = make([]EntityID, len(p.Delta))
-		copy(q.Delta, p.Delta)
-	}
 	return &q
+}
+
+// OwnDelta replaces a shared Delta annotation with an owned copy and
+// returns p for chaining. Callers cloning out of a decoder's scratch PDU
+// use it because the scratch Delta is overwritten by the next decode.
+func (p *PDU) OwnDelta() *PDU {
+	if p.Delta != nil {
+		d := make([]Seq, len(p.Delta))
+		copy(d, p.Delta)
+		p.Delta = d
+	}
+	return p
 }
 
 // Validation errors returned by Validate.
@@ -241,7 +258,9 @@ func (p *PDU) Validate(n int) error {
 		return fmt.Errorf("%w: len=%d n=%d", ErrBadACKLen, len(p.ACK), n)
 	}
 	for _, k := range p.Delta {
-		if k < 0 || int(k) >= n {
+		// Seq is unsigned: compare in Seq space so huge indices cannot
+		// wrap through an int conversion.
+		if k >= Seq(n) {
 			return fmt.Errorf("%w: delta index %d n=%d", ErrBadACKLen, k, n)
 		}
 	}

@@ -138,6 +138,9 @@ func (p *PDU) UnmarshalFrom(b []byte) error {
 		return fmt.Errorf("%w: %02x", ErrBadFlags, extra)
 	}
 	p.NeedAck = body[4]&flagNeedAck != 0
+	// v1 stamps are always full: a scratch PDU reused across codec
+	// versions must not keep a stale v2 delta annotation.
+	p.Delta = nil
 	p.CID = binary.BigEndian.Uint32(body[5:9])
 	p.Src = EntityID(int32(binary.BigEndian.Uint32(body[9:13])))
 	p.SEQ = Seq(binary.BigEndian.Uint64(body[13:21]))

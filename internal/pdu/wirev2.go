@@ -197,6 +197,13 @@ func (p *PDU) MarshalV2(enc *StampEncoder) ([]byte, error) {
 // non-nil and p is sequenced) adopts p as the reference for the next
 // call, so PDUs must be encoded in the order they are sent. With a buf
 // of sufficient capacity the steady-state send path allocates nothing.
+//
+// When p carries a sender-side Delta annotation and extends the
+// encoder's reference chain contiguously, the encoder trusts the
+// annotation: the changed-entry scan and the O(n) reference copy both
+// collapse to O(len(Delta)). The emitted bytes are identical to the
+// dense diff because the annotation is, by contract, exactly the strict
+// difference against the same reference PDU (Src, SEQ-1).
 func (p *PDU) MarshalAppendV2(buf []byte, enc *StampEncoder) ([]byte, error) {
 	if len(p.ACK) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: ACK vector %d entries", ErrTooLong, len(p.ACK))
@@ -207,7 +214,16 @@ func (p *PDU) MarshalAppendV2(buf []byte, enc *StampEncoder) ([]byte, error) {
 	if p.Src < NoEntity || p.LSrc < NoEntity {
 		return nil, fmt.Errorf("%w: negative source", ErrTooLong)
 	}
-	c, delta := enc.deltaCount(p)
+	var c int
+	var delta bool
+	annotated := enc != nil && enc.valid && p.Delta != nil && p.Kind.Sequenced() &&
+		p.SEQ == enc.lastSeq+1 && p.SEQ%enc.syncInterval() != 0 &&
+		len(enc.last) == len(p.ACK) && 2*len(p.Delta) < len(p.ACK)
+	if annotated {
+		c, delta = len(p.Delta), true
+	} else {
+		c, delta = enc.deltaCount(p)
+	}
 	start := len(buf)
 	buf = binary.BigEndian.AppendUint16(buf, Magic)
 	var flags byte
@@ -225,7 +241,14 @@ func (p *PDU) MarshalAppendV2(buf []byte, enc *StampEncoder) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(p.LSrc+1))
 	buf = binary.AppendUvarint(buf, uint64(p.LSeq))
 	buf = binary.AppendUvarint(buf, uint64(len(p.ACK)))
-	if delta {
+	switch {
+	case annotated:
+		buf = binary.AppendUvarint(buf, uint64(c))
+		for _, i := range p.Delta {
+			buf = binary.AppendUvarint(buf, uint64(i))
+			buf = binary.AppendUvarint(buf, uint64(p.ACK[i]-enc.last[i]))
+		}
+	case delta:
 		buf = binary.AppendUvarint(buf, uint64(c))
 		for i, a := range p.ACK {
 			if a != enc.last[i] {
@@ -233,7 +256,7 @@ func (p *PDU) MarshalAppendV2(buf []byte, enc *StampEncoder) ([]byte, error) {
 				buf = binary.AppendUvarint(buf, uint64(a-enc.last[i]))
 			}
 		}
-	} else {
+	default:
 		for _, a := range p.ACK {
 			buf = binary.AppendUvarint(buf, uint64(a))
 		}
@@ -241,7 +264,16 @@ func (p *PDU) MarshalAppendV2(buf []byte, enc *StampEncoder) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(len(p.Data)))
 	buf = append(buf, p.Data...)
 	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
-	enc.note(p)
+	if annotated {
+		// Advance the reference in place: only the annotated columns
+		// moved, so the O(n) snapshot of note() is unnecessary.
+		for _, i := range p.Delta {
+			enc.last[i] = p.ACK[i]
+		}
+		enc.lastSeq = p.SEQ
+	} else {
+		enc.note(p)
+	}
 	return buf, nil
 }
 
@@ -258,8 +290,12 @@ type stampRef struct {
 // a delta's reference is always the cache entry — or the delta is
 // rejected with ErrDeltaDesync. The zero value is ready to use.
 type StampDecoder struct {
-	bySrc   []stampRef
-	scratch []EntityID
+	bySrc []stampRef
+	// scratchIdx/scratchInc hold one datagram's parsed delta entries so
+	// the whole delta can be validated before any state is touched;
+	// scratchIdx doubles as the decoded PDU's Delta annotation.
+	scratchIdx []Seq
+	scratchInc []Seq
 }
 
 // Reset forgets every cached stamp, as after a reconnect.
@@ -413,8 +449,8 @@ func (p *PDU) UnmarshalFromV2(b []byte, dec *StampDecoder) error {
 			return fmt.Errorf("delta count: %w", err)
 		}
 		c := int(cv)
-		copy(p.ACK, ref.ack)
-		dec.scratch = dec.scratch[:0]
+		dec.scratchIdx = dec.scratchIdx[:0]
+		dec.scratchInc = dec.scratchInc[:0]
 		for i := 0; i < c; i++ {
 			var idx uint64
 			if idx, rest, err = readUvarintMax(rest, uint64(n)-1); err != nil {
@@ -423,12 +459,9 @@ func (p *PDU) UnmarshalFromV2(b []byte, dec *StampDecoder) error {
 			if v, rest, err = readUvarint(rest); err != nil {
 				return fmt.Errorf("delta[%d] increment: %w", i, err)
 			}
-			p.ACK[idx] += Seq(v)
-			dec.scratch = append(dec.scratch, EntityID(idx))
+			dec.scratchIdx = append(dec.scratchIdx, Seq(idx))
+			dec.scratchInc = append(dec.scratchInc, Seq(v))
 		}
-		// p.Delta aliases dec's scratch: valid until the next decode
-		// with dec, exactly the lifetime of a scratch-decoded PDU.
-		p.Delta = dec.scratch
 	}
 	var dlen uint64
 	if dlen, rest, err = readUvarintMax(rest, math.MaxUint32); err != nil {
@@ -440,15 +473,25 @@ func (p *PDU) UnmarshalFromV2(b []byte, dec *StampDecoder) error {
 	p.Data = append(p.Data[:0], rest...)
 	// The datagram is fully valid: advance the per-source cache. Full
 	// stamps re-anchor it (forward only, so a replayed or retransmitted
-	// old PDU cannot regress it); deltas extend the contiguous chain.
-	if dec != nil && p.Kind.Sequenced() && p.Src >= 0 && int(p.Src) < n {
-		if ref == nil {
-			ref = dec.ref(p.Src)
+	// old PDU cannot regress it); deltas extend the contiguous chain by
+	// applying the parsed increments to the reference in place — O(c)
+	// writes plus the one unavoidable O(n) copy into p.ACK, where the
+	// old shape paid copy-out plus a full re-snapshot.
+	if ref != nil {
+		for i, idx := range dec.scratchIdx {
+			ref.ack[idx] += dec.scratchInc[i]
 		}
-		if !ref.valid || p.SEQ > ref.seq {
-			ref.seq = p.SEQ
-			ref.ack = append(ref.ack[:0], p.ACK...)
-			ref.valid = true
+		ref.seq = p.SEQ
+		copy(p.ACK, ref.ack)
+		// p.Delta aliases dec's index scratch: valid until the next
+		// decode with dec, exactly the lifetime of a scratch-decoded PDU.
+		p.Delta = dec.scratchIdx
+	} else if dec != nil && p.Kind.Sequenced() && p.Src >= 0 && int(p.Src) < n {
+		r := dec.ref(p.Src)
+		if !r.valid || p.SEQ > r.seq {
+			r.seq = p.SEQ
+			r.ack = append(r.ack[:0], p.ACK...)
+			r.valid = true
 		}
 	}
 	return nil

@@ -353,7 +353,7 @@ func TestV2OutOfOrderDeltaIndices(t *testing.T) {
 	if !reflect.DeepEqual(got.ACK, want) {
 		t.Fatalf("ACK = %v, want %v", got.ACK, want)
 	}
-	if !reflect.DeepEqual(got.Delta, []EntityID{3, 0}) {
+	if !reflect.DeepEqual(got.Delta, []Seq{3, 0}) {
 		t.Fatalf("Delta = %v, want [3 0]", got.Delta)
 	}
 }

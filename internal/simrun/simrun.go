@@ -280,10 +280,11 @@ func wireCodec(n, version, stampK int) (sim.NetOption, error) {
 			if !ok {
 				return out
 			}
-			// Clone: p.ACK/p.Data are scratch and p.Delta aliases the
-			// stamp decoder's scratch, all overwritten by the next
-			// decode, while the network replays these PDUs later.
-			out = append(out, p.Clone())
+			// Clone: p.ACK/p.Data are scratch, overwritten by the next
+			// decode, while the network replays these PDUs later; Delta
+			// aliases the stamp decoder's scratch and Clone shares it,
+			// so OwnDelta detaches an owned copy.
+			out = append(out, p.Clone().OwnDelta())
 		}
 	}
 	return sim.NetCodec(encode, decode), nil

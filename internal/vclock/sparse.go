@@ -1,0 +1,267 @@
+// Sparse ACK-stamp machinery. The CO protocol's DT PDUs carry an n-wide
+// ACK vector, and folding one into the AL/PAL matrices dense costs O(n)
+// per PDU — the structural scalability barrier named by Nédelec et al.
+// (PAPERS.md). Between two consecutive PDUs of one sender, though, only
+// the columns whose REQ advanced differ, and under steady load that set
+// is small and independent of n. Bits is a 64-bit-word bitmap over
+// sources, and Stamp is a version vector that tracks exactly which of
+// its columns changed since the last ClearDirty, so compares, merges and
+// folds can touch only changed words — with a dense fallback once the
+// dirty set covers half the vector, mirroring the wire codec's
+// full-stamp condition (2c ≥ n).
+package vclock
+
+import "math/bits"
+
+// Bits is a bitmap over sources, packed 64 per word. Index i lives in
+// word i>>6 at bit i&63, so ascending-bit iteration visits sources in
+// ascending order. The caller sizes it with NewBits and never indexes
+// past n-1. Bits is a plain slice so hot paths can range over its words
+// directly and scan set bits with math/bits intrinsics.
+type Bits []uint64
+
+// NewBits returns a zeroed bitmap able to hold n sources.
+func NewBits(n int) Bits { return make(Bits, (n+63)>>6) }
+
+// Set sets bit i.
+func (b Bits) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bits) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set.
+func (b Bits) Test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Empty reports whether no bit is set.
+func (b Bits) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears every bit.
+func (b Bits) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Fill sets bits 0..n-1 and clears the rest.
+func (b Bits) Fill(n int) {
+	b.Reset()
+	for i := 0; i+64 <= n; i += 64 {
+		b[i>>6] = ^uint64(0)
+	}
+	if r := n & 63; r != 0 {
+		b[n>>6] = 1<<uint(r) - 1
+	}
+}
+
+// CopyFrom overwrites b with src. The bitmaps must be the same size.
+func (b Bits) CopyFrom(src Bits) { copy(b, src) }
+
+// ForEach calls fn for every set bit in ascending order.
+func (b Bits) ForEach(fn func(i int)) {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Stamp is a version vector over n sources that remembers which columns
+// changed: every strict advance through Raise (or a sparse Merge) marks
+// the column dirty, until ClearDirty resets the tracking epoch. The
+// dirty set is exactly the strict difference against the vector's value
+// at the last ClearDirty, which is what lets a sender annotate each
+// sequenced PDU with the columns that moved since its predecessor.
+type Stamp struct {
+	v     []uint64
+	dirty Bits
+	nd    int
+}
+
+// NewStamp returns a zero stamp over n sources with an empty dirty set.
+func NewStamp(n int) Stamp {
+	return Stamp{v: make([]uint64, n), dirty: NewBits(n)}
+}
+
+// Len returns the number of sources.
+func (s *Stamp) Len() int { return len(s.v) }
+
+// Get returns column i.
+func (s *Stamp) Get(i int) uint64 { return s.v[i] }
+
+// Vec returns the underlying value vector, borrowed: callers must not
+// mutate it (all writes must go through Raise so dirtiness stays exact).
+func (s *Stamp) Vec() []uint64 { return s.v }
+
+// Raise advances column i to x if x is strictly larger, marking the
+// column dirty, and reports whether it advanced. Lower or equal values
+// are ignored (version vectors only move forward).
+func (s *Stamp) Raise(i int, x uint64) bool {
+	if x <= s.v[i] {
+		return false
+	}
+	s.v[i] = x
+	if !s.dirty.Test(i) {
+		s.dirty.Set(i)
+		s.nd++
+	}
+	return true
+}
+
+// Dirty returns the dirty bitmap, borrowed: callers may read (and
+// iterate) it but must not mutate it.
+func (s *Stamp) Dirty() Bits { return s.dirty }
+
+// NDirty returns the number of dirty columns.
+func (s *Stamp) NDirty() int { return s.nd }
+
+// Dense reports whether the dirty set has crossed the density threshold
+// (2·dirty ≥ n) past which a sparse delta stops paying: enumerating more
+// than half the columns costs as much as a dense scan, so callers fall
+// back to the dense form — the same 2c ≥ n condition at which the v2
+// wire codec emits a full stamp instead of a delta.
+func (s *Stamp) Dense() bool { return 2*s.nd >= len(s.v) }
+
+// ClearDirty empties the dirty set, starting a new tracking epoch. It
+// touches only words with set bits, so it is O(dirty), not O(n).
+func (s *Stamp) ClearDirty() {
+	if s.nd == 0 {
+		return
+	}
+	for i, w := range s.dirty {
+		if w != 0 {
+			s.dirty[i] = 0
+		}
+	}
+	s.nd = 0
+}
+
+// AppendDirty appends the dirty column indices to dst in ascending
+// order and returns the extended slice.
+func (s *Stamp) AppendDirty(dst []int) []int {
+	s.dirty.ForEach(func(i int) { dst = append(dst, i) })
+	return dst
+}
+
+// Clone returns an independent copy of the stamp, dirty set included.
+func (s *Stamp) Clone() Stamp {
+	c := Stamp{v: make([]uint64, len(s.v)), dirty: NewBits(len(s.v)), nd: s.nd}
+	copy(c.v, s.v)
+	copy(c.dirty, s.dirty)
+	return c
+}
+
+// Compare determines the causal ordering between s and w, scanning all
+// n columns. It is the always-correct dense form; CompareDirty is the
+// sparse fast path for stamps known to share a base.
+func (s *Stamp) Compare(w *Stamp) Ordering {
+	if len(s.v) != len(w.v) {
+		panic("vclock: Compare on stamps of different lengths")
+	}
+	return VC(s.v).Compare(VC(w.v))
+}
+
+// CompareDirty determines the causal ordering between s and w touching
+// only words that hold a dirty column of either stamp.
+//
+// Precondition: every column clean in BOTH stamps has equal values in
+// both (the stamps diverged from a common base and all writes since
+// went through Raise without an intervening ClearDirty). Columns inside
+// a touched word are compared wholesale, so partial dirtiness within a
+// word is fine. Falls back to the dense Compare once either side has
+// crossed the density threshold.
+func (s *Stamp) CompareDirty(w *Stamp) Ordering {
+	if len(s.v) != len(w.v) {
+		panic("vclock: CompareDirty on stamps of different lengths")
+	}
+	if s.Dense() || w.Dense() {
+		return s.Compare(w)
+	}
+	var less, greater bool
+	for wi := range s.dirty {
+		m := s.dirty[wi] | w.dirty[wi]
+		if m == 0 {
+			continue
+		}
+		base := wi << 6
+		end := base + 64
+		if end > len(s.v) {
+			end = len(s.v)
+		}
+		for i := base; i < end; i++ {
+			switch {
+			case s.v[i] < w.v[i]:
+				less = true
+			case s.v[i] > w.v[i]:
+				greater = true
+			}
+			if less && greater {
+				return Concurrent
+			}
+		}
+	}
+	switch {
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Merge folds w into s column-wise (component maximum) over all n
+// columns, marking every column it raises dirty.
+func (s *Stamp) Merge(w *Stamp) {
+	if len(s.v) != len(w.v) {
+		panic("vclock: Merge on stamps of different lengths")
+	}
+	for i, x := range w.v {
+		s.Raise(i, x)
+	}
+}
+
+// MergeDirty folds w into s touching only words that hold a dirty
+// column of w.
+//
+// Precondition: every column clean in w satisfies w[i] ≤ s[i] (w
+// diverged from a base s already covers, and all of w's advances since
+// went through Raise without an intervening ClearDirty). Falls back to
+// the dense Merge once w has crossed the density threshold.
+func (s *Stamp) MergeDirty(w *Stamp) {
+	if len(s.v) != len(w.v) {
+		panic("vclock: MergeDirty on stamps of different lengths")
+	}
+	if w.Dense() {
+		s.Merge(w)
+		return
+	}
+	for wi, d := range w.dirty {
+		if d == 0 {
+			continue
+		}
+		base := wi << 6
+		for d != 0 {
+			i := base + bits.TrailingZeros64(d)
+			d &= d - 1
+			s.Raise(i, w.v[i])
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsBasic(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 130, 256} {
+		b := NewBits(n)
+		if !b.Empty() || b.Count() != 0 {
+			t.Fatalf("n=%d: new bitmap not empty", n)
+		}
+		want := map[int]bool{}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < 3*n; i++ {
+			j := rng.Intn(n)
+			if rng.Intn(3) == 0 {
+				b.Clear(j)
+				delete(want, j)
+			} else {
+				b.Set(j)
+				want[j] = true
+			}
+		}
+		if b.Count() != len(want) {
+			t.Fatalf("n=%d: Count=%d want %d", n, b.Count(), len(want))
+		}
+		for j := 0; j < n; j++ {
+			if b.Test(j) != want[j] {
+				t.Fatalf("n=%d: Test(%d)=%v want %v", n, j, b.Test(j), want[j])
+			}
+		}
+		// ForEach visits exactly the set bits, ascending.
+		prev := -1
+		seen := 0
+		b.ForEach(func(i int) {
+			if i <= prev {
+				t.Fatalf("n=%d: ForEach not ascending: %d after %d", n, i, prev)
+			}
+			if !want[i] {
+				t.Fatalf("n=%d: ForEach visited clear bit %d", n, i)
+			}
+			prev = i
+			seen++
+		})
+		if seen != len(want) {
+			t.Fatalf("n=%d: ForEach visited %d bits, want %d", n, seen, len(want))
+		}
+		b.Reset()
+		if !b.Empty() {
+			t.Fatalf("n=%d: not empty after Reset", n)
+		}
+	}
+}
+
+func TestBitsFill(t *testing.T) {
+	for _, n := range []int{1, 5, 63, 64, 65, 128, 129} {
+		b := NewBits(n)
+		b.Set(0) // Fill must also clear stale bits
+		b.Fill(n)
+		if b.Count() != n {
+			t.Fatalf("Fill(%d): Count=%d", n, b.Count())
+		}
+		for j := 0; j < n; j++ {
+			if !b.Test(j) {
+				t.Fatalf("Fill(%d): bit %d clear", n, j)
+			}
+		}
+		b.Fill(n - 1)
+		if b.Count() != n-1 || b.Test(n-1) {
+			t.Fatalf("Fill(%d) after Fill(%d): Count=%d Test(n-1)=%v",
+				n-1, n, b.Count(), b.Test(n-1))
+		}
+	}
+}
+
+// TestStampDirtyExactness checks the load-bearing property of the dirty
+// set: after any mix of Raise calls, the dirty set is exactly the strict
+// difference against the vector's value at the last ClearDirty.
+func TestStampDirtyExactness(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(150)
+		s := NewStamp(n)
+		epoch := make([]uint64, n) // value at last ClearDirty
+		for step := 0; step < 500; step++ {
+			switch rng.Intn(10) {
+			case 0:
+				s.ClearDirty()
+				copy(epoch, s.Vec())
+			default:
+				i := rng.Intn(n)
+				x := uint64(rng.Intn(20))
+				before := s.Get(i)
+				adv := s.Raise(i, x)
+				if adv != (x > before) {
+					t.Fatalf("Raise(%d,%d) from %d: advanced=%v", i, x, before, adv)
+				}
+			}
+			nd := 0
+			for i := 0; i < n; i++ {
+				changed := s.Get(i) != epoch[i]
+				if s.Dirty().Test(i) != changed {
+					t.Fatalf("seed %d step %d: dirty(%d)=%v, changed=%v",
+						seed, step, i, s.Dirty().Test(i), changed)
+				}
+				if changed {
+					nd++
+				}
+			}
+			if s.NDirty() != nd {
+				t.Fatalf("seed %d step %d: NDirty=%d want %d", seed, step, s.NDirty(), nd)
+			}
+			if s.Dense() != (2*nd >= n) {
+				t.Fatalf("seed %d step %d: Dense=%v with nd=%d n=%d",
+					seed, step, s.Dense(), nd, n)
+			}
+		}
+	}
+}
+
+func TestStampAppendDirtyAscending(t *testing.T) {
+	s := NewStamp(130)
+	for _, i := range []int{129, 0, 64, 63, 65, 7} {
+		s.Raise(i, 1)
+	}
+	got := s.AppendDirty(nil)
+	want := []int{0, 7, 63, 64, 65, 129}
+	if len(got) != len(want) {
+		t.Fatalf("AppendDirty = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendDirty = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCompareMergeDirtyAgainstDense forks two stamps from a shared base
+// and checks that the sparse word-skipping forms agree with the dense
+// forms while the documented preconditions hold.
+func TestCompareMergeDirtyAgainstDense(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		rng := rand.New(rand.NewSource(seed * 31))
+		n := 2 + rng.Intn(200)
+		a := NewStamp(n)
+		for i := 0; i < n; i++ {
+			a.Raise(i, uint64(rng.Intn(8)))
+		}
+		a.ClearDirty()
+		b := a.Clone() // shared base, both clean
+		for step := 0; step < 200; step++ {
+			tgt := &a
+			if rng.Intn(2) == 0 {
+				tgt = &b
+			}
+			tgt.Raise(rng.Intn(n), uint64(rng.Intn(30)))
+			if got, want := a.CompareDirty(&b), a.Compare(&b); got != want {
+				t.Fatalf("seed %d step %d: CompareDirty=%v Compare=%v", seed, step, got, want)
+			}
+		}
+		// MergeDirty(a, b): b's clean columns still hold the base value,
+		// which a can only have raised — precondition holds.
+		wantMerged := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			wantMerged[i] = a.Get(i)
+			if b.Get(i) > wantMerged[i] {
+				wantMerged[i] = b.Get(i)
+			}
+		}
+		a.MergeDirty(&b)
+		for i := 0; i < n; i++ {
+			if a.Get(i) != wantMerged[i] {
+				t.Fatalf("seed %d: MergeDirty col %d = %d, want %d",
+					seed, i, a.Get(i), wantMerged[i])
+			}
+		}
+		if a.Compare(&b) == Before || a.Compare(&b) == Concurrent {
+			t.Fatalf("seed %d: merged stamp not ≥ source", seed)
+		}
+	}
+}
+
+func TestStampClone(t *testing.T) {
+	s := NewStamp(70)
+	s.Raise(3, 5)
+	s.Raise(68, 2)
+	c := s.Clone()
+	c.Raise(10, 9)
+	if s.Dirty().Test(10) || s.Get(10) != 0 {
+		t.Fatal("Clone shares state with original")
+	}
+	if !c.Dirty().Test(3) || c.Get(68) != 2 || c.NDirty() != 3 {
+		t.Fatal("Clone dropped state")
+	}
+}

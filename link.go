@@ -356,8 +356,10 @@ func (l *wireLink) deliver(in inbound, fn func(p *pdu.PDU)) {
 		}
 		// Sequenced PDUs are retained by the entity and must be cloned
 		// out of scratch; control PDUs are only read during Receive.
+		// Clone shares Delta, which aliases the stamp decoder's scratch
+		// here, so the retained copy takes ownership via OwnDelta.
 		if l.scratch.Kind.Sequenced() {
-			fn(l.scratch.Clone())
+			fn(l.scratch.Clone().OwnDelta())
 		} else {
 			fn(&l.scratch)
 		}

@@ -25,6 +25,7 @@ echo '>> fuzz smoke (1s per target)'
 for target in FuzzUnmarshal FuzzFrameDecode FuzzCompare FuzzDTUnmarshal FuzzRETUnmarshal FuzzV2Unmarshal FuzzV2StreamRoundTrip; do
 	go test ./internal/pdu -run '^$' -fuzz "^${target}\$" -fuzztime 1s
 done
+go test ./internal/vclock -run '^$' -fuzz '^FuzzSparseStamp$' -fuzztime 1s
 
 echo '>> chaos sweep smoke (60 seeds)'
 go run ./cmd/cochaos -sweep 60 -par 4
